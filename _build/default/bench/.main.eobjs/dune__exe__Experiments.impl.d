@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Baselines Bench_util Dag List Lp Printf Rtfmt Rtlb Sched Synth Workload

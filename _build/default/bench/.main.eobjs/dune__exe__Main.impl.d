@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments List Paper_tables Printf String Sys

@@ -1,0 +1,1 @@
+bench/paper_tables.ml: Array Bench_util Format List Lp Printf Rtfmt Rtlb Sched String

@@ -1,0 +1,47 @@
+(* Shared helpers for the benchmark harness: section headers, wall-clock
+   timing, and a thin wrapper over bechamel's measure/analyse pipeline. *)
+
+let section title =
+  let line = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n==  %s  ==\n%s\n" line title line
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.0)
+
+(* Run a list of (name, thunk) micro-benchmarks under bechamel and return
+   [(name, ns_per_run)] in input order. *)
+let bechamel_ns tests =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map
+      (fun (name, f) -> Test.make ~name (Staged.stage f))
+      tests
+  in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (ns :: _) -> (name, ns) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+let pp_ns ns =
+  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns

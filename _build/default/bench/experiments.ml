@@ -1,0 +1,839 @@
+(* Characterisation experiments (DESIGN.md E1-E6).  The paper's evaluation
+   is a single worked example; these sweeps exercise its claims across the
+   constraint space and time the implementation. *)
+
+let mean l =
+  if l = [] then 0.0
+  else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let instances ~shapes ~ccrs ~laxities ~seeds ~n ~two_procs ~resource_density
+    ~preemptive_fraction =
+  List.concat_map
+    (fun shape ->
+      List.concat_map
+        (fun ccr ->
+          List.concat_map
+            (fun laxity ->
+              List.map
+                (fun seed ->
+                  {
+                    Workload.Gen.default with
+                    Workload.Gen.seed;
+                    n_tasks = n;
+                    shape;
+                    ccr;
+                    laxity;
+                    proc_types =
+                      (if two_procs then [ ("P1", 0.6); ("P2", 0.4) ]
+                       else [ ("P1", 1.0) ]);
+                    resource_types = [ ("r1", resource_density) ];
+                    preemptive_fraction;
+                  })
+                seeds)
+            laxities)
+        ccrs)
+    shapes
+
+(* ------------------------------------------------------------------ *)
+(* E1: bound tightness against achievable platforms                    *)
+(* ------------------------------------------------------------------ *)
+
+let tightness () =
+  Bench_util.section
+    "E1: tightness - LB_r vs smallest platform the schedulers achieve";
+  Printf.printf
+    "For each instance: per-resource lower bound vs the smallest unit count\n\
+     at which list scheduling (helped by backtracking search) succeeds with\n\
+     every other dimension generous.  gap = achieved - LB >= 0; the bound\n\
+     is sound, so a negative gap would be a bug (none can appear).\n";
+  let t =
+    Rtfmt.Table.create
+      [ "ccr"; "laxity"; "instances"; "mean LB"; "mean achieved"; "mean gap"; "tight %" ]
+  in
+  List.iter
+    (fun (ccr, laxity) ->
+      let configs =
+        instances
+          ~shapes:
+            [
+              Workload.Gen.Layered { layers = 3; density = 0.5 };
+              Workload.Gen.Series_parallel;
+              Workload.Gen.Out_tree;
+            ]
+          ~ccrs:[ ccr ] ~laxities:[ laxity ]
+          ~seeds:[ 1; 2; 3; 4; 5 ]
+          ~n:10 ~two_procs:false ~resource_density:0.3 ~preemptive_fraction:0.0
+      in
+      let lbs = ref [] and achieved = ref [] and gaps = ref [] in
+      let tight = ref 0 and total = ref 0 in
+      List.iter
+        (fun config ->
+          let app = Workload.Gen.generate config in
+          let system = Workload.Gen.shared_system config in
+          let a = Rtlb.Analysis.run system app in
+          List.iter
+            (fun (b : Rtlb.Lower_bound.bound) ->
+              let r = b.Rtlb.Lower_bound.resource in
+              let lb = b.Rtlb.Lower_bound.lb in
+              if lb > 0 then
+                let generous _ = Rtlb.App.n_tasks app in
+                match Sched.Search.min_units_for app ~resource:r ~generous with
+                | None -> ()
+                | Some k ->
+                    incr total;
+                    if k = lb then incr tight;
+                    lbs := float_of_int lb :: !lbs;
+                    achieved := float_of_int k :: !achieved;
+                    gaps := float_of_int (k - lb) :: !gaps)
+            a.Rtlb.Analysis.bounds)
+        configs;
+      Rtfmt.Table.add_row t
+        [
+          Printf.sprintf "%.1f" ccr;
+          Printf.sprintf "%.1f" laxity;
+          string_of_int !total;
+          Printf.sprintf "%.2f" (mean !lbs);
+          Printf.sprintf "%.2f" (mean !achieved);
+          Printf.sprintf "%.2f" (mean !gaps);
+          Printf.sprintf "%.0f%%" (100.0 *. float_of_int !tight /. float_of_int (max 1 !total));
+        ])
+    [ (0.0, 1.0); (0.0, 1.2); (0.0, 2.0); (1.0, 1.0); (1.0, 1.2); (1.0, 2.0); (3.0, 1.0); (3.0, 1.5) ];
+  Rtfmt.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E2: comparison with Fernandez-Bussell and Al-Mohammed                *)
+(* ------------------------------------------------------------------ *)
+
+let strip i ~keep_messages =
+  let tasks =
+    Array.to_list (Rtlb.App.tasks i)
+    |> List.map (fun (t : Rtlb.Task.t) ->
+           Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:t.Rtlb.Task.compute
+             ~deadline:1_000_000 ~proc:"P" ())
+  in
+  let edges =
+    Dag.fold_edges (Rtlb.App.graph i) ~init:[] ~f:(fun acc ~src ~dst m ->
+        (src, dst, if keep_messages then m else 0) :: acc)
+  in
+  Rtlb.App.make ~tasks ~edges
+
+let baselines () =
+  Bench_util.section "E2: prior-art baselines on their own model";
+  Printf.printf
+    "Single processor type, no resources, deadlines at Al-Mohammed's omega.\n\
+     With ccr = 0 all three analyses coincide; with communication the\n\
+     single-merge (AM) and comm-blind (FB) window arguments overestimate\n\
+     mandatory demand, so their numbers can exceed the sound bound.\n";
+  let t =
+    Rtfmt.Table.create
+      [ "ccr"; "instances"; "FB"; "AM"; "ours"; "ours=FB=AM"; "AM>ours"; "FB>ours" ]
+  in
+  List.iter
+    (fun ccr ->
+      let configs =
+        instances
+          ~shapes:
+            [
+              Workload.Gen.Layered { layers = 3; density = 0.5 };
+              Workload.Gen.Fork_join { width = 4 };
+              Workload.Gen.In_tree;
+            ]
+          ~ccrs:[ ccr ] ~laxities:[ 1.0 ]
+          ~seeds:[ 1; 2; 3; 4; 5; 6 ]
+          ~n:12 ~two_procs:false ~resource_density:0.0 ~preemptive_fraction:0.0
+      in
+      let fb_l = ref [] and am_l = ref [] and ours_l = ref [] in
+      let agree = ref 0 and am_hi = ref 0 and fb_hi = ref 0 in
+      List.iter
+        (fun config ->
+          let app = strip (Workload.Gen.generate config) ~keep_messages:true in
+          let am = Baselines.Al_mohammed.analyse app in
+          let omega = am.Baselines.Al_mohammed.omega in
+          let fb =
+            Baselines.Fernandez_bussell.analyse ~omega app
+          in
+          let ours_app =
+            Rtlb.App.map_tasks app ~f:(fun task ->
+                Rtlb.Task.with_deadline task omega)
+          in
+          let system = Rtlb.System.shared ~costs:[ ("P", 1) ] in
+          let a = Rtlb.Analysis.run system ours_app in
+          let ours = Rtlb.Analysis.bound_for a "P" in
+          fb_l := float_of_int fb.Baselines.Fernandez_bussell.bound :: !fb_l;
+          am_l := float_of_int am.Baselines.Al_mohammed.bound :: !am_l;
+          ours_l := float_of_int ours :: !ours_l;
+          if
+            fb.Baselines.Fernandez_bussell.bound = ours
+            && am.Baselines.Al_mohammed.bound = ours
+          then incr agree;
+          if am.Baselines.Al_mohammed.bound > ours then incr am_hi;
+          if fb.Baselines.Fernandez_bussell.bound > ours then incr fb_hi)
+        configs;
+      let n = List.length !ours_l in
+      Rtfmt.Table.add_row t
+        [
+          Printf.sprintf "%.1f" ccr;
+          string_of_int n;
+          Printf.sprintf "%.2f" (mean !fb_l);
+          Printf.sprintf "%.2f" (mean !am_l);
+          Printf.sprintf "%.2f" (mean !ours_l);
+          string_of_int !agree;
+          string_of_int !am_hi;
+          string_of_int !fb_hi;
+        ])
+    [ 0.0; 0.5; 1.0; 3.0 ];
+  Rtfmt.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E3: synthesis search pruning                                        *)
+(* ------------------------------------------------------------------ *)
+
+let synthesis () =
+  Bench_util.section "E3: lower-bound pruning in architectural synthesis";
+  Printf.printf
+    "Uniform-cost search for the cheapest feasible dedicated system, with\n\
+     and without the admissible LB filter (identical optima by construction).\n";
+  let t =
+    Rtfmt.Table.create
+      [
+        "tasks"; "instances"; "cost ok"; "sched calls (LB)"; "sched calls (no LB)";
+        "saved"; "mean ms (LB)"; "mean ms (no LB)";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let configs =
+        instances
+          ~shapes:[ Workload.Gen.Layered { layers = 3; density = 0.5 } ]
+          ~ccrs:[ 0.5 ] ~laxities:[ 1.5 ]
+          ~seeds:[ 1; 2; 3; 4 ]
+          ~n ~two_procs:true ~resource_density:0.4 ~preemptive_fraction:0.0
+      in
+      let with_calls = ref 0 and without_calls = ref 0 in
+      let ok = ref 0 and total = ref 0 in
+      let ms_with = ref [] and ms_without = ref [] in
+      List.iter
+        (fun config ->
+          let app = Workload.Gen.generate config in
+          let system = Workload.Gen.dedicated_system config in
+          let a, ta =
+            Bench_util.time_ms (fun () ->
+                Synth.search ~use_lower_bounds:true ~system app)
+          in
+          let b, tb =
+            Bench_util.time_ms (fun () ->
+                Synth.search ~use_lower_bounds:false ~system app)
+          in
+          incr total;
+          (match (a.Synth.found, b.Synth.found) with
+          | Some (_, ca), Some (_, cb) when ca = cb -> incr ok
+          | None, None -> incr ok
+          | _ -> ());
+          with_calls := !with_calls + a.Synth.sched_calls;
+          without_calls := !without_calls + b.Synth.sched_calls;
+          ms_with := ta :: !ms_with;
+          ms_without := tb :: !ms_without)
+        configs;
+      Rtfmt.Table.add_row t
+        [
+          string_of_int n;
+          string_of_int !total;
+          Printf.sprintf "%d/%d" !ok !total;
+          string_of_int !with_calls;
+          string_of_int !without_calls;
+          Printf.sprintf "%.1fx"
+            (float_of_int !without_calls /. float_of_int (max 1 !with_calls));
+          Printf.sprintf "%.1f" (mean !ms_with);
+          Printf.sprintf "%.1f" (mean !ms_without);
+        ])
+    [ 6; 9; 12 ];
+  Rtfmt.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4: preemptive vs non-preemptive overlaps                           *)
+(* ------------------------------------------------------------------ *)
+
+let preemption () =
+  Bench_util.section "E4: Theorem 3 vs Theorem 4 - preemptability and the bound";
+  Printf.printf
+    "Identical instances analysed with all tasks preemptive (Theorem 3\n\
+     overlaps) and all non-preemptive (Theorem 4).  Theorem 4 dominates\n\
+     pointwise, so per-resource bounds can only grow without preemption.\n";
+  let t =
+    Rtfmt.Table.create
+      [ "laxity"; "bounds"; "mean LB (preempt)"; "mean LB (non-preempt)"; "np > p" ]
+  in
+  List.iter
+    (fun laxity ->
+      let configs =
+        instances
+          ~shapes:
+            [
+              Workload.Gen.Layered { layers = 4; density = 0.5 };
+              Workload.Gen.Independent;
+            ]
+          ~ccrs:[ 0.5 ] ~laxities:[ laxity ]
+          ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ]
+          ~n:14 ~two_procs:false ~resource_density:0.3 ~preemptive_fraction:0.0
+      in
+      let p_l = ref [] and np_l = ref [] and strict = ref 0 in
+      List.iter
+        (fun config ->
+          let base = Workload.Gen.generate config in
+          let system = Workload.Gen.shared_system config in
+          let flip v app =
+            Rtlb.App.map_tasks app ~f:(fun task ->
+                Rtlb.Task.with_preemptive task v)
+          in
+          let ap = Rtlb.Analysis.run system (flip true base) in
+          let anp = Rtlb.Analysis.run system (flip false base) in
+          List.iter2
+            (fun (bp : Rtlb.Lower_bound.bound) (bnp : Rtlb.Lower_bound.bound) ->
+              p_l := float_of_int bp.Rtlb.Lower_bound.lb :: !p_l;
+              np_l := float_of_int bnp.Rtlb.Lower_bound.lb :: !np_l;
+              if bnp.Rtlb.Lower_bound.lb > bp.Rtlb.Lower_bound.lb then
+                incr strict)
+            ap.Rtlb.Analysis.bounds anp.Rtlb.Analysis.bounds)
+        configs;
+      Rtfmt.Table.add_row t
+        [
+          Printf.sprintf "%.2f" laxity;
+          string_of_int (List.length !p_l);
+          Printf.sprintf "%.2f" (mean !p_l);
+          Printf.sprintf "%.2f" (mean !np_l);
+          string_of_int !strict;
+        ])
+    [ 1.0; 1.05; 1.2; 2.0 ];
+  Rtfmt.Table.print t;
+  Bench_util.subsection
+    "staggered windows, where the two theorems provably part ways";
+  Printf.printf
+    "outer tasks span [0,12] with C=8; inner tasks span [2,10] with C=6.\n\
+     On [2,10] a non-preemptive outer task is pinned for 6 units, a\n\
+     preemptive one for only 4 (it splits around the interval).\n";
+  let t = Rtfmt.Table.create [ "outer"; "inner"; "LB preempt"; "LB non-preempt" ] in
+  List.iter
+    (fun (outer, inner) ->
+      let lb preemptive =
+        let tasks =
+          List.init (outer + inner) (fun id ->
+              if id < outer then
+                Rtlb.Task.make ~id ~compute:8 ~deadline:12 ~proc:"P"
+                  ~preemptive ()
+              else
+                Rtlb.Task.make ~id ~compute:6 ~release:2 ~deadline:10 ~proc:"P"
+                  ~preemptive ())
+        in
+        let app = Rtlb.App.make ~tasks ~edges:[] in
+        let a = Rtlb.Analysis.run (Rtlb.System.shared ~costs:[ ("P", 1) ]) app in
+        Rtlb.Analysis.bound_for a "P"
+      in
+      Rtfmt.Table.add_int_row t (string_of_int outer)
+        [ inner; lb true; lb false ])
+    [ (2, 1); (4, 2); (6, 3); (8, 4) ];
+  Rtfmt.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E5: the partitioning payoff (Theorem 5)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame-structured application: [frames] frames of [per_frame]
+   independent tasks, frame f released at f*40 with deadline (f+1)*40 — the
+   Section 5 partition recovers exactly the frames. *)
+let framed ~frames ~per_frame =
+  let tasks =
+    List.init (frames * per_frame) (fun id ->
+        let f = id / per_frame in
+        Rtlb.Task.make ~id ~compute:(3 + (id mod 5)) ~release:(40 * f)
+          ~deadline:(40 * (f + 1))
+          ~proc:"P" ())
+  in
+  Rtlb.App.make ~tasks ~edges:[]
+
+let partitioning () =
+  Bench_util.section "E5: partitioning payoff (Theorem 5)";
+  let system = Rtlb.System.shared ~costs:[ ("P", 1) ] in
+  let equal = ref true in
+  List.iter
+    (fun frames ->
+      let app = framed ~frames ~per_frame:8 in
+      let w = Rtlb.Est_lct.compute system app in
+      let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+      let a = Rtlb.Lower_bound.for_resource ~est ~lct app "P" in
+      let b = Rtlb.Lower_bound.for_resource_unpartitioned ~est ~lct app "P" in
+      if a.Rtlb.Lower_bound.lb <> b.Rtlb.Lower_bound.lb then equal := false)
+    [ 2; 4; 8 ];
+  Printf.printf "bound equality (partitioned = monolithic): %b\n" !equal;
+  Bench_util.subsection "wall time of the Section 6 scan (bechamel)";
+  let bench_pair frames =
+    let app = framed ~frames ~per_frame:8 in
+    let w = Rtlb.Est_lct.compute system app in
+    let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+    [
+      ( Printf.sprintf "partitioned   n=%3d" (frames * 8),
+        fun () -> ignore (Rtlb.Lower_bound.for_resource ~est ~lct app "P") );
+      ( Printf.sprintf "monolithic    n=%3d" (frames * 8),
+        fun () ->
+          ignore (Rtlb.Lower_bound.for_resource_unpartitioned ~est ~lct app "P")
+      );
+    ]
+  in
+  let results = Bench_util.bechamel_ns (List.concat_map bench_pair [ 2; 4; 8 ]) in
+  let t = Rtfmt.Table.create [ "scan"; "time/run" ] in
+  List.iter
+    (fun (nm, ns) -> Rtfmt.Table.add_row t [ nm; Bench_util.pp_ns ns ])
+    results;
+  Rtfmt.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E6: scalability of the full analysis                                *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  Bench_util.section "E6: analysis wall time vs application size";
+  Bench_util.subsection "stage micro-benchmarks (n = 40 layered instance)";
+  let cfg40 =
+    {
+      Workload.Gen.default with
+      Workload.Gen.n_tasks = 40;
+      shape = Workload.Gen.Layered { layers = 5; density = 0.4 };
+      seed = 11;
+    }
+  in
+  let app40 = Workload.Gen.generate cfg40 in
+  let sys40 = Workload.Gen.shared_system cfg40 in
+  let w40 = Rtlb.Est_lct.compute sys40 app40 in
+  let est40 = w40.Rtlb.Est_lct.est and lct40 = w40.Rtlb.Est_lct.lct in
+  let ilp =
+    Lp.Problem.of_ints ~sense:Lp.Problem.Minimize ~objective:[| 10; 6; 7 |]
+      [
+        ([| 1; 1; 0 |], Lp.Problem.Ge, 3);
+        ([| 1; 0; 0 |], Lp.Problem.Ge, 2);
+        ([| 0; 0; 1 |], Lp.Problem.Ge, 2);
+      ]
+  in
+  let micro =
+    Bench_util.bechamel_ns
+      [
+        ("est/lct windows", fun () -> ignore (Rtlb.Est_lct.compute sys40 app40));
+        ( "bound scan (all resources)",
+          fun () -> ignore (Rtlb.Lower_bound.all ~est:est40 ~lct:lct40 app40) );
+        ("paper ILP (simplex+b&b)", fun () -> ignore (Lp.Ilp.solve ilp));
+      ]
+  in
+  let mt = Rtfmt.Table.create [ "stage"; "time/run" ] in
+  List.iter
+    (fun (nm, ns) -> Rtfmt.Table.add_row mt [ nm; Bench_util.pp_ns ns ])
+    micro;
+  Rtfmt.Table.print mt;
+  Bench_util.subsection "end-to-end analysis";
+  let bench_for n =
+    let config =
+      {
+        Workload.Gen.default with
+        Workload.Gen.n_tasks = n;
+        shape = Workload.Gen.Layered { layers = 5; density = 0.4 };
+        seed = 11;
+      }
+    in
+    let app = Workload.Gen.generate config in
+    let system = Workload.Gen.shared_system config in
+    ( Printf.sprintf "analysis n=%3d" n,
+      fun () -> ignore (Rtlb.Analysis.run system app) )
+  in
+  let results = Bench_util.bechamel_ns (List.map bench_for [ 10; 20; 40; 80 ]) in
+  let t = Rtfmt.Table.create [ "instance"; "time/run" ] in
+  List.iter
+    (fun (nm, ns) -> Rtfmt.Table.add_row t [ nm; Bench_util.pp_ns ns ])
+    results;
+  Rtfmt.Table.print t
+
+
+
+(* ------------------------------------------------------------------ *)
+(* E7: candidate-point ablation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let point_policies () =
+  Bench_util.section "E7: candidate-point ablation (the LB' weakening)";
+  Printf.printf
+    "The paper evaluates the density bound over finitely many interval\n\
+     endpoints (task ESTs/LCTs) and notes LB' <= LB.  Adding each task's\n\
+     earliest-finish/latest-start points can only raise the evaluated\n\
+     bound, at more scan cost.  How often does it matter?\n";
+  let t =
+    Rtfmt.Table.create
+      [ "laxity"; "bounds"; "improved by enrichment"; "mean LB"; "mean LB+" ]
+  in
+  List.iter
+    (fun laxity ->
+      let configs =
+        instances
+          ~shapes:
+            [
+              Workload.Gen.Layered { layers = 4; density = 0.5 };
+              Workload.Gen.Independent;
+              Workload.Gen.Series_parallel;
+            ]
+          ~ccrs:[ 0.5 ] ~laxities:[ laxity ]
+          ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+          ~n:14 ~two_procs:false ~resource_density:0.3 ~preemptive_fraction:0.0
+      in
+      let base_l = ref [] and rich_l = ref [] and improved = ref 0 in
+      List.iter
+        (fun config ->
+          let app = Workload.Gen.generate config in
+          let system = Workload.Gen.shared_system config in
+          let w = Rtlb.Est_lct.compute system app in
+          let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+          List.iter
+            (fun r ->
+              let b = Rtlb.Lower_bound.for_resource ~est ~lct app r in
+              let b' =
+                Rtlb.Lower_bound.for_resource ~policy:`Enriched ~est ~lct app r
+              in
+              base_l := float_of_int b.Rtlb.Lower_bound.lb :: !base_l;
+              rich_l := float_of_int b'.Rtlb.Lower_bound.lb :: !rich_l;
+              if b'.Rtlb.Lower_bound.lb > b.Rtlb.Lower_bound.lb then
+                incr improved)
+            (Rtlb.App.resource_set app))
+        configs;
+      Rtfmt.Table.add_row t
+        [
+          Printf.sprintf "%.2f" laxity;
+          string_of_int (List.length !base_l);
+          string_of_int !improved;
+          Printf.sprintf "%.2f" (mean !base_l);
+          Printf.sprintf "%.2f" (mean !rich_l);
+        ])
+    [ 1.0; 1.1; 1.3; 2.0 ];
+  Rtfmt.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E8: preemptive exactness - Theorem 3 vs Horn's flow vs EDF          *)
+(* ------------------------------------------------------------------ *)
+
+let preemptive_exactness () =
+  Bench_util.section
+    "E8: preemptive scheduling - Theorem 3 bound vs optimal (Horn) vs EDF";
+  Printf.printf
+    "Independent preemptive jobs.  Horn's max-flow test decides\n\
+     feasibility exactly; global EDF is a heuristic.  The Theorem 3\n\
+     bound is sound (never above Horn) but not always tight.\n";
+  let t =
+    Rtfmt.Table.create
+      [ "laxity"; "instances"; "LB = Horn"; "LB < Horn"; "EDF needs > Horn" ]
+  in
+  List.iter
+    (fun laxity ->
+      let configs =
+        instances
+          ~shapes:[ Workload.Gen.Independent ]
+          ~ccrs:[ 0.0 ] ~laxities:[ laxity ]
+          ~seeds:(List.init 12 (fun k -> k + 1))
+          ~n:10 ~two_procs:false ~resource_density:0.0
+          ~preemptive_fraction:1.0
+      in
+      let tight = ref 0 and gap = ref 0 and edf_worse = ref 0 in
+      List.iter
+        (fun config ->
+          let config = { config with Workload.Gen.release_spread = 0.5 } in
+          let app = Workload.Gen.generate config in
+          let jobs = Sched.Horn.of_app app in
+          let lb = Sched.Horn.density_bound ~jobs in
+          let opt = Sched.Horn.min_processors ~jobs in
+          if lb = opt then incr tight else incr gap;
+          let rec edf_min k =
+            if k > Rtlb.App.n_tasks app then max_int
+            else if Sched.Preemptive.feasible app ~procs:[ ("P1", k) ] then k
+            else edf_min (k + 1)
+          in
+          if edf_min (max 1 opt) > opt then incr edf_worse)
+        configs;
+      Rtfmt.Table.add_row t
+        [
+          Printf.sprintf "%.2f" laxity;
+          string_of_int (!tight + !gap);
+          string_of_int !tight;
+          string_of_int !gap;
+          string_of_int !edf_worse;
+        ])
+    [ 1.0; 1.2; 1.5 ];
+  Rtfmt.Table.print t;
+  Bench_util.subsection "two structural gap families";
+  Printf.printf
+    "1. EDF anomaly: outers [0,12]x2 C=8 + inner [2,10] C=6 — feasible on 2\n\
+     (Horn and Theorem 3 agree), global EDF needs 3.\n\
+     2. Density gap: clusters [0,2]x2 + [8,10]x2 (C=2) + wide [0,10] C=8 —\n\
+     Theorem 3 says 2, the true optimum is 3 (one job cannot use two\n\
+     processors at once; the flow test captures this, interval density\n\
+     cannot).\n";
+  let jobs1 =
+    [
+      { Sched.Horn.j_release = 0; j_deadline = 12; j_compute = 8 };
+      { Sched.Horn.j_release = 0; j_deadline = 12; j_compute = 8 };
+      { Sched.Horn.j_release = 2; j_deadline = 10; j_compute = 6 };
+    ]
+  in
+  let jobs2 =
+    [
+      { Sched.Horn.j_release = 0; j_deadline = 2; j_compute = 2 };
+      { Sched.Horn.j_release = 0; j_deadline = 2; j_compute = 2 };
+      { Sched.Horn.j_release = 8; j_deadline = 10; j_compute = 2 };
+      { Sched.Horn.j_release = 8; j_deadline = 10; j_compute = 2 };
+      { Sched.Horn.j_release = 0; j_deadline = 10; j_compute = 8 };
+    ]
+  in
+  let t2 = Rtfmt.Table.create [ "family"; "Theorem 3 LB"; "Horn optimum" ] in
+  Rtfmt.Table.add_row t2
+    [
+      "EDF anomaly";
+      string_of_int (Sched.Horn.density_bound ~jobs:jobs1);
+      string_of_int (Sched.Horn.min_processors ~jobs:jobs1);
+    ];
+  Rtfmt.Table.add_row t2
+    [
+      "density gap";
+      string_of_int (Sched.Horn.density_bound ~jobs:jobs2);
+      string_of_int (Sched.Horn.min_processors ~jobs:jobs2);
+    ];
+  Rtfmt.Table.print t2
+
+(* ------------------------------------------------------------------ *)
+(* E9: timing anomalies under online dispatch                          *)
+(* ------------------------------------------------------------------ *)
+
+let anomalies () =
+  Bench_util.section
+    "E9: timing anomalies - early completion vs online EDF dispatch";
+  Printf.printf
+    "Instances whose online EDF dispatch meets every deadline at WCET are\n\
+     re-executed with all actual times scaled down.  Non-preemptive\n\
+     multiprocessor dispatch is not sustainable (Graham 1969): running\n\
+     FASTER can reorder the dispatch and miss a deadline.  The analysis'\n\
+     bounds are WCET-based; this measures how treacherous the ground is.\n";
+  let t =
+    Rtfmt.Table.create
+      [ "actual/WCET"; "instances"; "still meets"; "anomalous misses" ]
+  in
+  let configs =
+    instances
+      ~shapes:
+        [
+          Workload.Gen.Layered { layers = 3; density = 0.5 };
+          Workload.Gen.Series_parallel;
+          Workload.Gen.Fork_join { width = 3 };
+        ]
+      ~ccrs:[ 1.0 ] ~laxities:[ 1.1; 1.3 ]
+      ~seeds:(List.init 10 (fun k -> k + 1))
+      ~n:12 ~two_procs:false ~resource_density:0.3 ~preemptive_fraction:0.0
+  in
+  (* keep only instances schedulable online at WCET on their LB platform
+     (+1 unit of headroom where needed) *)
+  let base =
+    List.filter_map
+      (fun config ->
+        let app = Workload.Gen.generate config in
+        let system = Workload.Gen.shared_system config in
+        let a = Rtlb.Analysis.run system app in
+        let platform = Sched.Platform.of_bounds system app a.Rtlb.Analysis.bounds in
+        let ok =
+          (Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet app) app
+             platform)
+            .Sched.Simulator.o_finished
+        in
+        if ok then Some (app, platform) else None)
+      configs
+  in
+  List.iter
+    (fun percent ->
+      let still = ref 0 and miss = ref 0 in
+      List.iter
+        (fun (app, platform) ->
+          let o =
+            Sched.Simulator.run_online
+              ~actual:(Sched.Simulator.scaled app ~percent)
+              app platform
+          in
+          if o.Sched.Simulator.o_finished then incr still else incr miss)
+        base;
+      Rtfmt.Table.add_row t
+        [
+          Printf.sprintf "%d%%" percent;
+          string_of_int (List.length base);
+          string_of_int !still;
+          string_of_int !miss;
+        ])
+    [ 100; 90; 75; 50 ];
+  Rtfmt.Table.print t;
+  Bench_util.subsection "a pinned anomaly (two early parents)";
+  Printf.printf
+    "P1, P2 (C=2, loose deadlines) each release a long successor (C=10);\n\
+     Q arrives at t=2 with deadline 5.  At WCET the parents finish exactly\n\
+     when Q arrives, EDF serves Q first, everything meets.  If the parents\n\
+     finish after 1 unit instead, both processors are already committed to\n\
+     the long successors when Q arrives: Q misses by 9.\n";
+  let anomaly_app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~name:"P1" ~compute:2 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:1 ~name:"P2" ~compute:2 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:2 ~name:"S1" ~compute:10 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:3 ~name:"S2" ~compute:10 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:4 ~name:"Q" ~compute:3 ~release:2 ~deadline:5
+            ~proc:"P" ();
+        ]
+      ~edges:[ (0, 2, 0); (1, 3, 0) ]
+  in
+  let platform = Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[] in
+  let show label actual =
+    let o = Sched.Simulator.run_online ~actual anomaly_app platform in
+    Printf.printf "  %s: %s (makespan %d)\n" label
+      (match o.Sched.Simulator.o_first_miss with
+      | None -> "all deadlines met"
+      | Some i ->
+          Printf.sprintf "task %s MISSES"
+            (Rtlb.App.task anomaly_app i).Rtlb.Task.name)
+      o.Sched.Simulator.o_makespan
+  in
+  show "WCET execution     " (Sched.Simulator.wcet anomaly_app);
+  show "parents finish at 1" (fun i -> if i <= 1 then 1 else Sched.Simulator.wcet anomaly_app i)
+
+
+(* ------------------------------------------------------------------ *)
+(* E10: time bounds - Jain-Rajaraman sandwich                          *)
+(* ------------------------------------------------------------------ *)
+
+let time_bounds () =
+  Bench_util.section
+    "E10: schedule-length bounds (Jain-Rajaraman model) vs the exact optimum";
+  Printf.printf
+    "Single processor type, no deadlines/resources/communication.  For\n\
+     each m: the JR lower bound (max of work, critical-path and interval-\n\
+     density bounds), the exact optimum (branch and bound), and Graham's\n\
+     list-schedule upper bound.\n";
+  let t =
+    Rtfmt.Table.create
+      [ "m"; "instances"; "lower = opt"; "mean lower"; "mean opt"; "mean upper" ]
+  in
+  let configs =
+    instances
+      ~shapes:
+        [
+          Workload.Gen.Layered { layers = 3; density = 0.5 };
+          Workload.Gen.Out_tree;
+          Workload.Gen.Series_parallel;
+        ]
+      ~ccrs:[ 0.0 ] ~laxities:[ 2.0 ]
+      ~seeds:[ 1; 2; 3; 4; 5; 6 ]
+      ~n:8 ~two_procs:false ~resource_density:0.0 ~preemptive_fraction:0.0
+  in
+  let apps =
+    List.map
+      (fun config ->
+        let a = Workload.Gen.generate config in
+        Rtlb.App.make
+          ~tasks:
+            (Array.to_list (Rtlb.App.tasks a)
+            |> List.map (fun (t : Rtlb.Task.t) ->
+                   Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:t.Rtlb.Task.compute
+                     ~deadline:1_000_000 ~proc:"P" ()))
+          ~edges:
+            (Dag.fold_edges (Rtlb.App.graph a) ~init:[]
+               ~f:(fun acc ~src ~dst _ -> (src, dst, 0) :: acc)))
+      configs
+  in
+  List.iter
+    (fun m ->
+      let lows = ref [] and opts = ref [] and ups = ref [] in
+      let tight = ref 0 and total = ref 0 in
+      List.iter
+        (fun app ->
+          let jr = Baselines.Jain_rajaraman.analyse app ~m in
+          match Sched.Makespan.minimum app ~m with
+          | None -> ()
+          | Some opt ->
+              incr total;
+              if jr.Baselines.Jain_rajaraman.jr_lower = opt then incr tight;
+              lows := float_of_int jr.Baselines.Jain_rajaraman.jr_lower :: !lows;
+              opts := float_of_int opt :: !opts;
+              ups := float_of_int jr.Baselines.Jain_rajaraman.jr_upper :: !ups)
+        apps;
+      Rtfmt.Table.add_row t
+        [
+          string_of_int m;
+          string_of_int !total;
+          Printf.sprintf "%d/%d" !tight !total;
+          Printf.sprintf "%.2f" (mean !lows);
+          Printf.sprintf "%.2f" (mean !opts);
+          Printf.sprintf "%.2f" (mean !ups);
+        ])
+    [ 1; 2; 3 ];
+  Rtfmt.Table.print t
+
+
+(* ------------------------------------------------------------------ *)
+(* E11: priority policies at the bound-sized platform                  *)
+(* ------------------------------------------------------------------ *)
+
+let priorities () =
+  Bench_util.section
+    "E11: how much scheduler quality the bound-sized platform demands";
+  Printf.printf
+    "For each instance, the platform is sized exactly at the bounds; the\n\
+     list scheduler then tries four priority policies.  Analysis-derived\n\
+     keys (LCT, slack) see communication and co-location effects the raw\n\
+     deadline cannot.\n";
+  let configs =
+    instances
+      ~shapes:
+        [
+          Workload.Gen.Layered { layers = 3; density = 0.5 };
+          Workload.Gen.Series_parallel;
+          Workload.Gen.Fork_join { width = 3 };
+          Workload.Gen.In_tree;
+        ]
+      ~ccrs:[ 0.5; 2.0 ] ~laxities:[ 1.1; 1.4 ]
+      ~seeds:[ 1; 2; 3; 4; 5 ]
+      ~n:12 ~two_procs:true ~resource_density:0.3 ~preemptive_fraction:0.0
+  in
+  let cases =
+    List.map
+      (fun config ->
+        let app = Workload.Gen.generate config in
+        let system = Workload.Gen.shared_system config in
+        let a = Rtlb.Analysis.run system app in
+        (app, system, Sched.Platform.of_bounds system app a.Rtlb.Analysis.bounds))
+      configs
+  in
+  let t = Rtfmt.Table.create [ "policy"; "feasible on the floor"; "of" ] in
+  List.iter
+    (fun policy ->
+      let ok = ref 0 in
+      List.iter
+        (fun (app, system, platform) ->
+          let priority = Sched.Priorities.make policy system app in
+          if Sched.List_scheduler.feasible ~priority app platform then incr ok)
+        cases;
+      Rtfmt.Table.add_row t
+        [
+          Sched.Priorities.name policy;
+          string_of_int !ok;
+          string_of_int (List.length cases);
+        ])
+    Sched.Priorities.all;
+  Rtfmt.Table.print t
+
+let all () =
+  tightness ();
+  baselines ();
+  synthesis ();
+  preemption ();
+  partitioning ();
+  scaling ();
+  point_policies ();
+  preemptive_exactness ();
+  anomalies ();
+  time_bounds ();
+  priorities ()

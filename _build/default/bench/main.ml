@@ -1,0 +1,47 @@
+(* Benchmark harness: regenerates every table and figure-derived artefact
+   of the paper (sections T1, S8-2..4, F2/F3) and runs the
+   characterisation experiments E1..E6 from DESIGN.md.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- paper   -- only the paper reproduction
+     dune exec bench/main.exe -- e3 e5   -- selected experiments *)
+
+let sections =
+  [
+    ("t1", Paper_tables.table1);
+    ("step2", Paper_tables.partitions);
+    ("step3", Paper_tables.bounds);
+    ("step4", Paper_tables.costs);
+    ("trace", Paper_tables.traces);
+    ("e1", Experiments.tightness);
+    ("e2", Experiments.baselines);
+    ("e3", Experiments.synthesis);
+    ("e4", Experiments.preemption);
+    ("e5", Experiments.partitioning);
+    ("e6", Experiments.scaling);
+    ("e7", Experiments.point_policies);
+    ("e8", Experiments.preemptive_exactness);
+    ("e9", Experiments.anomalies);
+    ("e10", Experiments.time_bounds);
+    ("e11", Experiments.priorities);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (( <> ) "--") args in
+  let wanted =
+    match args with
+    | [] -> List.map fst sections
+    | [ "paper" ] -> [ "t1"; "step2"; "step3"; "step4"; "trace" ]
+    | [ "experiments" ] -> [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11" ]
+    | names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    wanted

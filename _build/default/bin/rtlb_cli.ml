@@ -1,0 +1,427 @@
+(* rtlb — command-line front end for the lower-bound analysis.
+
+   Subcommands:
+     analyze   run the four-step analysis on an application file
+     example   reproduce the paper's Section 8 example
+     schedule  run the validating list scheduler on a platform
+     generate  emit a synthetic application in the appfile format
+     dot       emit Graphviz for an application file *)
+
+open Cmdliner
+
+let read_appfile path =
+  try Ok (Rtfmt.Appfile.parse_file path) with
+  | Rtfmt.Appfile.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error m -> Error m
+
+let system_arg =
+  let doc =
+    "Force the system model when the file does not declare one: $(b,uniform) \
+     prices every resource at 1."
+  in
+  Arg.(value & opt (some string) None & info [ "system" ] ~docv:"MODEL" ~doc)
+
+let resolve_system file_system override app =
+  match (file_system, override) with
+  | Some s, None -> Ok s
+  | None, (Some "uniform" | None) ->
+      Ok (Rtlb.System.shared_uniform ~resources:(Rtlb.App.resource_set app))
+  | None, Some other ->
+      Error (Printf.sprintf "unknown system override %S" other)
+  | Some _, Some _ -> Error "file declares a system; drop --system"
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+(* ---- analyze ---------------------------------------------------- *)
+
+let analyze_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as JSON.")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Full tabular report with criticality and demand profiles.")
+  in
+  let run path override json full =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        match resolve_system system override app with
+        | Error e -> `Error (false, e)
+        | Ok system ->
+            let analysis = Rtlb.Analysis.run system app in
+            if json then
+              print_endline (Rtfmt.Json.to_string (Rtfmt.Json.of_analysis analysis))
+            else if full then
+              print_string
+                (Rtfmt.Report.render
+                   ~demand_windows:(max 1 (Rtlb.App.horizon app / 8))
+                   analysis)
+            else begin
+              Format.printf "%a@." Rtlb.Analysis.pp analysis;
+              match Rtlb.Est_lct.feasible_windows app
+                      analysis.Rtlb.Analysis.windows with
+              | Ok () -> ()
+              | Error e ->
+                  Format.printf "NOTE: application infeasible on this model: %s@." e
+            end;
+            `Ok ())
+  in
+  let doc = "Run the lower-bound analysis on an application file." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(ret (const run $ file_arg $ system_arg $ json_arg $ full_arg))
+
+(* ---- example ---------------------------------------------------- *)
+
+let example_cmd =
+  let run () =
+    let app = Rtlb.Paper_example.app in
+    Format.printf "%a@.@." Rtlb.Analysis.pp
+      (Rtlb.Analysis.run Rtlb.Paper_example.shared app);
+    Format.printf "%a@." Rtlb.Analysis.pp
+      (Rtlb.Analysis.run Rtlb.Paper_example.dedicated app)
+  in
+  let doc = "Reproduce the paper's Section 8 illustrative example." in
+  Cmd.v (Cmd.info "example" ~doc) Term.(const run $ const ())
+
+(* ---- schedule --------------------------------------------------- *)
+
+let schedule_cmd =
+  let counts_conv =
+    let parse s =
+      try
+        Ok
+          (String.split_on_char ',' s
+          |> List.filter (( <> ) "")
+          |> List.map (fun kv ->
+                 match String.split_on_char '=' kv with
+                 | [ k; v ] -> (k, int_of_string v)
+                 | _ -> failwith kv))
+      with _ -> Error (`Msg (Printf.sprintf "bad counts %S" s))
+    in
+    let print ppf l =
+      Format.fprintf ppf "%s"
+        (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) l))
+    in
+    Arg.conv (parse, print)
+  in
+  let units_arg =
+    let doc =
+      "Platform as NAME=COUNT pairs, e.g. $(b,P1=3,P2=2,r1=2).  Names \
+       matching task processor types become processors, the rest resource \
+       pools (or node types for a dedicated file)."
+    in
+    Arg.(
+      required
+      & opt (some counts_conv) None
+      & info [ "units"; "u" ] ~docv:"COUNTS" ~doc)
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Draw an ASCII Gantt chart.")
+  in
+  let svg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Also write an SVG Gantt chart.")
+  in
+  let run path units gantt svg =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        let platform =
+          match system with
+          | Some (Rtlb.System.Dedicated nts) ->
+              let find name =
+                List.find_opt
+                  (fun (nt : Rtlb.System.node_type) ->
+                    String.equal nt.Rtlb.System.nt_name name)
+                  nts
+              in
+              Result.map Sched.Platform.dedicated
+                (List.fold_left
+                   (fun acc (name, c) ->
+                     Result.bind acc (fun l ->
+                         match find name with
+                         | Some nt -> Ok ((nt, c) :: l)
+                         | None -> Error ("unknown node type " ^ name)))
+                   (Ok []) units)
+          | _ ->
+              let proc_types =
+                Array.to_list (Rtlb.App.tasks app)
+                |> List.map (fun (t : Rtlb.Task.t) -> t.Rtlb.Task.proc)
+                |> List.sort_uniq String.compare
+              in
+              let procs, resources =
+                List.partition (fun (n, _) -> List.mem n proc_types) units
+              in
+              Ok (Sched.Platform.shared ~procs ~resources)
+        in
+        match platform with
+        | Error e -> `Error (false, e)
+        | Ok platform -> (
+            match Sched.List_scheduler.run app platform with
+            | Ok s ->
+                Format.printf "feasible schedule found:@.%a@."
+                  (Sched.Schedule.pp app) s;
+                if gantt then
+                  print_string
+                    (Sched.Gantt.render ~show_resources:true app platform s);
+                (match svg with
+                | None -> ()
+                | Some file ->
+                    let oc = open_out file in
+                    output_string oc
+                      (Sched.Gantt.render_svg ~show_resources:true app
+                         platform s);
+                    close_out oc;
+                    Printf.printf "wrote %s\n" file);
+                `Ok ()
+            | Error f ->
+                let task = Rtlb.App.task app f.Sched.List_scheduler.f_task in
+                Format.printf
+                  "list scheduler failed: %s (deadline %d, best start %s)@."
+                  task.Rtlb.Task.name f.Sched.List_scheduler.f_deadline
+                  (if f.Sched.List_scheduler.f_start = max_int then "none"
+                   else string_of_int f.Sched.List_scheduler.f_start);
+                `Ok ()))
+  in
+  let doc = "Try to schedule an application on an explicit platform." in
+  Cmd.v
+    (Cmd.info "schedule" ~doc)
+    Term.(ret (const run $ file_arg $ units_arg $ gantt_arg $ svg_arg))
+
+(* ---- generate --------------------------------------------------- *)
+
+let generate_cmd =
+  let shape_conv =
+    let parse = function
+      | "layered" -> Ok (Workload.Gen.Layered { layers = 4; density = 0.4 })
+      | "series-parallel" | "sp" -> Ok Workload.Gen.Series_parallel
+      | "fork-join" | "fj" -> Ok (Workload.Gen.Fork_join { width = 4 })
+      | "out-tree" -> Ok Workload.Gen.Out_tree
+      | "in-tree" -> Ok Workload.Gen.In_tree
+      | "gauss" -> Ok (Workload.Gen.Gauss { size = 5 })
+      | "fft" -> Ok (Workload.Gen.Fft { points = 8 })
+      | "stencil" -> Ok (Workload.Gen.Stencil { rows = 4; cols = 5 })
+      | "chain" -> Ok Workload.Gen.Chain
+      | "independent" -> Ok Workload.Gen.Independent
+      | s -> Error (`Msg (Printf.sprintf "unknown shape %S" s))
+    in
+    Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" (Workload.Gen.shape_name s))
+  in
+  let shape_arg =
+    Arg.(
+      value
+      & opt shape_conv (Workload.Gen.Layered { layers = 4; density = 0.4 })
+      & info [ "shape" ] ~docv:"SHAPE")
+  in
+  let tasks_arg = Arg.(value & opt int 20 & info [ "tasks"; "n" ] ~docv:"N") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let ccr_arg = Arg.(value & opt float 0.5 & info [ "ccr" ] ~docv:"CCR") in
+  let laxity_arg =
+    Arg.(value & opt float 1.5 & info [ "laxity" ] ~docv:"L")
+  in
+  let run shape n_tasks seed ccr laxity =
+    let cfg =
+      { Workload.Gen.default with Workload.Gen.shape; n_tasks; seed; ccr; laxity }
+    in
+    let app = Workload.Gen.generate cfg in
+    print_string
+      (Rtfmt.Appfile.to_string ~system:(Workload.Gen.shared_system cfg) app)
+  in
+  let doc = "Generate a synthetic application in the appfile format." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(
+      const run $ shape_arg $ tasks_arg $ seed_arg $ ccr_arg $ laxity_arg)
+
+(* ---- profile ----------------------------------------------------- *)
+
+let profile_cmd =
+  let resource_arg =
+    Arg.(required & opt (some string) None & info [ "resource"; "r" ] ~docv:"RES")
+  in
+  let window_arg = Arg.(value & opt int 0 & info [ "window"; "w" ] ~docv:"W") in
+  let run path override resource window =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        match resolve_system system override app with
+        | Error e -> `Error (false, e)
+        | Ok system ->
+            let w = Rtlb.Est_lct.compute system app in
+            let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+            let window =
+              if window > 0 then window
+              else max 1 (Rtlb.App.horizon app / 8)
+            in
+            let profile =
+              Rtlb.Demand.sliding ~est ~lct app ~resource ~window
+            in
+            print_string (Rtlb.Demand.render profile);
+            `Ok ())
+  in
+  let doc = "Show the mandatory-demand profile of one resource." in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(ret (const run $ file_arg $ system_arg $ resource_arg $ window_arg))
+
+(* ---- sensitivity -------------------------------------------------- *)
+
+let sensitivity_cmd =
+  let factors_arg =
+    let doc = "Comma-separated deadline multipliers." in
+    Arg.(
+      value
+      & opt (list float) [ 0.8; 0.9; 1.0; 1.25; 1.5; 2.0; 3.0 ]
+      & info [ "factors" ] ~docv:"F,F,..." ~doc)
+  in
+  let run path override factors =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        match resolve_system system override app with
+        | Error e -> `Error (false, e)
+        | Ok system ->
+            let samples = Rtlb.Sensitivity.deadline_sweep system app ~factors in
+            print_string (Rtlb.Sensitivity.render samples);
+            `Ok ())
+  in
+  let doc = "Sweep deadline tightness and report the bounds at each level." in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc)
+    Term.(ret (const run $ file_arg $ system_arg $ factors_arg))
+
+(* ---- timebound ----------------------------------------------------- *)
+
+let timebound_cmd =
+  let counts_arg =
+    let doc = "Platform capacities as NAME=COUNT pairs." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "units"; "u" ] ~docv:"COUNTS" ~doc)
+  in
+  let run path override counts =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        match resolve_system system override app with
+        | Error e -> `Error (false, e)
+        | Ok system -> (
+            let table =
+              String.split_on_char ',' counts
+              |> List.filter (( <> ) "")
+              |> List.filter_map (fun kv ->
+                     match String.split_on_char '=' kv with
+                     | [ k; v ] -> Option.map (fun n -> (k, n)) (int_of_string_opt v)
+                     | _ -> None)
+            in
+            let capacity r = Option.value ~default:0 (List.assoc_opt r table) in
+            match Rtlb.Time_bound.minimum_completion_time system app ~capacity with
+            | None ->
+                Printf.printf
+                  "no completion time exists: some needed resource has zero                    capacity
+";
+                `Ok ()
+            | Some tb ->
+                Printf.printf
+                  "no schedule on this platform can finish before t = %d
+"
+                  tb.Rtlb.Time_bound.tb_omega;
+                List.iter
+                  (fun (r, lb) -> Printf.printf "  LB_%s at that horizon: %d
+" r lb)
+                  tb.Rtlb.Time_bound.tb_bounds;
+                (match tb.Rtlb.Time_bound.tb_binding with
+                | [] -> Printf.printf "  (window feasibility binds)
+"
+                | rs ->
+                    Printf.printf "  binding resource(s): %s
+"
+                      (String.concat ", " rs));
+                `Ok ()))
+  in
+  let doc =
+    "Lower-bound the completion time of the application on a given platform."
+  in
+  Cmd.v
+    (Cmd.info "timebound" ~doc)
+    Term.(ret (const run $ file_arg $ system_arg $ counts_arg))
+
+(* ---- critical ------------------------------------------------------ *)
+
+let critical_cmd =
+  let run path override =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        match resolve_system system override app with
+        | Error e -> `Error (false, e)
+        | Ok system ->
+            let analysis = Rtlb.Analysis.run system app in
+            print_string (Rtlb.Slack.render app (Rtlb.Slack.analyse analysis));
+            `Ok ())
+  in
+  let doc = "Criticality report: zero-slack tasks and bottleneck epochs." in
+  Cmd.v
+    (Cmd.info "critical" ~doc)
+    Term.(ret (const run $ file_arg $ system_arg))
+
+(* ---- horn ---------------------------------------------------------- *)
+
+let horn_cmd =
+  let m_arg = Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M") in
+  let run path m =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; _ } -> (
+        let jobs = Sched.Horn.of_app app in
+        match m with
+        | Some m ->
+            Printf.printf
+              "preemptive relaxation (independent jobs, %d processors): %s\n" m
+              (if Sched.Horn.feasible ~jobs ~m then "feasible" else "infeasible");
+            `Ok ()
+        | None ->
+            Printf.printf
+              "preemptive relaxation: minimum %d processor(s) (Theorem 3 \
+               density bound: %d)\n"
+              (Sched.Horn.min_processors ~jobs)
+              (Sched.Horn.density_bound ~jobs);
+            `Ok ())
+  in
+  let doc =
+    "Exact preemptive feasibility of the application's jobs (precedence and \
+     resources relaxed away) via Horn's flow construction."
+  in
+  Cmd.v (Cmd.info "horn" ~doc) Term.(ret (const run $ file_arg $ m_arg))
+
+(* ---- dot -------------------------------------------------------- *)
+
+let dot_cmd =
+  let run path =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; _ } ->
+        print_string (Rtlb.App.to_dot app);
+        `Ok ()
+  in
+  let doc = "Emit the task graph of an application file as Graphviz." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(ret (const run $ file_arg))
+
+let () =
+  let doc = "lower-bound analysis for real-time applications (ICDCS 1995)" in
+  let info = Cmd.info "rtlb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+          [
+            analyze_cmd; example_cmd; schedule_cmd; generate_cmd; dot_cmd;
+            profile_cmd; sensitivity_cmd; timebound_cmd; horn_cmd;
+            critical_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/assembly_line.ml: Format List Printf Rtlb

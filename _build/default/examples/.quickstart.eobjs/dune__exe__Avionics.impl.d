@@ -1,0 +1,1 @@
+examples/avionics.ml: Format Printf Rat Rtlb Sched

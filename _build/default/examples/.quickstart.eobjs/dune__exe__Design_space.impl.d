@@ -1,0 +1,1 @@
+examples/design_space.ml: List Printf Rtfmt Rtlb String Synth

@@ -1,0 +1,1 @@
+examples/engine_control.ml: Dag Printf Rat Rtlb Sched

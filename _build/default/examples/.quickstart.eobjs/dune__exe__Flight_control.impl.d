@@ -1,0 +1,1 @@
+examples/flight_control.ml: Format List Rtlb Sched Synth

@@ -1,0 +1,1 @@
+examples/radar.ml: Format List Printf Rtlb Sched

@@ -1,0 +1,89 @@
+(* Multirate engine controller, analysed over one hyperperiod.
+
+   Three rates (time unit: 1 ms): a 5 ms fuel/ignition loop, a 10 ms
+   airflow loop and a 20 ms thermal/diagnostics loop, all on "ecu"
+   processors; injector drivers need the "driver" output stage.  The
+   periodic front end (Rtlb.Periodic) unrolls one 20 ms hyperperiod into
+   the paper's DAG model; the analysis then answers: how many ECUs and
+   driver stages must the controller hardware provide at minimum, and is
+   that flооr actually schedulable?
+
+     dune exec examples/engine_control.exe *)
+
+let tasks =
+  [
+    Rtlb.Periodic.ptask ~name:"crank" ~period:5 ~compute:1 ~deadline:2
+      ~proc:"ecu" ();
+    Rtlb.Periodic.ptask ~name:"fuel" ~period:5 ~compute:2 ~deadline:5
+      ~proc:"ecu" ();
+    Rtlb.Periodic.ptask ~name:"ignite" ~period:5 ~compute:1 ~deadline:5
+      ~proc:"ecu" ~resources:[ "driver" ] ();
+    Rtlb.Periodic.ptask ~name:"airflow" ~period:10 ~compute:3 ~deadline:10
+      ~proc:"ecu" ();
+    Rtlb.Periodic.ptask ~name:"lambda" ~period:10 ~offset:2 ~compute:2
+      ~deadline:8 ~proc:"ecu" ();
+    Rtlb.Periodic.ptask ~name:"thermal" ~period:20 ~compute:4 ~deadline:20
+      ~proc:"ecu" ();
+    Rtlb.Periodic.ptask ~name:"diag" ~period:20 ~offset:4 ~compute:3
+      ~deadline:16 ~proc:"ecu" ();
+  ]
+
+let edges =
+  [
+    ("crank", "fuel", 0) (* same rate, same core data *);
+    ("crank", "ignite", 0);
+    ("airflow", "fuel", 1) (* 10ms loop feeds each 5ms job (oversampling) *);
+    ("airflow", "lambda", 0);
+    ("thermal", "diag", 1);
+  ]
+
+let () =
+  let hp = Rtlb.Periodic.hyperperiod tasks in
+  let u = Rtlb.Periodic.utilisation tasks in
+  Printf.printf "hyperperiod: %d ms, utilisation: %s (ceil %d)\n" hp
+    (Rat.to_string u) (Rat.ceil u);
+  let app = Rtlb.Periodic.unroll ~tasks ~edges () in
+  Printf.printf "unrolled: %d jobs, %d job-level edges\n" (Rtlb.App.n_tasks app)
+    (Dag.n_edges (Rtlb.App.graph app));
+  let system = Rtlb.System.shared ~costs:[ ("ecu", 20); ("driver", 4) ] in
+  let analysis = Rtlb.Analysis.run system app in
+  let ecus = Rtlb.Analysis.bound_for analysis "ecu" in
+  let drivers = Rtlb.Analysis.bound_for analysis "driver" in
+  Printf.printf "lower bounds: %d ecu(s) (utilisation alone says %d), %d driver stage(s)\n"
+    ecus (Rat.ceil u) drivers;
+  (* Validate the floor with the scheduler. *)
+  let platform =
+    Sched.Platform.shared ~procs:[ ("ecu", ecus) ]
+      ~resources:[ ("driver", drivers) ]
+  in
+  (match Sched.List_scheduler.run app platform with
+  | Ok s ->
+      Printf.printf "the floor schedules; one hyperperiod:\n%s"
+        (Sched.Gantt.render ~width:80 app platform s)
+  | Error f ->
+      let t = Rtlb.App.task app f.Sched.List_scheduler.f_task in
+      Printf.printf
+        "greedy EDF cannot pack the floor (%s misses) — the bound is a \
+         certified minimum, not a schedule.  Growing the ECU pool:\n"
+        t.Rtlb.Task.name;
+      let rec grow k =
+        if k > Rtlb.App.n_tasks app then
+          Printf.printf "  no ECU count suffices for greedy EDF?!\n"
+        else
+          let p =
+            Sched.Platform.shared ~procs:[ ("ecu", k) ]
+              ~resources:[ ("driver", drivers) ]
+          in
+          match Sched.List_scheduler.run app p with
+          | Ok s ->
+              Printf.printf "  %d ECUs schedule; one hyperperiod:\n%s" k
+                (Sched.Gantt.render ~width:80 app p s)
+          | Error _ -> grow (k + 1)
+      in
+      grow (ecus + 1));
+  (* What does tightening the thermal deadline cost?  The sensitivity
+     sweep shows the knee. *)
+  print_string
+    (Rtlb.Sensitivity.render
+       (Rtlb.Sensitivity.deadline_sweep system app
+          ~factors:[ 0.5; 0.75; 1.0; 1.5 ]))

@@ -1,0 +1,31 @@
+task T1 compute=3 release=0 deadline=36 proc=P1 res=r1
+task T2 compute=6 release=0 deadline=36 proc=P1 res=r1
+task T3 compute=3 release=3 deadline=36 proc=P1
+task T4 compute=5 release=0 deadline=36 proc=P1
+task T5 compute=9 release=0 deadline=36 proc=P1 res=r1
+task T6 compute=4 release=0 deadline=36 proc=P2
+task T7 compute=6 release=10 deadline=36 proc=P2
+task T8 compute=5 release=0 deadline=36 proc=P2
+task T9 compute=3 release=0 deadline=36 proc=P1
+task T10 compute=8 release=0 deadline=36 proc=P1 res=r1
+task T11 compute=2 release=20 deadline=36 proc=P1
+task T12 compute=0 release=0 deadline=30 proc=P1
+task T13 compute=6 release=0 deadline=30 proc=P1 res=r1
+task T14 compute=5 release=0 deadline=30 proc=P1 res=r1
+task T15 compute=6 release=0 deadline=36 proc=P1 res=r1
+edge T1 T4 2
+edge T2 T5 4
+edge T3 T6 5
+edge T4 T6 3
+edge T5 T8 3
+edge T5 T9 9
+edge T6 T9 1
+edge T6 T10 7
+edge T7 T10 6
+edge T8 T12 7
+edge T9 T13 5
+edge T9 T14 7
+edge T9 T15 4
+edge T10 T15 3
+edge T11 T15 2
+shared P1=5 P2=4 r1=3

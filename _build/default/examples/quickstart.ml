@@ -1,0 +1,45 @@
+(* Quickstart: build a five-task application, run the four-step analysis,
+   and validate the bound with the list scheduler.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A tiny pipeline: two producers feed a fusion step that fans out to
+     two consumers, with 25 time units to get everything done. *)
+  let tasks =
+    [
+      Rtlb.Task.make ~id:0 ~name:"sense-a" ~compute:4 ~deadline:25 ~proc:"cpu"
+        ~resources:[ "bus" ] ();
+      Rtlb.Task.make ~id:1 ~name:"sense-b" ~compute:4 ~deadline:25 ~proc:"cpu"
+        ~resources:[ "bus" ] ();
+      Rtlb.Task.make ~id:2 ~name:"fuse" ~compute:6 ~deadline:25 ~proc:"cpu" ();
+      Rtlb.Task.make ~id:3 ~name:"act" ~compute:5 ~deadline:22 ~proc:"cpu" ();
+      Rtlb.Task.make ~id:4 ~name:"log" ~compute:3 ~deadline:25 ~proc:"cpu"
+        ~resources:[ "bus" ] ();
+    ]
+  in
+  let edges = [ (0, 2, 2); (1, 2, 2); (2, 3, 1); (2, 4, 3) ] in
+  let app = Rtlb.App.make ~tasks ~edges in
+
+  (* Shared model: processors and the I/O bus are priced per unit. *)
+  let system = Rtlb.System.shared ~costs:[ ("cpu", 8); ("bus", 2) ] in
+
+  let analysis = Rtlb.Analysis.run system app in
+  Format.printf "%a@.@." Rtlb.Analysis.pp analysis;
+
+  (* The bounds say how small a platform could possibly be... *)
+  let cpus = Rtlb.Analysis.bound_for analysis "cpu" in
+  let buses = Rtlb.Analysis.bound_for analysis "bus" in
+  Format.printf "lower bounds: %d cpu(s), %d bus unit(s)@." cpus buses;
+
+  (* ...and the scheduler shows whether that platform actually works. *)
+  let platform =
+    Sched.Platform.shared ~procs:[ ("cpu", cpus) ] ~resources:[ ("bus", buses) ]
+  in
+  match Sched.List_scheduler.run app platform with
+  | Ok schedule ->
+      Format.printf "the bound is tight here — feasible schedule:@.%a@."
+        (Sched.Schedule.pp app) schedule
+  | Error _ ->
+      Format.printf
+        "greedy scheduling needs more than the bound on this instance@."

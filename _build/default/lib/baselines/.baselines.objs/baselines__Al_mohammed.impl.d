@@ -1,0 +1,1 @@
+lib/baselines/al_mohammed.ml: Array Dag List Option Rtlb Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/al_mohammed.mli: Rtlb

@@ -1,0 +1,1 @@
+lib/baselines/fernandez_bussell.ml: Array Dag List Option Rtlb Stdlib

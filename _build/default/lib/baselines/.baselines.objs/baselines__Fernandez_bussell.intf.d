@@ -1,0 +1,1 @@
+lib/baselines/fernandez_bussell.mli: Rtlb

@@ -1,0 +1,1 @@
+lib/baselines/jain_rajaraman.ml: Array Dag List Rtlb

@@ -1,0 +1,1 @@
+lib/baselines/jain_rajaraman.mli: Rtlb

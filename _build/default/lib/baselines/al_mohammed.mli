@@ -1,0 +1,32 @@
+(** The Al-Mohammed (1990) communication-aware processor bound, rebuilt
+    from its description as the second comparison baseline.
+
+    Al-Mohammed extended Fernandez–Bussell to non-zero communication
+    times: when computing a task's earliest start (latest completion), at
+    most {e one} immediate predecessor (successor) may be assumed
+    co-located with it, avoiding that single message delay at the price of
+    sequential execution.  This is exactly the paper's Section 4 merging
+    argument restricted to merge sets of size at most one, with a single
+    processor type, no resources, no release times, and no deadlines
+    (windows are anchored to a completion target [omega]).
+
+    The paper's full analysis generalises the merge to arbitrary mergeable
+    sets and folds in deadlines/releases/resources, so on common ground
+    the two coincide and elsewhere the paper's windows are never looser —
+    property-tested in the suite. *)
+
+type t = {
+  omega : int;
+  est : int array;
+  lct : int array;
+  bound : int;
+}
+
+val analyse : ?omega:int -> Rtlb.App.t -> t
+(** Resource annotations and processor types are ignored; communication
+    sizes are honoured.  [omega] defaults to the smallest completion
+    target that keeps every window non-empty ([max_i est_i + C_i] after
+    the forward pass). *)
+
+val est_single_merge : Rtlb.App.t -> int array
+(** Just the forward pass (exposed for the dominance property tests). *)

@@ -1,0 +1,28 @@
+(** The Fernandez–Bussell (1973) processor lower bound, implemented from
+    their paper's model as the comparison baseline.
+
+    Their setting is the restriction of this paper's model to: a single
+    processor type, no resources, zero communication time, non-preemptive
+    tasks, no release times, and a common completion target [omega]
+    (by default the critical time of the graph).  Task windows come from
+    plain longest-path calculations, and the bound is the maximum
+    load density [ceil(sum of overlaps / interval length)] over candidate
+    intervals — the same Section 6 machinery this paper generalises.
+
+    On instances of that restricted class, the paper's analysis must
+    produce exactly this bound; on anything richer (deadlines, resources,
+    communication) it must dominate it.  Both facts are property-tested. *)
+
+type t = {
+  omega : int;  (** Completion target used. *)
+  est : int array;  (** Longest-path earliest start times. *)
+  lct : int array;  (** [omega] minus tail longest path. *)
+  bound : int;  (** Minimum number of processors. *)
+}
+
+val analyse : ?omega:int -> Rtlb.App.t -> t
+(** Communication and resource annotations of [app] are ignored (that is
+    the baseline's blind spot); processor types are ignored too — every
+    task counts toward the single pool.
+    @raise Invalid_argument when [omega] is smaller than the critical
+    time. *)

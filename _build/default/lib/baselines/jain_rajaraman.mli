@@ -1,0 +1,32 @@
+(** Jain–Rajaraman (1994) style lower {e and} upper bounds on the length
+    of an optimal [m]-processor schedule — the paper's reference [5],
+    whose partitioning idea Section 5 adapts.
+
+    Model: non-preemptive tasks with precedence, a single processor type,
+    no resources, no communication, no deadlines.  For a given processor
+    count [m]:
+
+    - lower bounds: total work spread over [m] machines, the critical
+      path, and the strongest of the three — the interval-density bound
+      computed by binary search over completion targets with the Section 6
+      machinery (windows anchored at the target);
+    - upper bound: Graham's list-scheduling guarantee
+      [cp + ceil((W - cp) / m)], which a greedy schedule always meets.
+
+    The suite sandwiches the exact optimum (from the branch-and-bound
+    makespan search) between the two on random instances. *)
+
+type t = {
+  jr_m : int;
+  jr_work_bound : int;  (** [ceil(W / m)]. *)
+  jr_path_bound : int;  (** Critical path length. *)
+  jr_density_bound : int;
+      (** Smallest completion target the interval-density test admits. *)
+  jr_lower : int;  (** Max of the three. *)
+  jr_upper : int;  (** Graham guarantee. *)
+}
+
+val analyse : Rtlb.App.t -> m:int -> t
+(** Deadlines, processor types, resources and message sizes of [app] are
+    ignored (the JR model has none).
+    @raise Invalid_argument when [m <= 0]. *)

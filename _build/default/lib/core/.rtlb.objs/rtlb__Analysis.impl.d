@@ -1,0 +1,1 @@
+lib/core/analysis.ml: App Array Cost Est_lct Format List Lower_bound Partition String System Task

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: App Cost Est_lct Format Lower_bound System

@@ -1,0 +1,1 @@
+lib/core/app.ml: Array Dag Format List Printf String Task

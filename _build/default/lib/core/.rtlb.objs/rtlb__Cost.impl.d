@@ -1,0 +1,1 @@
+lib/core/cost.ml: App Array Format List Lower_bound Lp Printf Rat String System

@@ -1,0 +1,1 @@
+lib/core/cost.mli: App Format Lower_bound Lp Rat System

@@ -1,0 +1,1 @@
+lib/core/demand.ml: App Array Buffer List Lower_bound Printf String

@@ -1,0 +1,1 @@
+lib/core/est_lct.ml: App Array Dag Format List Printf Seq_schedule String System Task

@@ -1,0 +1,1 @@
+lib/core/est_lct.mli: App Format Stdlib System

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: App Array Format List Overlap Partition Task

@@ -1,0 +1,1 @@
+lib/core/overlap.ml: App Array Task

@@ -1,0 +1,1 @@
+lib/core/periodic.ml: App Hashtbl List Option Printf Rat String Task

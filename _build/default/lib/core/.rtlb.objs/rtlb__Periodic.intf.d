@@ -1,0 +1,1 @@
+lib/core/periodic.mli: App Rat

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Analysis App Buffer Cost List Lower_bound Printf String Task

@@ -1,0 +1,1 @@
+lib/core/slack.ml: Analysis App Array Buffer Est_lct List Lower_bound Option Printf String Task

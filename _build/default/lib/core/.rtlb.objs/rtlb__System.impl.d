@@ -1,0 +1,1 @@
+lib/core/system.ml: App Array Format List Printf String Task

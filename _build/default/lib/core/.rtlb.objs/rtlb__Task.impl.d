@@ -1,0 +1,1 @@
+lib/core/task.ml: Bool Format List Printf String

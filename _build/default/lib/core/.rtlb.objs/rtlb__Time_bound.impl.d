@@ -1,0 +1,1 @@
+lib/core/time_bound.ml: App Array Est_lct List Lower_bound Option Task

@@ -1,0 +1,1 @@
+lib/core/time_bound.mli: App System

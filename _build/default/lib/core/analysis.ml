@@ -1,0 +1,58 @@
+type t = {
+  app : App.t;
+  system : System.t;
+  windows : Est_lct.t;
+  bounds : Lower_bound.bound list;
+  cost : Cost.outcome;
+}
+
+let run system app =
+  (match System.validate_for system app with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Analysis.run: " ^ e));
+  let windows = Est_lct.compute system app in
+  let est = windows.Est_lct.est and lct = windows.Est_lct.lct in
+  let bounds = Lower_bound.all ~est ~lct app in
+  let cost = Cost.compute system app bounds in
+  { app; system; windows; bounds; cost }
+
+let bound_for t r =
+  match
+    List.find_opt
+      (fun (b : Lower_bound.bound) -> String.equal b.Lower_bound.resource r)
+      t.bounds
+  with
+  | Some b -> b.Lower_bound.lb
+  | None -> raise Not_found
+
+let total_processors t =
+  let procs =
+    Array.to_list (App.tasks t.app)
+    |> List.map (fun (task : Task.t) -> task.Task.proc)
+    |> List.sort_uniq String.compare
+  in
+  List.fold_left (fun acc p -> acc + bound_for t p) 0 procs
+
+let is_infeasible t =
+  match Est_lct.feasible_windows t.app t.windows with
+  | Ok () -> false
+  | Error _ -> true
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>== lower-bound analysis ==@,%a@,@,-- task windows --"
+    System.pp t.system;
+  Array.iteri
+    (fun i (task : Task.t) ->
+      fprintf ppf "@,%-6s E=%-4d L=%-4d" task.Task.name
+        t.windows.Est_lct.est.(i)
+        t.windows.Est_lct.lct.(i))
+    (App.tasks t.app);
+  fprintf ppf "@,@,-- bounds --";
+  let names i = (App.task t.app i).Task.name in
+  List.iter
+    (fun (b : Lower_bound.bound) ->
+      fprintf ppf "@,%a@,   partition: %a" Lower_bound.pp_bound b
+        (Partition.pp ~names) b.Lower_bound.partition)
+    t.bounds;
+  fprintf ppf "@,@,-- cost --@,%a@]" Cost.pp_outcome t.cost

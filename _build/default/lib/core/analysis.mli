@@ -1,0 +1,32 @@
+(** End-to-end lower-bound analysis: the paper's four steps in one call. *)
+
+type t = {
+  app : App.t;
+  system : System.t;
+  windows : Est_lct.t;  (** Step 1: EST/LCT. *)
+  bounds : Lower_bound.bound list;
+      (** Steps 2 and 3: per-resource partitions and bounds, in [RES]
+          order. *)
+  cost : Cost.outcome;  (** Step 4. *)
+}
+
+val run : System.t -> App.t -> t
+(** Runs all four steps.
+    @raise Invalid_argument when the system model cannot host some task
+      (see {!System.validate_for}). *)
+
+val bound_for : t -> string -> int
+(** [LB_r] by resource name.  @raise Not_found for a resource outside
+    [RES]. *)
+
+val total_processors : t -> int
+(** Sum of [LB_p] over the processor types that occur in the application —
+    a quick headline number for benchmarks. *)
+
+val is_infeasible : t -> bool
+(** True when the analysis already proves no system of this model can meet
+    the constraints (some task window is smaller than its computation
+    time). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line report: windows, partitions, bounds and cost. *)

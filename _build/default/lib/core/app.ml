@@ -1,0 +1,89 @@
+type t = {
+  tasks : Task.t array;
+  graph : Dag.t;
+  resource_set : string list;  (* cached RES *)
+}
+
+let make ~tasks ~edges =
+  let n = List.length tasks in
+  let arr = Array.make n None in
+  List.iter
+    (fun (task : Task.t) ->
+      if task.Task.id < 0 || task.Task.id >= n then
+        invalid_arg
+          (Printf.sprintf "App.make: task id %d out of range [0,%d)"
+             task.Task.id n);
+      if arr.(task.Task.id) <> None then
+        invalid_arg
+          (Printf.sprintf "App.make: duplicate task id %d" task.Task.id);
+      arr.(task.Task.id) <- Some task)
+    tasks;
+  let tasks =
+    Array.map
+      (function
+        | Some t -> t
+        | None -> invalid_arg "App.make: missing task id")
+      arr
+  in
+  List.iter
+    (fun (_, _, m) ->
+      if m < 0 then invalid_arg "App.make: negative message size")
+    edges;
+  let graph = Dag.create ~n ~edges in
+  let resource_set =
+    Array.fold_left
+      (fun acc task -> List.rev_append (Task.needs task) acc)
+      [] tasks
+    |> List.sort_uniq String.compare
+  in
+  { tasks; graph; resource_set }
+
+let n_tasks t = Array.length t.tasks
+let task t i = t.tasks.(i)
+let tasks t = Array.copy t.tasks
+let graph t = t.graph
+let preds t i = Dag.pred_ids t.graph i
+let succs t i = Dag.succ_ids t.graph i
+
+let message t ~src ~dst =
+  match Dag.edge_weight t.graph ~src ~dst with
+  | Some m -> m
+  | None -> raise Not_found
+
+let resource_set t = t.resource_set
+
+let tasks_using t r =
+  Array.to_list t.tasks
+  |> List.filter_map (fun task ->
+         if Task.uses task r then Some task.Task.id else None)
+
+let total_work t r =
+  tasks_using t r
+  |> List.fold_left (fun acc i -> acc + (task t i).Task.compute) 0
+
+let horizon t =
+  Array.fold_left (fun acc (task : Task.t) -> max acc task.Task.deadline) 0
+    t.tasks
+
+let critical_time t =
+  Dag.critical_path_length t.graph ~vertex_weight:(fun i ->
+      t.tasks.(i).Task.compute)
+
+let map_tasks t ~f =
+  let tasks = Array.map f t.tasks in
+  Array.iteri
+    (fun i (task : Task.t) ->
+      if task.Task.id <> i then invalid_arg "App.map_tasks: id changed")
+    tasks;
+  { t with tasks }
+
+let to_dot t =
+  Dag.to_dot ~name:"application"
+    ~label:(fun i -> Format.asprintf "%a" Task.pp t.tasks.(i))
+    t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>application: %d tasks, %d edges" (n_tasks t)
+    (Dag.n_edges t.graph);
+  Array.iter (fun task -> Format.fprintf ppf "@,  %a" Task.pp task) t.tasks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Lower bounds on system cost (paper, Section 7).
+
+    Shared model: cost is separable, so the bound is
+    [sum_r CostR(r) * LB_r] (Equation 7.1).
+
+    Dedicated model: node counts [x_n] must jointly cover the per-resource
+    bounds ([sum_n gamma_nr x_n >= LB_r]) and give every task an eligible
+    node ([sum over eta_i of x_n >= 1]); the cost bound is the optimum of
+    the resulting integer program, solved exactly with {!Lp.Ilp}.  The LP
+    relaxation — the "weaker bound" the paper mentions — is also exposed. *)
+
+type shared = {
+  s_terms : (string * int * int) list;
+      (** [(resource, CostR, LB_r)] per resource with [LB_r > 0]. *)
+  s_cost : int;
+}
+
+type dedicated = {
+  d_problem : Lp.Problem.t;
+  d_counts : (string * int) list;  (** Optimal [x_n] per node-type name. *)
+  d_cost : int;
+  d_relaxed_cost : Rat.t;  (** Optimum of the LP relaxation. *)
+}
+
+type outcome =
+  | Shared_cost of shared
+  | Dedicated_cost of dedicated
+  | No_feasible_system of string
+      (** The covering ILP is infeasible (e.g. some task has no eligible
+          node type). *)
+
+val shared_bound : System.t -> Lower_bound.bound list -> shared
+(** @raise Invalid_argument when the system is dedicated or a bounded
+    resource has no declared cost. *)
+
+val dedicated_problem : System.t -> App.t -> Lower_bound.bound list -> Lp.Problem.t
+(** The covering integer program (before solving) — exposed for tests and
+    for printing the Section 8 formulation. *)
+
+val dedicated_bound : System.t -> App.t -> Lower_bound.bound list -> (dedicated, string) result
+
+val compute : System.t -> App.t -> Lower_bound.bound list -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,86 @@
+type point = { d_t1 : int; d_t2 : int; d_theta : int; d_units : int }
+
+type t = {
+  d_resource : string;
+  d_window : int;
+  d_points : point list;
+  d_peak : point option;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let point ~est ~lct app ~resource tasks ~t1 ~t2 =
+  let theta = Lower_bound.theta ~resource ~est ~lct app tasks ~t1 ~t2 in
+  { d_t1 = t1; d_t2 = t2; d_theta = theta; d_units = ceil_div theta (t2 - t1) }
+
+let peak points =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Some best when best.d_units >= p.d_units -> acc
+      | _ -> Some p)
+    None points
+
+let sliding ~est ~lct app ~resource ~window =
+  if window <= 0 then invalid_arg "Demand.sliding: non-positive window";
+  let tasks = App.tasks_using app resource in
+  let points =
+    match tasks with
+    | [] -> []
+    | _ ->
+        let lo = List.fold_left (fun a i -> min a est.(i)) max_int tasks in
+        let hi = List.fold_left (fun a i -> max a lct.(i)) min_int tasks in
+        Lower_bound.candidate_points ~est ~lct tasks ~lo ~hi
+        |> List.filter (fun t -> t + window <= hi)
+        |> List.map (fun t1 ->
+               point ~est ~lct app ~resource tasks ~t1 ~t2:(t1 + window))
+  in
+  { d_resource = resource; d_window = window; d_points = points; d_peak = peak points }
+
+let peak_over_all_windows ~est ~lct app ~resource =
+  let tasks = App.tasks_using app resource in
+  match tasks with
+  | [] -> None
+  | _ ->
+      let lo = List.fold_left (fun a i -> min a est.(i)) max_int tasks in
+      let hi = List.fold_left (fun a i -> max a lct.(i)) min_int tasks in
+      if lo >= hi then None
+      else
+        let pts =
+          Array.of_list (Lower_bound.candidate_points ~est ~lct tasks ~lo ~hi)
+        in
+        let best = ref None in
+        for a = 0 to Array.length pts - 2 do
+          for b = a + 1 to Array.length pts - 1 do
+            let p = point ~est ~lct app ~resource tasks ~t1:pts.(a) ~t2:pts.(b) in
+            match !best with
+            | Some bp when bp.d_units >= p.d_units -> ()
+            | _ -> best := Some p
+          done
+        done;
+        !best
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "demand profile for %s (window %d)\n" t.d_resource
+       t.d_window);
+  let width =
+    List.fold_left
+      (fun acc p -> max acc (String.length (string_of_int p.d_t2)))
+      1 t.d_points
+  in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%*d..%-*d %s %d\n" width p.d_t1 width p.d_t2
+           (String.make p.d_units '#')
+           p.d_units))
+    t.d_points;
+  (match t.d_peak with
+  | Some p ->
+      Buffer.add_string buf
+        (Printf.sprintf "peak: %d unit(s) on [%d, %d) (demand %d)\n" p.d_units
+           p.d_t1 p.d_t2 p.d_theta)
+  | None -> Buffer.add_string buf "no demand\n");
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Demand profiles: the Section 6 machinery turned into a designer-facing
+    view of {e where} a resource is loaded.
+
+    For a resource [r] and a window length [w], the profile gives, at each
+    candidate start time [t], the density [ceil(Theta(r, t, t+w) / w)] —
+    the number of units of [r] that must exist just to survive that
+    window.  [LB_r] is the maximum of these over all window placements
+    and lengths; the profile shows which epochs drive it. *)
+
+type point = {
+  d_t1 : int;
+  d_t2 : int;
+  d_theta : int;  (** Mandatory demand on [\[d_t1, d_t2)]. *)
+  d_units : int;  (** [ceil(d_theta / (d_t2 - d_t1))]. *)
+}
+
+type t = {
+  d_resource : string;
+  d_window : int;
+  d_points : point list;  (** In increasing [d_t1] order. *)
+  d_peak : point option;  (** A point attaining the maximum density. *)
+}
+
+val sliding :
+  est:int array -> lct:int array -> App.t -> resource:string -> window:int -> t
+(** Profile of fixed-width windows anchored at every candidate point
+    (task ESTs and LCTs).
+    @raise Invalid_argument when [window <= 0]. *)
+
+val peak_over_all_windows :
+  est:int array -> lct:int array -> App.t -> resource:string -> point option
+(** The globally densest interval over all candidate intervals — the
+    witness behind [LB_r] (equals {!Lower_bound.for_resource}'s
+    witness value). *)
+
+val render : t -> string
+(** A small ASCII bar chart, one line per profile point:
+    {v 12..20  ####  2 v} *)

@@ -1,0 +1,69 @@
+(** Resource lower bounds (paper, Section 6).
+
+    For a resource [r], the demand of the application on an interval is
+    [Theta(r, t1, t2) = sum over ST_r of Psi(i, t1, t2)]; no [LB_r]-unit
+    system can be feasible unless
+    [LB_r >= ceil(Theta(r, t1, t2) / (t2 - t1))] for every interval, so
+
+    {[ LB_r = max over intervals ceil(Theta / length) ]}
+
+    evaluated over the intervals spanned by the candidate points (the ESTs
+    and LCTs of the tasks in [ST_r], as the paper suggests), block by
+    block of the Section 5 partition. *)
+
+type witness = {
+  w_t1 : int;
+  w_t2 : int;
+  w_theta : int;  (** Demand over [\[w_t1, w_t2\]]. *)
+}
+
+type bound = {
+  resource : string;
+  lb : int;  (** [LB_r]. *)
+  witness : witness option;  (** An interval attaining the maximum;
+                                 [None] when [ST_r] is empty. *)
+  partition : Partition.t;  (** The Section 5 partition of [ST_r]. *)
+}
+
+type point_policy =
+  [ `Endpoints  (** Task ESTs and LCTs — the paper's suggestion. *)
+  | `Enriched
+    (** Additionally each task's earliest finish [E_i + C_i] and latest
+        start [L_i - C_i], the natural breakpoints of the overlap
+        function.  More points can only raise the evaluated bound
+        (closer to the exact [LB_r]) at quadratic extra scan cost. *) ]
+
+val theta :
+  ?resource:string ->
+  est:int array -> lct:int array -> App.t -> int list -> t1:int -> t2:int -> int
+(** [theta ~est ~lct app tasks ~t1 ~t2]: total mandatory demand of [tasks]
+    on the interval.  With [?resource], each task's overlap is weighted by
+    the units of that resource it holds (multi-unit demands); without it,
+    every task weighs one unit (correct for processor types). *)
+
+val candidate_points :
+  ?policy:point_policy ->
+  est:int array -> lct:int array -> ?compute:int array -> int list -> lo:int -> hi:int -> int list
+(** Sorted, deduplicated candidate points of the tasks, clipped to
+    [\[lo, hi\]], with [lo] and [hi] included.  [policy] defaults to
+    [`Endpoints]; [`Enriched] requires [compute]. *)
+
+val for_resource :
+  ?policy:point_policy ->
+  est:int array -> lct:int array -> App.t -> string -> bound
+(** [LB_r] for one resource, using the partition-and-scan scheme. *)
+
+val for_resource_unpartitioned :
+  ?policy:point_policy ->
+  est:int array -> lct:int array -> App.t -> string -> bound
+(** Same bound computed with a single scan over all candidate-point
+    intervals ([O(N^2)] of them) and a trivial one-block partition —
+    Theorem 5 guarantees the same value; kept for testing and for the
+    partitioning-payoff benchmark. *)
+
+val all :
+  ?policy:point_policy ->
+  est:int array -> lct:int array -> App.t -> bound list
+(** One bound per element of the application's [RES], in [RES] order. *)
+
+val pp_bound : Format.formatter -> bound -> unit

@@ -1,0 +1,29 @@
+(** Mandatory execution overlap of a task with a time interval
+    (paper, Section 6, Theorems 3 and 4).
+
+    [Psi(i, t1, t2)] is the minimum amount of time task [i] {e must}
+    execute inside [\[t1, t2\]] in any schedule that starts it no earlier
+    than [E_i] and completes it no later than [L_i].  A preemptive task can
+    split its execution around the interval (Theorem 3); a non-preemptive
+    task runs in one piece, so its unavoidable presence in the interval is
+    also capped by the interval length (Theorem 4). *)
+
+val alpha : int -> int
+(** [alpha x = max x 0] (Definition 4). *)
+
+val mu : int -> int
+(** [mu x] is [1] when [x > 0], else [0] (Definition 4). *)
+
+val psi : preemptive:bool -> est:int -> lct:int -> compute:int -> t1:int -> t2:int -> int
+(** The overlap formula.  @raise Invalid_argument when [t1 >= t2]. *)
+
+val of_task : est:int array -> lct:int array -> App.t -> int -> t1:int -> t2:int -> int
+(** {!psi} applied to a task of an application, reading its window from
+    the EST/LCT arrays. *)
+
+val brute_force :
+  preemptive:bool -> est:int -> lct:int -> compute:int -> t1:int -> t2:int -> int
+(** Reference implementation by explicit minimisation over unit-granularity
+    placements of the task inside its window; used by tests to validate
+    the closed form.  Preemptive placements are the greedy
+    earliest-then-latest split, which is optimal for a single interval. *)

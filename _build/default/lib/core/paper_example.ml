@@ -1,0 +1,65 @@
+(* Task ids are 0-based; the paper numbers tasks 1..15.  Parameters not
+   printed in the paper were chosen so that the analysis reproduces
+   Table 1 and the Section 8 results; see the .mli and EXPERIMENTS.md. *)
+
+let t ~id ?release ~compute ?(deadline = 36) ~proc ?resources () =
+  Task.make ~id ?release ~compute ~deadline ~proc ?resources ()
+
+let app =
+  let p1 = "P1" and p2 = "P2" and r1 = [ "r1" ] in
+  App.make
+    ~tasks:
+      [
+        t ~id:0 ~compute:3 ~proc:p1 ~resources:r1 ();
+        t ~id:1 ~compute:6 ~proc:p1 ~resources:r1 ();
+        t ~id:2 ~release:3 ~compute:3 ~proc:p1 ();
+        t ~id:3 ~compute:5 ~proc:p1 ();
+        t ~id:4 ~compute:9 ~proc:p1 ~resources:r1 ();
+        t ~id:5 ~compute:4 ~proc:p2 ();
+        t ~id:6 ~release:10 ~compute:6 ~proc:p2 ();
+        t ~id:7 ~compute:5 ~proc:p2 ();
+        t ~id:8 ~compute:3 ~proc:p1 ();
+        t ~id:9 ~compute:8 ~proc:p1 ~resources:r1 ();
+        t ~id:10 ~release:20 ~compute:2 ~proc:p1 ();
+        t ~id:11 ~compute:0 ~deadline:30 ~proc:p1 ();
+        t ~id:12 ~compute:6 ~deadline:30 ~proc:p1 ~resources:r1 ();
+        t ~id:13 ~compute:5 ~deadline:30 ~proc:p1 ~resources:r1 ();
+        t ~id:14 ~compute:6 ~proc:p1 ~resources:r1 ();
+      ]
+    ~edges:
+      [
+        (0, 3, 2) (* T1 -> T4 *);
+        (1, 4, 4) (* T2 -> T5 *);
+        (2, 5, 5) (* T3 -> T6 *);
+        (3, 5, 3) (* T4 -> T6 *);
+        (4, 7, 3) (* T5 -> T8 *);
+        (4, 8, 9) (* T5 -> T9 *);
+        (5, 8, 1) (* T6 -> T9 *);
+        (5, 9, 7) (* T6 -> T10 *);
+        (6, 9, 6) (* T7 -> T10 *);
+        (7, 11, 7) (* T8 -> T12 *);
+        (8, 12, 5) (* T9 -> T13 *);
+        (8, 13, 7) (* T9 -> T14 *);
+        (8, 14, 4) (* T9 -> T15 *);
+        (9, 14, 3) (* T10 -> T15 *);
+        (10, 14, 2) (* T11 -> T15 *);
+      ]
+
+let shared = System.shared ~costs:[ ("P1", 5); ("P2", 4); ("r1", 3) ]
+
+let dedicated =
+  System.dedicated
+    [
+      System.node_type ~name:"N1" ~proc:"P1" ~provides:[ ("r1", 1) ] ~cost:10 ();
+      System.node_type ~name:"N2" ~proc:"P1" ~cost:6 ();
+      System.node_type ~name:"N3" ~proc:"P2" ~cost:7 ();
+    ]
+
+let expected_est = [| 0; 0; 3; 3; 6; 11; 10; 18; 16; 22; 20; 30; 19; 19; 30 |]
+let expected_lct = [| 3; 6; 6; 8; 15; 15; 16; 23; 19; 30; 35; 30; 30; 30; 36 |]
+
+let expected_lct_repaired =
+  [| 3; 6; 6; 8; 15; 15; 16; 23; 19; 30; 30; 30; 30; 30; 36 |]
+
+let expected_bounds = [ ("P1", 3); ("P2", 2); ("r1", 2) ]
+let expected_dedicated_counts = [ ("N1", 2); ("N2", 1); ("N3", 2) ]

@@ -1,0 +1,48 @@
+(** The 15-task application of the paper's Section 8 (Figure 7),
+    reconstructed.
+
+    The original figure is an image that did not survive; this instance is
+    rebuilt from Table 1 and the worked arithmetic in the text, which pin
+    almost every parameter (e.g. [lms_15 = 36 - 6 - 4] fixes [C_15 = 6]
+    and [m_9,15 = 4]).  The reconstruction reproduces:
+
+    - every EST in Table 1, and every LCT except the impossible
+      [L_11 = 35] (task 11 feeds task 15, so [L_11 <= 30] whatever the
+      placement; we obtain 30),
+    - the three partitions of Section 8 Step 2 exactly,
+    - [LB_P1 = 3], [LB_P2 = 2], [LB_r1 = 2] (Step 3),
+    - the dedicated-model ILP and its solution [x = (2, 1, 2)] (Step 4).
+
+    Table 1 also forces [E_12 = L_12 = 30], which is only satisfiable with
+    [C_12 = 0]; task 12 is therefore modelled as a milestone task.
+    See EXPERIMENTS.md for the cell-by-cell comparison. *)
+
+val app : App.t
+(** Task ids [0..14] carry paper names ["T1".."T15"]. *)
+
+val shared : System.t
+(** The shared model with the costs used in the Step 4 illustration
+    ([CostR(P1) = 5], [CostR(P2) = 4], [CostR(r1) = 3]; the paper leaves
+    them symbolic). *)
+
+val dedicated : System.t
+(** The catalogue [Lambda = {{P1,r1}, {P1}, {P2}}] with costs
+    [10, 6, 7] — any costs with [CostN({P1,r1}) > CostN({P1})] give the
+    paper's optimum [x = (2, 1, 2)]. *)
+
+val expected_est : int array
+(** Table 1 column [E_i] (paper values). *)
+
+val expected_lct : int array
+(** Table 1 column [L_i] (paper values, including the inconsistent
+    [L_11 = 35]). *)
+
+val expected_lct_repaired : int array
+(** Table 1 [L_i] with the impossible cell repaired to the value implied
+    by the rest of the table ([L_11 = 30]). *)
+
+val expected_bounds : (string * int) list
+(** [LB] values of Step 3. *)
+
+val expected_dedicated_counts : (string * int) list
+(** Step 4 optimum: node-type name to count. *)

@@ -1,0 +1,54 @@
+type t = { blocks : int list list; spans : (int * int) list }
+
+let compute ~est ~lct tasks =
+  let order =
+    List.sort
+      (fun a b ->
+        let c = compare est.(a) est.(b) in
+        if c <> 0 then c
+        else
+          let c = compare lct.(b) lct.(a) in
+          if c <> 0 then c else compare a b)
+      tasks
+  in
+  match order with
+  | [] -> { blocks = []; spans = [] }
+  | first :: rest ->
+      (* Sweep: a task joins the current block iff its window opens before
+         the block's latest completion (strict, per Figure 4). *)
+      let flush (members, s, f) = (List.rev members, (s, f)) in
+      let blocks, current =
+        List.fold_left
+          (fun (done_, (members, s, f)) i ->
+            if est.(i) < f then
+              (done_, (i :: members, min s est.(i), max f lct.(i)))
+            else (flush (members, s, f) :: done_, ([ i ], est.(i), lct.(i))))
+          ([], ([ first ], est.(first), lct.(first)))
+          rest
+      in
+      let all = List.rev (flush current :: blocks) in
+      { blocks = List.map fst all; spans = List.map snd all }
+
+let is_valid ~est ~lct tasks t =
+  let sorted l = List.sort compare l in
+  let covers = sorted (List.concat t.blocks) = sorted tasks in
+  let disjoint =
+    let all = List.concat t.blocks in
+    List.length (List.sort_uniq compare all) = List.length all
+  in
+  let rec chained = function
+    | a :: (b :: _ as rest) ->
+        let max_l = List.fold_left (fun acc i -> max acc lct.(i)) min_int a in
+        let min_e = List.fold_left (fun acc i -> min acc est.(i)) max_int b in
+        max_l <= min_e && chained rest
+    | _ -> true
+  in
+  covers && disjoint && chained t.blocks
+
+let pp ~names ppf t =
+  let block ppf ids =
+    Format.fprintf ppf "{%s}" (String.concat ", " (List.map names ids))
+  in
+  Format.fprintf ppf "%s"
+    (String.concat " < "
+       (List.map (fun b -> Format.asprintf "%a" block b) t.blocks))

@@ -1,0 +1,27 @@
+(** Partitioning of the tasks competing for one resource into
+    time-disjoint blocks (paper, Section 5, Figure 4).
+
+    The blocks [P_r1 < P_r2 < ... < P_rm] satisfy: every task window
+    [\[E_i, L_i\]] of an earlier block ends no later than every window of a
+    later block begins, so each block can be analysed independently
+    (Theorem 5 shows the block-wise maximum equals the global one). *)
+
+type t = {
+  blocks : int list list;  (** Task ids, in chain order. *)
+  spans : (int * int) list;  (** [(s_k, f_k)] = (min EST, max LCT) per block. *)
+}
+
+val compute : est:int array -> lct:int array -> int list -> t
+(** [compute ~est ~lct tasks] partitions [tasks] (typically [ST_r]).  The
+    sweep considers tasks by increasing EST; ties are broken by decreasing
+    LCT so that a task whose window starts exactly where an earlier window
+    ends opens a new block only when no tied task extends the current one
+    (this matches the paper's example).  Returns empty blocks list when
+    [tasks] is empty. *)
+
+val is_valid : est:int array -> lct:int array -> int list -> t -> bool
+(** Checks the three defining conditions: the blocks cover the task set,
+    are pairwise disjoint, and are time-ordered ([max L] of a block [<=]
+    [min E] of every later block). *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,185 @@
+type ptask = {
+  pt_name : string;
+  pt_period : int;
+  pt_offset : int;
+  pt_compute : int;
+  pt_deadline : int;
+  pt_proc : string;
+  pt_resources : string list;
+  pt_preemptive : bool;
+}
+
+let ptask ~name ~period ?(offset = 0) ~compute ?deadline ~proc
+    ?(resources = []) ?(preemptive = false) () =
+  if period <= 0 then invalid_arg "Periodic.ptask: non-positive period";
+  if offset < 0 || offset >= period then
+    invalid_arg "Periodic.ptask: offset outside [0, period)";
+  let deadline = Option.value ~default:period deadline in
+  if compute < 0 || compute > deadline then
+    invalid_arg "Periodic.ptask: computation does not fit the deadline";
+  {
+    pt_name = name;
+    pt_period = period;
+    pt_offset = offset;
+    pt_compute = compute;
+    pt_deadline = deadline;
+    pt_proc = proc;
+    pt_resources = resources;
+    pt_preemptive = preemptive;
+  }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let hyperperiod tasks =
+  List.fold_left (fun acc t -> lcm acc t.pt_period) 1 tasks
+
+let utilisation tasks =
+  List.fold_left
+    (fun acc t -> Rat.add acc (Rat.make t.pt_compute t.pt_period))
+    Rat.zero tasks
+
+let jobs_of ~horizon t =
+  let rec go k acc =
+    let release = t.pt_offset + (k * t.pt_period) in
+    if release >= horizon then List.rev acc
+    else go (k + 1) ((k, release) :: acc)
+  in
+  go 0 []
+
+let job_count ?horizon tasks =
+  let horizon = Option.value ~default:(hyperperiod tasks) horizon in
+  List.fold_left
+    (fun acc t -> acc + List.length (jobs_of ~horizon t))
+    0 tasks
+
+let unroll ?horizon ~tasks ~edges () =
+  let names = List.map (fun t -> t.pt_name) tasks in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Periodic.unroll: duplicate task names";
+  let horizon = Option.value ~default:(hyperperiod tasks) horizon in
+  if horizon <= 0 then invalid_arg "Periodic.unroll: empty horizon";
+  let by_name n =
+    match List.find_opt (fun t -> String.equal t.pt_name n) tasks with
+    | Some t -> t
+    | None -> invalid_arg ("Periodic.unroll: unknown task " ^ n)
+  in
+  (* Assign contiguous ids task by task; remember (task, k) -> id and
+     release. *)
+  let index = Hashtbl.create 64 in
+  let next = ref 0 in
+  let app_tasks =
+    List.concat_map
+      (fun t ->
+        List.map
+          (fun (k, release) ->
+            let id = !next in
+            incr next;
+            Hashtbl.add index (t.pt_name, k) (id, release);
+            Task.make ~id
+              ~name:(Printf.sprintf "%s@%d" t.pt_name k)
+              ~compute:t.pt_compute ~release
+              ~deadline:(release + t.pt_deadline) ~proc:t.pt_proc
+              ~resources:t.pt_resources ~preemptive:t.pt_preemptive ())
+          (jobs_of ~horizon t))
+      tasks
+  in
+  (* Sample-and-hold pairing: consumer job k reads the latest producer job
+     released no later than the consumer's release. *)
+  let app_edges =
+    List.concat_map
+      (fun (src_name, dst_name, message) ->
+        let src = by_name src_name and dst = by_name dst_name in
+        List.filter_map
+          (fun (k, release) ->
+            let producer_k =
+              if release < src.pt_offset then None
+              else Some ((release - src.pt_offset) / src.pt_period)
+            in
+            match producer_k with
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Periodic.unroll: %s@%d released at %d before any %s job"
+                     dst_name k release src_name)
+            | Some pk -> (
+                match
+                  ( Hashtbl.find_opt index (src_name, pk),
+                    Hashtbl.find_opt index (dst_name, k) )
+                with
+                | Some (src_id, _), Some (dst_id, _) ->
+                    Some (src_id, dst_id, message)
+                | _ -> None))
+          (jobs_of ~horizon dst))
+      edges
+  in
+  App.make ~tasks:app_tasks ~edges:app_edges
+
+let demand_bound_function tasks t =
+  List.fold_left
+    (fun acc task ->
+      (* jobs k with offset + k*T >= 0 and offset + k*T + D <= t *)
+      let latest = t - task.pt_deadline - task.pt_offset in
+      if latest < 0 then acc
+      else acc + (((latest / task.pt_period) + 1) * task.pt_compute))
+    0 tasks
+
+(* Processor demand criterion, asynchronous form: for every window
+   [r, d] between a release point and a deadline point (within the
+   O_max + 2H horizon that is known to suffice), the total computation of
+   jobs wholly inside the window must fit. *)
+let edf_uniprocessor_feasible tasks =
+  let tasks = List.filter (fun t -> t.pt_compute > 0) tasks in
+  tasks = []
+  || Rat.(utilisation tasks <= one)
+     && begin
+          let h = hyperperiod tasks in
+          let o_max =
+            List.fold_left (fun acc t -> max acc t.pt_offset) 0 tasks
+          in
+          let horizon = o_max + (2 * h) in
+          let releases =
+            List.concat_map
+              (fun t ->
+                let rec go k acc =
+                  let r = t.pt_offset + (k * t.pt_period) in
+                  if r > horizon then acc else go (k + 1) (r :: acc)
+                in
+                go 0 [])
+              tasks
+            |> List.sort_uniq compare
+          in
+          let demand r d =
+            List.fold_left
+              (fun acc t ->
+                (* jobs k with release >= r and absolute deadline <= d *)
+                let k_lo =
+                  let num = r - t.pt_offset in
+                  if num <= 0 then 0 else (num + t.pt_period - 1) / t.pt_period
+                in
+                let k_hi_num = d - t.pt_deadline - t.pt_offset in
+                if k_hi_num < 0 then acc
+                else
+                  let k_hi = k_hi_num / t.pt_period in
+                  if k_hi < k_lo then acc
+                  else acc + ((k_hi - k_lo + 1) * t.pt_compute))
+              0 tasks
+          in
+          let deadlines =
+            List.concat_map
+              (fun t ->
+                let rec go k acc =
+                  let d = t.pt_offset + (k * t.pt_period) + t.pt_deadline in
+                  if d > horizon then acc else go (k + 1) (d :: acc)
+                in
+                go 0 [])
+              tasks
+            |> List.sort_uniq compare
+          in
+          List.for_all
+            (fun r ->
+              List.for_all
+                (fun d -> d <= r || demand r d <= d - r)
+                deadlines)
+            releases
+        end

@@ -1,0 +1,60 @@
+type sample = {
+  s_factor : float;
+  s_feasible : bool;
+  s_bounds : (string * int) list;
+  s_shared_cost : int option;
+}
+
+let scale_deadlines app ~factor =
+  if factor <= 0.0 then invalid_arg "Sensitivity.scale_deadlines: factor <= 0";
+  App.map_tasks app ~f:(fun task ->
+      let scaled =
+        int_of_float (ceil (factor *. float_of_int task.Task.deadline))
+      in
+      let floor_ = task.Task.release + task.Task.compute in
+      Task.with_deadline task (max scaled floor_))
+
+let deadline_sweep system app ~factors =
+  List.map
+    (fun factor ->
+      let scaled = scale_deadlines app ~factor in
+      let analysis = Analysis.run system scaled in
+      {
+        s_factor = factor;
+        s_feasible = not (Analysis.is_infeasible analysis);
+        s_bounds =
+          List.map
+            (fun (b : Lower_bound.bound) ->
+              (b.Lower_bound.resource, b.Lower_bound.lb))
+            analysis.Analysis.bounds;
+        s_shared_cost =
+          (match analysis.Analysis.cost with
+          | Cost.Shared_cost { s_cost; _ } -> Some s_cost
+          | Cost.Dedicated_cost d -> Some d.Cost.d_cost
+          | Cost.No_feasible_system _ -> None);
+      })
+    factors
+
+let render samples =
+  let buf = Buffer.create 256 in
+  let resources =
+    match samples with [] -> [] | s :: _ -> List.map fst s.s_bounds
+  in
+  Buffer.add_string buf "factor   feasible  cost";
+  List.iter (fun r -> Buffer.add_string buf (Printf.sprintf "  LB_%s" r)) resources;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%6.2f   %-8b  %s" s.s_factor s.s_feasible
+           (match s.s_shared_cost with
+           | Some c -> Printf.sprintf "%4d" c
+           | None -> "   -"));
+      List.iter
+        (fun (r, lb) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %*d" (String.length r + 3) lb))
+        s.s_bounds;
+      Buffer.add_char buf '\n')
+    samples;
+  Buffer.contents buf

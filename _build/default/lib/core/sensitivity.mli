@@ -1,0 +1,27 @@
+(** Deadline-sensitivity analysis: how the lower bounds respond as the
+    application's timing constraints are relaxed or tightened.
+
+    The paper pitches the analysis as a design-space-exploration tool; the
+    first question a designer asks is "what does the requirement level
+    cost me?".  [deadline_sweep] scales every deadline (and, optionally,
+    release time) by a factor and re-runs the analysis, exposing the knees
+    where a slightly looser requirement drops a processor or resource
+    unit. *)
+
+type sample = {
+  s_factor : float;  (** Deadline multiplier applied. *)
+  s_feasible : bool;  (** Task windows all large enough. *)
+  s_bounds : (string * int) list;  (** [LB_r] per resource, RES order. *)
+  s_shared_cost : int option;  (** Cost bound when the system is shared. *)
+}
+
+val scale_deadlines : App.t -> factor:float -> App.t
+(** Every deadline multiplied by [factor] (rounded up), floored at
+    [release + compute] so tasks stay well-formed. *)
+
+val deadline_sweep :
+  System.t -> App.t -> factors:float list -> sample list
+(** One analysis per factor, in the given order. *)
+
+val render : sample list -> string
+(** Plain-text table of the sweep. *)

@@ -1,0 +1,13 @@
+let ect jobs =
+  if jobs = [] then invalid_arg "Seq_schedule.ect: empty job set";
+  let jobs = List.sort (fun (a, _) (b, _) -> compare a b) jobs in
+  List.fold_left
+    (fun finish (est, compute) -> max finish est + compute)
+    min_int jobs
+
+let lst jobs =
+  if jobs = [] then invalid_arg "Seq_schedule.lst: empty job set";
+  let jobs = List.sort (fun (a, _) (b, _) -> compare b a) jobs in
+  List.fold_left
+    (fun start (lct, compute) -> min start lct - compute)
+    max_int jobs

@@ -1,0 +1,21 @@
+(** Single-processor sequential schedules used inside the EST/LCT merging
+    analysis (paper, Section 4: the [ect(A)] and [lst(A)] terms).
+
+    Both functions treat their input as jobs to be run back to back on one
+    processor, each constrained by its own earliest start (resp. latest
+    completion) time. *)
+
+val ect : (int * int) list -> int
+(** [ect jobs] — jobs are [(est, compute)] pairs.  Schedules them in
+    non-decreasing [est] order, each starting at the later of its own [est]
+    and the previous completion, and returns the completion time of the
+    last job: the earliest time a single processor can finish all of them.
+    @raise Invalid_argument on an empty list (use the caller's identity
+      element instead). *)
+
+val lst : (int * int) list -> int
+(** [lst jobs] — jobs are [(lct, compute)] pairs.  Mirror image of {!ect}:
+    schedules in non-increasing [lct] order backwards from the deadlines
+    and returns the start time of the earliest job — the latest time a
+    single processor may begin the set and still meet every [lct].
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,27 @@
+(** Slack and criticality: which tasks and resources pin the bounds.
+
+    The windows of Section 4 carry more design information than the
+    bounds alone: a task whose window barely fits its computation has no
+    scheduling freedom at all, and the witness intervals of Section 6
+    name the congestion epochs.  This module digests both into a
+    designer-facing criticality report. *)
+
+type task_slack = {
+  ts_task : int;
+  ts_window : int;  (** [L_i - E_i]. *)
+  ts_slack : int;  (** [L_i - E_i - C_i]; [0] means no freedom. *)
+}
+
+type report = {
+  r_slacks : task_slack list;  (** Ascending by slack, ties by id. *)
+  r_critical : int list;  (** Tasks with zero slack. *)
+  r_bottlenecks : (string * Lower_bound.witness) list;
+      (** Per bounded resource, the witness interval that pins [LB_r]. *)
+}
+
+val analyse : Analysis.t -> report
+
+val criticality : est:int array -> lct:int array -> App.t -> int -> task_slack
+
+val render : App.t -> report -> string
+(** Plain-text criticality report. *)

@@ -1,0 +1,30 @@
+(** Completion-time lower bounds for a {e given} platform — the converse
+    question to [LB_r], in the tradition of Fernandez–Bussell's and
+    Jain–Rajaraman's time bounds, answered with this paper's machinery.
+
+    For a common completion target [omega], set every deadline to [omega]
+    and run the Section 4–6 analysis; if some [LB_r] exceeds the units the
+    platform actually has, no schedule can finish by [omega].  The minimal
+    [omega] that passes is therefore a lower bound on the achievable
+    makespan on that platform. *)
+
+type t = {
+  tb_omega : int;  (** The completion-time lower bound. *)
+  tb_bounds : (string * int) list;
+      (** Per-resource [LB_r] at [tb_omega] (all within capacity). *)
+  tb_binding : string list;
+      (** Resources whose capacity is exceeded at [tb_omega - 1] — the
+          constraints that pin the bound (empty when the window-
+          feasibility condition binds instead). *)
+}
+
+val minimum_completion_time :
+  System.t -> App.t -> capacity:(string -> int) -> t option
+(** [minimum_completion_time system app ~capacity] searches for the
+    smallest uniform completion target.  Original deadlines are ignored
+    (this is a throughput question); release times are kept.  Returns
+    [None] when some used resource has zero capacity.
+
+    The density bound is monotone in [omega] in the exact formulation;
+    the finite candidate-point evaluation is checked to be locally
+    minimal ([passes omega], [fails omega - 1]). *)

@@ -1,0 +1,120 @@
+(* Adjacency with mirrored residual edges: edge k and its reverse k lxor 1
+   live in one arena. *)
+type t = {
+  n : int;
+  mutable heads : int list array;  (* vertex -> edge indices *)
+  mutable dst : int array;
+  mutable cap : int array;  (* residual capacity *)
+  mutable cap0 : int array;  (* original capacity *)
+  mutable m : int;  (* edges stored (incl. reverses) *)
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Flow.create: empty network";
+  {
+    n;
+    heads = Array.make n [];
+    dst = Array.make 16 0;
+    cap = Array.make 16 0;
+    cap0 = Array.make 16 0;
+    m = 0;
+  }
+
+let grow t =
+  let size = Array.length t.dst in
+  if t.m + 2 > size then begin
+    let bigger = max 16 (2 * size) in
+    let extend a = Array.append a (Array.make (bigger - size) 0) in
+    t.dst <- extend t.dst;
+    t.cap <- extend t.cap;
+    t.cap0 <- extend t.cap0
+  end
+
+let add_edge t ~src ~dst ~capacity =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Flow.add_edge: endpoint out of range";
+  if src = dst then invalid_arg "Flow.add_edge: self loop";
+  if capacity < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  grow t;
+  let e = t.m in
+  t.dst.(e) <- dst;
+  t.cap.(e) <- capacity;
+  t.cap0.(e) <- capacity;
+  t.dst.(e + 1) <- src;
+  t.cap.(e + 1) <- 0;
+  t.cap0.(e + 1) <- 0;
+  t.heads.(src) <- e :: t.heads.(src);
+  t.heads.(dst) <- (e + 1) :: t.heads.(dst);
+  t.m <- t.m + 2
+
+(* BFS level graph from [source]; [-1] marks unreachable. *)
+let levels t ~source =
+  let level = Array.make t.n (-1) in
+  let queue = Queue.create () in
+  level.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let w = t.dst.(e) in
+        if t.cap.(e) > 0 && level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w queue
+        end)
+      t.heads.(v)
+  done;
+  level
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Flow.max_flow: source = sink";
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let level = levels t ~source in
+    if level.(sink) < 0 then continue_ := false
+    else begin
+      (* iterator state per vertex for the DFS phase *)
+      let remaining = Array.map (fun l -> ref l) t.heads in
+      let rec push v limit =
+        if v = sink then limit
+        else begin
+          let sent = ref 0 in
+          let stop = ref false in
+          while (not !stop) && !sent < limit do
+            match !(remaining.(v)) with
+            | [] -> stop := true
+            | e :: rest ->
+                let w = t.dst.(e) in
+                if t.cap.(e) > 0 && level.(w) = level.(v) + 1 then begin
+                  let got = push w (min (limit - !sent) t.cap.(e)) in
+                  if got = 0 then remaining.(v) := rest
+                  else begin
+                    t.cap.(e) <- t.cap.(e) - got;
+                    t.cap.(e lxor 1) <- t.cap.(e lxor 1) + got;
+                    sent := !sent + got;
+                    if t.cap.(e) = 0 then remaining.(v) := rest
+                  end
+                end
+                else remaining.(v) := rest
+          done;
+          !sent
+        end
+      in
+      let pushed = push source max_int in
+      if pushed = 0 then continue_ := false else total := !total + pushed
+    end
+  done;
+  !total
+
+let flow_on_edges t ~src ~dst =
+  List.fold_left
+    (fun acc e ->
+      (* forward edges from src: flow = cap0 - cap *)
+      if t.dst.(e) = dst && t.cap0.(e) > 0 then acc + t.cap0.(e) - t.cap.(e)
+      else acc)
+    0 t.heads.(src)
+
+let min_cut t ~source =
+  let level = levels t ~source in
+  List.filter (fun v -> level.(v) >= 0) (List.init t.n Fun.id)

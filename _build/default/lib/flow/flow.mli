@@ -1,0 +1,27 @@
+(** Maximum-flow substrate (Dinic's algorithm, integer capacities).
+
+    Built for {!Sched.Horn}'s optimal preemptive-feasibility test, but
+    generic: vertices are integers, edges carry integer capacities,
+    parallel edges are allowed. *)
+
+type t
+
+val create : n:int -> t
+(** A flow network on vertices [0 .. n-1] with no edges. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:int -> unit
+(** Adds a directed edge.  @raise Invalid_argument on out-of-range
+    endpoints, a self loop, or negative capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Computes the maximum flow; the network keeps the final flow state
+    (subsequent calls continue from it, so call once per problem).
+    @raise Invalid_argument when [source = sink]. *)
+
+val flow_on_edges : t -> src:int -> dst:int -> int
+(** Total flow currently routed on all [src -> dst] edges (after
+    {!max_flow}). *)
+
+val min_cut : t -> source:int -> int list
+(** Vertices on the source side of a minimum cut (valid after
+    {!max_flow}). *)

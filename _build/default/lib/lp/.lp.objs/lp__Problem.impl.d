@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Buffer Format List Printf Rat String

@@ -1,0 +1,95 @@
+type outcome =
+  | Optimal of { value : Rat.t; point : int array }
+  | Infeasible
+  | Unbounded
+
+exception Node_limit
+
+let relaxation = Simplex.solve
+
+(* Branch on the variable whose fractional part is closest to 1/2. *)
+let pick_fractional point =
+  let best = ref None in
+  Array.iteri
+    (fun i v ->
+      if not (Rat.is_integer v) then begin
+        let frac = Rat.sub v (Rat.of_int (Rat.floor v)) in
+        let dist = Rat.abs (Rat.sub frac (Rat.make 1 2)) in
+        match !best with
+        | Some (_, d) when Rat.(d <= dist) -> ()
+        | _ -> best := Some (i, dist)
+      end)
+    point;
+  Option.map fst !best
+
+let unit_row n i coeff =
+  let row = Array.make n Rat.zero in
+  row.(i) <- coeff;
+  row
+
+let solve ?(max_nodes = 200_000) (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let minimise = p.sense = Problem.Minimize in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let better value =
+    match !incumbent with
+    | None -> true
+    | Some (best, _) ->
+        if minimise then Rat.(value < best) else Rat.(value > best)
+  in
+  (* [extra] is the list of branching bound constraints added on this path. *)
+  let rec explore extra =
+    incr nodes;
+    if !nodes > max_nodes then raise Node_limit;
+    let sub = { p with Problem.constraints = extra @ p.constraints } in
+    match Simplex.solve sub with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+        (* Only possible at the root for a pure-integer minimisation over a
+           rational polyhedron; surfaced to the caller via an exception. *)
+        raise Exit
+    | Simplex.Optimal { value; point } ->
+        if better value then begin
+          match pick_fractional point with
+          | None ->
+              let ipoint = Array.map Rat.to_int_exn point in
+              if better value then incumbent := Some (value, ipoint)
+          | Some i ->
+              let lo = Rat.floor point.(i) in
+              let le =
+                Problem.constraint_ ~name:"branch-le"
+                  (unit_row n i Rat.one) Problem.Le (Rat.of_int lo)
+              in
+              let ge =
+                Problem.constraint_ ~name:"branch-ge"
+                  (unit_row n i Rat.one) Problem.Ge
+                  (Rat.of_int (lo + 1))
+              in
+              (* For covering-style minimisations the up branch tends to
+                 contain the integer optimum, so explore it first to obtain
+                 an incumbent early. *)
+              if minimise then begin
+                explore (ge :: extra);
+                explore (le :: extra)
+              end
+              else begin
+                explore (le :: extra);
+                explore (ge :: extra)
+              end
+        end
+  in
+  match explore [] with
+  | () -> (
+      match !incumbent with
+      | None -> Infeasible
+      | Some (value, point) -> Optimal { value; point })
+  | exception Exit -> Unbounded
+
+let pp_outcome ppf = function
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Optimal { value; point } ->
+      Format.fprintf ppf "optimal %a at (%s)" Rat.pp value
+        (String.concat ", "
+           (Array.to_list (Array.map string_of_int point)))

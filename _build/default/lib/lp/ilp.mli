@@ -1,0 +1,28 @@
+(** Exact pure-integer linear programming by branch and bound.
+
+    All decision variables are required to take non-negative integer
+    values.  The relaxation at every node is solved with {!Simplex}, so
+    bounds are exact and the returned optimum is provably optimal.
+
+    This is the solver behind the paper's Section 7 dedicated-model cost
+    bound; it also exposes the LP relaxation the paper mentions as the
+    "weaker bound" alternative. *)
+
+type outcome =
+  | Optimal of { value : Rat.t; point : int array }
+  | Infeasible
+  | Unbounded  (** The relaxation is unbounded. *)
+
+exception Node_limit
+(** Raised when the search exceeds [max_nodes] relaxations. *)
+
+val solve : ?max_nodes:int -> Problem.t -> outcome
+(** [solve p] optimises [p] over non-negative integer points.
+    [max_nodes] (default [200_000]) bounds the number of branch-and-bound
+    nodes explored.  @raise Node_limit if exceeded. *)
+
+val relaxation : Problem.t -> Simplex.outcome
+(** The plain LP relaxation of [p] (paper: the weaker, non-integral cost
+    bound). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

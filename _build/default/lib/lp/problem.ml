@@ -1,0 +1,130 @@
+type relation = Le | Ge | Eq
+
+type linear_constraint = {
+  coeffs : Rat.t array;
+  relation : relation;
+  rhs : Rat.t;
+  cname : string;
+}
+
+type sense = Minimize | Maximize
+
+type t = {
+  var_names : string array;
+  sense : sense;
+  objective : Rat.t array;
+  constraints : linear_constraint list;
+}
+
+let num_vars t = Array.length t.objective
+
+let make ?var_names ~sense ~objective constraints =
+  let n = Array.length objective in
+  if n = 0 then invalid_arg "Lp.Problem.make: empty objective";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> n then
+        invalid_arg "Lp.Problem.make: ragged constraint row")
+    constraints;
+  let var_names =
+    match var_names with
+    | Some names when Array.length names = n -> names
+    | Some _ -> invalid_arg "Lp.Problem.make: wrong number of names"
+    | None -> Array.init n (fun i -> Printf.sprintf "x%d" i)
+  in
+  { var_names; sense; objective; constraints }
+
+let constraint_ ?(name = "") coeffs relation rhs =
+  { coeffs; relation; rhs; cname = name }
+
+let of_ints ?var_names ~sense ~objective rows =
+  let objective = Array.map Rat.of_int objective in
+  let constraints =
+    List.map
+      (fun (row, relation, rhs) ->
+        constraint_ (Array.map Rat.of_int row) relation (Rat.of_int rhs))
+      rows
+  in
+  make ?var_names ~sense ~objective constraints
+
+let dot a x =
+  let acc = ref Rat.zero in
+  Array.iteri (fun i c -> acc := Rat.add !acc (Rat.mul c x.(i))) a;
+  !acc
+
+let eval_objective t x = dot t.objective x
+
+let satisfies t x =
+  Array.length x = num_vars t
+  && Array.for_all (fun v -> Rat.(v >= zero)) x
+  && List.for_all
+       (fun c ->
+         let lhs = dot c.coeffs x in
+         match c.relation with
+         | Le -> Rat.(lhs <= c.rhs)
+         | Ge -> Rat.(lhs >= c.rhs)
+         | Eq -> Rat.(lhs = c.rhs))
+       t.constraints
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>%s"
+    (match t.sense with Minimize -> "min" | Maximize -> "max");
+  Array.iteri
+    (fun i c ->
+      if not (Rat.equal c Rat.zero) then
+        fprintf ppf " %s%a*%s"
+          (if Rat.sign c >= 0 then "+" else "")
+          Rat.pp c t.var_names.(i))
+    t.objective;
+  List.iter
+    (fun c ->
+      fprintf ppf "@,  ";
+      Array.iteri
+        (fun i v ->
+          if not (Rat.equal v Rat.zero) then
+            fprintf ppf "%s%a*%s "
+              (if Rat.sign v >= 0 then "+" else "")
+              Rat.pp v t.var_names.(i))
+        c.coeffs;
+      fprintf ppf "%s %a"
+        (match c.relation with Le -> "<=" | Ge -> ">=" | Eq -> "=")
+        Rat.pp c.rhs;
+      if c.cname <> "" then fprintf ppf "  (%s)" c.cname)
+    t.constraints;
+  fprintf ppf "@]"
+
+let to_lp_format t =
+  let buf = Buffer.create 512 in
+  let term c name =
+    if Rat.is_integer c then Printf.sprintf "%d %s" (Rat.num c) name
+    else Printf.sprintf "%d/%d %s" (Rat.num c) (Rat.den c) name
+  in
+  let row coeffs =
+    let parts = ref [] in
+    Array.iteri
+      (fun i c ->
+        if not (Rat.equal c Rat.zero) then
+          parts :=
+            (if Rat.sign c >= 0 && !parts <> [] then
+               "+ " ^ term c t.var_names.(i)
+             else term c t.var_names.(i))
+            :: !parts)
+      coeffs;
+    if !parts = [] then "0 " ^ t.var_names.(0) else String.concat " " (List.rev !parts)
+  in
+  Buffer.add_string buf
+    (match t.sense with Minimize -> "Minimize\n" | Maximize -> "Maximize\n");
+  Buffer.add_string buf (" obj: " ^ row t.objective ^ "\n");
+  Buffer.add_string buf "Subject To\n";
+  List.iteri
+    (fun k (c : linear_constraint) ->
+      Buffer.add_string buf
+        (Printf.sprintf " c%d: %s %s %s\n" k (row c.coeffs)
+           (match c.relation with Le -> "<=" | Ge -> ">=" | Eq -> "=")
+           (Rat.to_string c.rhs)))
+    t.constraints;
+  Buffer.add_string buf "General\n";
+  Array.iter (fun n -> Buffer.add_string buf (" " ^ n ^ "\n")) t.var_names;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf

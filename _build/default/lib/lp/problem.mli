@@ -1,0 +1,64 @@
+(** Linear-program descriptions.
+
+    A problem is an objective over [num_vars] non-negative decision
+    variables together with a list of linear constraints.  Variables are
+    identified by index; optional names are carried for reporting.
+
+    This representation is deliberately dense ([Rat.t array] rows): the
+    programs produced by the dedicated-model cost analysis have at most a
+    few dozen variables, so clarity wins over sparsity. *)
+
+type relation = Le | Ge | Eq
+
+type linear_constraint = {
+  coeffs : Rat.t array;  (** One coefficient per variable. *)
+  relation : relation;
+  rhs : Rat.t;
+  cname : string;  (** For diagnostics; may be empty. *)
+}
+
+type sense = Minimize | Maximize
+
+type t = {
+  var_names : string array;
+  sense : sense;
+  objective : Rat.t array;
+  constraints : linear_constraint list;
+}
+
+val num_vars : t -> int
+
+val make :
+  ?var_names:string array ->
+  sense:sense ->
+  objective:Rat.t array ->
+  linear_constraint list ->
+  t
+(** Builds a problem, checking that every row has exactly as many
+    coefficients as the objective.
+    @raise Invalid_argument on a ragged row or empty objective. *)
+
+val constraint_ :
+  ?name:string -> Rat.t array -> relation -> Rat.t -> linear_constraint
+
+val of_ints :
+  ?var_names:string array ->
+  sense:sense ->
+  objective:int array ->
+  (int array * relation * int) list ->
+  t
+(** Convenience wrapper building everything from integers. *)
+
+val eval_objective : t -> Rat.t array -> Rat.t
+
+val satisfies : t -> Rat.t array -> bool
+(** [satisfies p x] checks non-negativity and every constraint of [p]
+    against the point [x]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_lp_format : t -> string
+(** CPLEX-LP-format rendering (readable by glpsol, lp_solve, CPLEX,
+    Gurobi, ...) with a [General] section declaring every variable
+    integer — so the dedicated-model programs can be cross-checked
+    against external solvers. *)

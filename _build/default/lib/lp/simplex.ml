@@ -1,0 +1,220 @@
+type outcome =
+  | Optimal of { value : Rat.t; point : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(* Dense tableau:
+     [rows.(i)] has [cols] entries plus the right-hand side in [rhs.(i)].
+     [basis.(i)] is the column basic in row [i].
+   Column layout: structural variables first, then one slack/surplus per
+   inequality, then artificials for [Ge]/[Eq] rows.  Bland's rule (smallest
+   eligible index, both entering and leaving) prevents cycling. *)
+
+type tableau = {
+  rows : Rat.t array array;
+  rhs : Rat.t array;
+  basis : int array;
+  cols : int;
+  n_struct : int;
+  first_artificial : int;
+}
+
+let pivot t ~row ~col =
+  let piv = t.rows.(row).(col) in
+  let r = t.rows.(row) in
+  for j = 0 to t.cols - 1 do
+    r.(j) <- Rat.div r.(j) piv
+  done;
+  t.rhs.(row) <- Rat.div t.rhs.(row) piv;
+  for i = 0 to Array.length t.rows - 1 do
+    if i <> row then begin
+      let f = t.rows.(i).(col) in
+      if not (Rat.equal f Rat.zero) then begin
+        let ri = t.rows.(i) in
+        for j = 0 to t.cols - 1 do
+          ri.(j) <- Rat.sub ri.(j) (Rat.mul f r.(j))
+        done;
+        t.rhs.(i) <- Rat.sub t.rhs.(i) (Rat.mul f t.rhs.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced-cost row for objective [c] (minimisation):
+   [r_j = c_j - sum_i c_basis(i) * rows(i)(j)], and the current objective
+   value is [sum_i c_basis(i) * rhs(i)]. *)
+let reduced_costs t c =
+  let m = Array.length t.rows in
+  let red = Array.copy c in
+  let value = ref Rat.zero in
+  for i = 0 to m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if not (Rat.equal cb Rat.zero) then begin
+      for j = 0 to t.cols - 1 do
+        red.(j) <- Rat.sub red.(j) (Rat.mul cb t.rows.(i).(j))
+      done;
+      value := Rat.add !value (Rat.mul cb t.rhs.(i))
+    end
+  done;
+  (red, !value)
+
+exception Unbounded_lp
+
+(* One simplex phase minimising objective [c]; columns at index
+   [>= lock_from] are never allowed to (re)enter the basis. *)
+let optimise t c ~lock_from =
+  let m = Array.length t.rows in
+  let red, value = reduced_costs t c in
+  let value = ref value in
+  let continue_ = ref true in
+  while !continue_ do
+    (* Entering column: smallest index with negative reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to Stdlib.min t.cols lock_from - 1 do
+         if Rat.(red.(j) < zero) then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then continue_ := false
+    else begin
+      let col = !entering in
+      (* Leaving row: minimum ratio, ties broken by smallest basis index. *)
+      let best = ref (-1) in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if Rat.(a > zero) then begin
+          let ratio = Rat.div t.rhs.(i) a in
+          match !best with
+          | -1 -> best := i
+          | b ->
+              let rb = Rat.div t.rhs.(b) t.rows.(b).(col) in
+              let cmp = Rat.compare ratio rb in
+              if cmp < 0 || (cmp = 0 && t.basis.(i) < t.basis.(b)) then
+                best := i
+        end
+      done;
+      if !best < 0 then raise Unbounded_lp;
+      let row = !best in
+      let delta = Rat.mul red.(col) (Rat.div t.rhs.(row) t.rows.(row).(col)) in
+      value := Rat.add !value delta;
+      let piv_row = t.rows.(row) in
+      let f = red.(col) in
+      pivot t ~row ~col;
+      (* [pivot] rescaled the row, so update reduced costs from it. *)
+      for j = 0 to t.cols - 1 do
+        red.(j) <- Rat.sub red.(j) (Rat.mul f piv_row.(j))
+      done
+    end
+  done;
+  !value
+
+let solve (p : Problem.t) =
+  let n = Problem.num_vars p in
+  (* Normalise to minimisation with non-negative right-hand sides. *)
+  let minimise = p.sense = Problem.Minimize in
+  let obj =
+    if minimise then Array.copy p.objective else Array.map Rat.neg p.objective
+  in
+  let rows =
+    List.map
+      (fun (c : Problem.linear_constraint) ->
+        if Rat.(c.rhs < zero) then
+          ( Array.map Rat.neg c.coeffs,
+            (match c.relation with
+            | Problem.Le -> Problem.Ge
+            | Problem.Ge -> Problem.Le
+            | Problem.Eq -> Problem.Eq),
+            Rat.neg c.rhs )
+        else (Array.copy c.coeffs, c.relation, c.rhs))
+      p.constraints
+  in
+  let m = List.length rows in
+  let n_slack =
+    List.fold_left
+      (fun acc (_, rel, _) -> if rel = Problem.Eq then acc else acc + 1)
+      0 rows
+  in
+  let n_artificial =
+    List.fold_left
+      (fun acc (_, rel, _) -> if rel = Problem.Le then acc else acc + 1)
+      0 rows
+  in
+  let cols = n + n_slack + n_artificial in
+  let t =
+    {
+      rows = Array.init m (fun _ -> Array.make cols Rat.zero);
+      rhs = Array.make m Rat.zero;
+      basis = Array.make m 0;
+      cols;
+      n_struct = n;
+      first_artificial = n + n_slack;
+    }
+  in
+  let slack = ref n and artificial = ref (n + n_slack) in
+  List.iteri
+    (fun i (coeffs, rel, rhs) ->
+      Array.blit coeffs 0 t.rows.(i) 0 n;
+      t.rhs.(i) <- rhs;
+      (match rel with
+      | Problem.Le ->
+          t.rows.(i).(!slack) <- Rat.one;
+          t.basis.(i) <- !slack;
+          incr slack
+      | Problem.Ge ->
+          t.rows.(i).(!slack) <- Rat.minus_one;
+          incr slack;
+          t.rows.(i).(!artificial) <- Rat.one;
+          t.basis.(i) <- !artificial;
+          incr artificial
+      | Problem.Eq ->
+          t.rows.(i).(!artificial) <- Rat.one;
+          t.basis.(i) <- !artificial;
+          incr artificial))
+    rows;
+  ignore t.n_struct;
+  try
+    (* Phase 1: minimise the sum of artificial variables. *)
+    if n_artificial > 0 then begin
+      let c1 = Array.make cols Rat.zero in
+      for j = t.first_artificial to cols - 1 do
+        c1.(j) <- Rat.one
+      done;
+      let v1 = optimise t c1 ~lock_from:cols in
+      if Rat.(v1 > zero) then raise Exit;
+      (* Drive any artificial still basic (at value 0) out of the basis. *)
+      for i = 0 to m - 1 do
+        if t.basis.(i) >= t.first_artificial then begin
+          let j = ref 0 and found = ref false in
+          while (not !found) && !j < t.first_artificial do
+            if not (Rat.equal t.rows.(i).(!j) Rat.zero) then found := true
+            else incr j
+          done;
+          (* A row with no eligible pivot is redundant; the artificial stays
+             basic at zero, which is harmless once its column is locked. *)
+          if !found then pivot t ~row:i ~col:!j
+        end
+      done
+    end;
+    (* Phase 2: the real objective, artificial columns locked out. *)
+    let c2 = Array.make cols Rat.zero in
+    Array.blit obj 0 c2 0 n;
+    let value = optimise t c2 ~lock_from:t.first_artificial in
+    let point = Array.make n Rat.zero in
+    for i = 0 to m - 1 do
+      if t.basis.(i) < n then point.(t.basis.(i)) <- t.rhs.(i)
+    done;
+    let value = if minimise then value else Rat.neg value in
+    Optimal { value; point }
+  with
+  | Exit -> Infeasible
+  | Unbounded_lp -> Unbounded
+
+let pp_outcome ppf = function
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Optimal { value; point } ->
+      Format.fprintf ppf "optimal %a at (%s)" Rat.pp value
+        (String.concat ", " (Array.to_list (Array.map Rat.to_string point)))

@@ -1,0 +1,16 @@
+(** Exact two-phase simplex over rationals.
+
+    Solves {!Problem.t} instances (non-negative variables, [Le]/[Ge]/[Eq]
+    constraints) using a dense tableau and Bland's anti-cycling pivot rule,
+    so termination is guaranteed and — thanks to {!Rat} arithmetic — results
+    are exact. *)
+
+type outcome =
+  | Optimal of { value : Rat.t; point : Rat.t array }
+      (** Optimal objective value and an optimal vertex. *)
+  | Infeasible
+  | Unbounded
+
+val solve : Problem.t -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,107 @@
+type t = { n : int; d : int }
+
+exception Overflow
+exception Division_by_zero
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let gcd a b = gcd (Stdlib.abs a) (Stdlib.abs b)
+
+(* Overflow-checked primitive operations on [int].  [min_int] is rejected
+   outright so that negation and [abs] are always safe. *)
+
+let check x = if x = Stdlib.min_int then raise Overflow else x
+
+let add_int a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else check s
+
+let mul_int a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else check p
+
+let make n d =
+  if d = 0 then raise Division_by_zero
+  else
+    let n, d = if d < 0 then (check (-n), check (-d)) else (n, d) in
+    let g = gcd n d in
+    if g = 0 then { n = 0; d = 1 } else { n = n / g; d = d / g }
+
+let of_int n = { n; d = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.n
+let den t = t.d
+
+(* [a/b + c/d] computed through the gcd of the denominators to delay
+   overflow as long as possible. *)
+let add a b =
+  let g = gcd a.d b.d in
+  let bd = b.d / g and ad = a.d / g in
+  let n = add_int (mul_int a.n bd) (mul_int b.n ad) in
+  let d = mul_int a.d bd in
+  make n d
+
+let neg a = { a with n = check (-a.n) }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-reduce before multiplying to keep intermediates small. *)
+  let g1 = gcd a.n b.d and g2 = gcd b.n a.d in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  let n = mul_int (a.n / g1) (b.n / g2) in
+  let d = mul_int (a.d / g2) (b.d / g1) in
+  make n d
+
+let inv a = if a.n = 0 then raise Division_by_zero else make a.d a.n
+let div a b = mul a (inv b)
+let abs a = if a.n < 0 then neg a else a
+let sign a = compare a.n 0
+
+let compare a b =
+  (* Signs first, then cross-multiply within the positive quadrant. *)
+  let sa = sign a and sb = sign b in
+  if sa <> sb then Stdlib.compare sa sb
+  else
+    let l = mul_int a.n b.d and r = mul_int b.n a.d in
+    Stdlib.compare l r
+
+let equal a b = a.n = b.n && a.d = b.d
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer t = t.d = 1
+
+let floor t =
+  if t.d = 1 then t.n
+  else if t.n >= 0 then t.n / t.d
+  else Stdlib.(-((-t.n + t.d - 1) / t.d))
+
+let ceil t =
+  if t.d = 1 then t.n
+  else if t.n >= 0 then Stdlib.((t.n + t.d - 1) / t.d)
+  else Stdlib.(-(-t.n / t.d))
+
+let to_float t = float_of_int t.n /. float_of_int t.d
+
+let to_int_exn t =
+  if t.d = 1 then t.n else invalid_arg "Rat.to_int_exn: not an integer"
+
+let pp ppf t =
+  if t.d = 1 then Format.fprintf ppf "%d" t.n
+  else Format.fprintf ppf "%d/%d" t.n t.d
+
+let to_string t = Format.asprintf "%a" pp t
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

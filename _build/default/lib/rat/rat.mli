@@ -1,0 +1,69 @@
+(** Exact rational arithmetic on machine integers.
+
+    Values are kept in normalised form: the denominator is strictly positive
+    and the numerator and denominator are coprime.  All operations detect
+    [int] overflow and raise {!Overflow} instead of silently wrapping, which
+    is sufficient for the small linear programs produced by the
+    dedicated-model cost analysis (tens of variables, small coefficients).
+
+    This module is the numeric substrate of the {!Lp} simplex solver and of
+    the density comparisons in the lower-bound engine. *)
+
+type t
+
+exception Overflow
+(** Raised when an intermediate product or sum does not fit in an [int]. *)
+
+exception Division_by_zero
+
+val make : int -> int -> t
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+(** Numerator of the normalised form. *)
+
+val den : t -> int
+(** Denominator of the normalised form; always [> 0]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val is_integer : t -> bool
+val floor : t -> int
+val ceil : t -> int
+val to_float : t -> float
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

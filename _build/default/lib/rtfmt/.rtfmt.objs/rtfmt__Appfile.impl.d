@@ -1,0 +1,1 @@
+lib/rtfmt/appfile.ml: Array Buffer Dag Hashtbl List Option Printf Rtlb String

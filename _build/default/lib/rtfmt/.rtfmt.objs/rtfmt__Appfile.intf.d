@@ -1,0 +1,1 @@
+lib/rtfmt/appfile.mli: Rtlb

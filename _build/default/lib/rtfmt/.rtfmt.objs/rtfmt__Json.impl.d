@@ -1,0 +1,1 @@
+lib/rtfmt/json.ml: Array Buffer Char List Printf Rat Rtlb Sched String

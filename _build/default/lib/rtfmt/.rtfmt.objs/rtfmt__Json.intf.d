@@ -1,0 +1,1 @@
+lib/rtfmt/json.mli: Rtlb Sched

@@ -1,0 +1,1 @@
+lib/rtfmt/report.ml: Array Buffer Dag Format List Printf Rtlb String Table

@@ -1,0 +1,1 @@
+lib/rtfmt/report.mli: Rtlb Table

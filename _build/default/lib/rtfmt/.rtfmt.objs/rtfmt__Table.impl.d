@@ -1,0 +1,1 @@
+lib/rtfmt/table.ml: Array Buffer List String

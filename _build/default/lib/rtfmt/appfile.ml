@@ -1,0 +1,293 @@
+type t = { app : Rtlb.App.t; system : Rtlb.System.t option }
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+type pending_task = {
+  pt_name : string;
+  pt_compute : int;
+  pt_release : int;
+  pt_deadline : int;
+  pt_proc : string;
+  pt_resources : string list;
+  pt_preemptive : bool;
+  pt_period : int option;  (* period= turns the file periodic *)
+}
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let key_value line word =
+  match String.index_opt word '=' with
+  | Some i ->
+      Some
+        ( String.sub word 0 i,
+          String.sub word (i + 1) (String.length word - i - 1) )
+  | None ->
+      if word = "preemptive" then None
+      else fail line "expected key=value, got %S" word
+
+let int_of line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: not an integer: %S" what s
+
+let parse_task line words =
+  match words with
+  | name :: rest ->
+      let preemptive = List.mem "preemptive" rest in
+      let kvs = List.filter_map (key_value line) rest in
+      let get k = List.assoc_opt k kvs in
+      let compute =
+        match get "compute" with
+        | Some v -> int_of line "compute" v
+        | None -> fail line "task %s: missing compute=" name
+      in
+      let period_opt = Option.map (int_of line "period") (get "period") in
+      let deadline =
+        match (get "deadline", period_opt) with
+        | Some v, _ -> int_of line "deadline" v
+        | None, Some p -> p
+        | None, None -> fail line "task %s: missing deadline=" name
+      in
+      let proc =
+        match get "proc" with
+        | Some v -> v
+        | None -> fail line "task %s: missing proc=" name
+      in
+      let release =
+        match get "release" with Some v -> int_of line "release" v | None -> 0
+      in
+      let resources =
+        match get "res" with
+        | Some v ->
+            String.split_on_char ',' v
+            |> List.filter (( <> ) "")
+            |> List.concat_map (fun r ->
+                   match String.index_opt r 'x' with
+                   | Some i
+                     when i > 0 && int_of_string_opt (String.sub r 0 i) <> None
+                     ->
+                       let count = int_of_string (String.sub r 0 i) in
+                       if count < 1 then
+                         fail line "task %s: zero resource units" name;
+                       List.init count (fun _ ->
+                           String.sub r (i + 1) (String.length r - i - 1))
+                   | _ -> [ r ])
+        | None -> []
+      in
+      let period = period_opt in
+      {
+        pt_name = name;
+        pt_compute = compute;
+        pt_release = release;
+        pt_deadline = deadline;
+        pt_proc = proc;
+        pt_resources = resources;
+        pt_preemptive = preemptive;
+        pt_period = period;
+      }
+  | [] -> fail line "task: missing name"
+
+let parse_shared line words =
+  let costs =
+    List.map
+      (fun w ->
+        match key_value line w with
+        | Some (r, c) -> (r, int_of line "cost" c)
+        | None -> fail line "shared: expected RESOURCE=COST")
+      words
+  in
+  try Rtlb.System.shared ~costs
+  with Invalid_argument m -> fail line "shared: %s" m
+
+let parse_node line words =
+  match words with
+  | name :: rest ->
+      let kvs = List.filter_map (key_value line) rest in
+      let proc =
+        match List.assoc_opt "proc" kvs with
+        | Some p -> p
+        | None -> fail line "node %s: missing proc=" name
+      in
+      let cost =
+        match List.assoc_opt "cost" kvs with
+        | Some c -> int_of line "cost" c
+        | None -> 1
+      in
+      let provides =
+        match List.assoc_opt "res" kvs with
+        | Some v ->
+            String.split_on_char ',' v
+            |> List.filter (( <> ) "")
+            |> List.map (fun r ->
+                   match String.index_opt r 'x' with
+                   | Some i when i > 0 && int_of_string_opt (String.sub r 0 i) <> None ->
+                       let count = int_of_string (String.sub r 0 i) in
+                       (String.sub r (i + 1) (String.length r - i - 1), count)
+                   | _ -> (r, 1))
+        | None -> []
+      in
+      (try Rtlb.System.node_type ~name ~proc ~provides ~cost ()
+       with Invalid_argument m -> fail line "node %s: %s" name m)
+  | [] -> fail line "node: missing name"
+
+let parse text =
+  let tasks = ref [] and edges = ref [] in
+  let shared = ref None and nodes = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let words = split_words (strip_comment raw) in
+      match words with
+      | [] -> ()
+      | "task" :: rest -> tasks := parse_task line rest :: !tasks
+      | [ "edge"; src; dst; m ] ->
+          edges := (line, src, dst, int_of line "message" m) :: !edges
+      | "edge" :: _ -> fail line "edge: expected 'edge SRC DST SIZE'"
+      | "shared" :: rest ->
+          if !shared <> None then fail line "duplicate shared line";
+          shared := Some (parse_shared line rest)
+      | "node" :: rest -> nodes := parse_node line rest :: !nodes
+      | w :: _ -> fail line "unknown directive %S" w)
+    lines;
+  let tasks = List.rev !tasks in
+  let index = Hashtbl.create 16 in
+  List.iteri
+    (fun i pt ->
+      if Hashtbl.mem index pt.pt_name then
+        fail 0 "duplicate task name %s" pt.pt_name;
+      Hashtbl.add index pt.pt_name i)
+    tasks;
+  let periodic = List.exists (fun pt -> pt.pt_period <> None) tasks in
+  let app =
+    if periodic then begin
+      if List.exists (fun pt -> pt.pt_period = None) tasks then
+        fail 0 "mixing periodic and one-shot tasks is not supported";
+      let ptasks =
+        List.map
+          (fun pt ->
+            try
+              Rtlb.Periodic.ptask ~name:pt.pt_name
+                ~period:(Option.get pt.pt_period) ~offset:pt.pt_release
+                ~compute:pt.pt_compute ~deadline:pt.pt_deadline
+                ~proc:pt.pt_proc ~resources:pt.pt_resources
+                ~preemptive:pt.pt_preemptive ()
+            with Invalid_argument m -> fail 0 "task %s: %s" pt.pt_name m)
+          tasks
+      in
+      let pedges =
+        List.rev_map
+          (fun (line, src, dst, m) ->
+            if not (Hashtbl.mem index src) then fail line "edge: unknown task %s" src;
+            if not (Hashtbl.mem index dst) then fail line "edge: unknown task %s" dst;
+            (src, dst, m))
+          !edges
+      in
+      try Rtlb.Periodic.unroll ~tasks:ptasks ~edges:pedges ()
+      with Invalid_argument m -> fail 0 "%s" m
+    end
+    else begin
+      let task_list =
+        List.mapi
+          (fun i pt ->
+            try
+              Rtlb.Task.make ~id:i ~name:pt.pt_name ~compute:pt.pt_compute
+                ~release:pt.pt_release ~deadline:pt.pt_deadline ~proc:pt.pt_proc
+                ~resources:pt.pt_resources ~preemptive:pt.pt_preemptive ()
+            with Invalid_argument m -> fail 0 "task %s: %s" pt.pt_name m)
+          tasks
+      in
+      let edge_list =
+        List.rev_map
+          (fun (line, src, dst, m) ->
+            let find n =
+              match Hashtbl.find_opt index n with
+              | Some i -> i
+              | None -> fail line "edge: unknown task %s" n
+            in
+            (find src, find dst, m))
+          !edges
+      in
+      try Rtlb.App.make ~tasks:task_list ~edges:edge_list
+      with Invalid_argument m -> fail 0 "%s" m
+    end
+  in
+  let system =
+    match (!shared, List.rev !nodes) with
+    | Some _, _ :: _ -> fail 0 "both shared and node lines present"
+    | Some s, [] -> Some s
+    | None, [] -> None
+    | None, nodes -> (
+        try Some (Rtlb.System.dedicated nodes)
+        with Invalid_argument m -> fail 0 "%s" m)
+  in
+  { app; system }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string ?system app =
+  let buf = Buffer.create 512 in
+  Array.iter
+    (fun (task : Rtlb.Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %s compute=%d release=%d deadline=%d proc=%s"
+           task.Rtlb.Task.name task.Rtlb.Task.compute task.Rtlb.Task.release
+           task.Rtlb.Task.deadline task.Rtlb.Task.proc);
+      (match task.Rtlb.Task.demands with
+      | [] -> ()
+      | ds ->
+          Buffer.add_string buf
+            (" res="
+            ^ String.concat ","
+                (List.map
+                   (fun (r, k) ->
+                     if k = 1 then r else Printf.sprintf "%dx%s" k r)
+                   ds)));
+      if task.Rtlb.Task.preemptive then Buffer.add_string buf " preemptive";
+      Buffer.add_char buf '\n')
+    (Rtlb.App.tasks app);
+  let name i = (Rtlb.App.task app i).Rtlb.Task.name in
+  Dag.fold_edges (Rtlb.App.graph app) ~init:() ~f:(fun () ~src ~dst m ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s %d\n" (name src) (name dst) m));
+  (match system with
+  | None -> ()
+  | Some (Rtlb.System.Shared costs) ->
+      Buffer.add_string buf "shared";
+      List.iter
+        (fun (r, c) -> Buffer.add_string buf (Printf.sprintf " %s=%d" r c))
+        costs;
+      Buffer.add_char buf '\n'
+  | Some (Rtlb.System.Dedicated nts) ->
+      List.iter
+        (fun (nt : Rtlb.System.node_type) ->
+          Buffer.add_string buf
+            (Printf.sprintf "node %s proc=%s" nt.Rtlb.System.nt_name
+               nt.Rtlb.System.nt_proc);
+          (match nt.Rtlb.System.nt_provides with
+          | [] -> ()
+          | provides ->
+              Buffer.add_string buf " res=";
+              Buffer.add_string buf
+                (String.concat ","
+                   (List.map
+                      (fun (r, c) ->
+                        if c = 1 then r else Printf.sprintf "%dx%s" c r)
+                      provides)));
+          Buffer.add_string buf
+            (Printf.sprintf " cost=%d\n" nt.Rtlb.System.nt_cost))
+        nts);
+  Buffer.contents buf

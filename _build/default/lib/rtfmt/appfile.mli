@@ -1,0 +1,31 @@
+(** A small line-oriented text format for applications and system models,
+    used by the CLI and the examples.
+
+    {v
+    # comment / blank lines are ignored
+    task T1 compute=3 deadline=36 proc=P1 res=r1          # release=0 default
+    task T2 compute=6 release=2 deadline=36 proc=P1 res=r1,r2 preemptive
+    edge T1 T2 4                                          # message size 4
+    shared P1=5 P2=4 r1=3                                 # shared model costs
+    node N1 proc=P1 res=r1 cost=10                        # or dedicated nodes
+    node N2 proc=P1 cost=6
+    v}
+
+    A file may declare either one [shared] line or one or more [node]
+    lines (not both).  Task ids are assigned in declaration order. *)
+
+type t = { app : Rtlb.App.t; system : Rtlb.System.t option }
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> t
+(** Parse the full text of an application file.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t
+(** @raise Parse_error and [Sys_error]. *)
+
+val to_string : ?system:Rtlb.System.t -> Rtlb.App.t -> string
+(** Render an application (and optionally a system) in the same format;
+    [parse (to_string app)] reconstructs the application. *)

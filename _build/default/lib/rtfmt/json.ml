@@ -1,0 +1,350 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------- printing ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 256 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun k item ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        nl ();
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun k (name, value) ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape name);
+            Buffer.add_string buf "\": ";
+            go (depth + 1) value)
+          fields;
+        nl ();
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let fail msg = raise (Parse_error msg)
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail (Printf.sprintf "expected %c, found %c at %d" ch x c.pos)
+  | None -> fail (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.sub c.text c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail (Printf.sprintf "bad literal at %d" c.pos)
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.text then fail "bad \\u escape";
+            let hex = String.sub c.text c.pos 4 in
+            c.pos <- c.pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+            | Some _ -> Buffer.add_string buf "?"
+            | None -> fail "bad \\u escape");
+            go ()
+        | _ -> fail "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "empty input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          expect c '"';
+          let name = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (name, v)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields (f :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev (f :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (fields [])
+      end
+  | Some ('-' | '0' .. '9') ->
+      let start = c.pos in
+      if peek c = Some '-' then advance c;
+      let rec digits () =
+        match peek c with
+        | Some '0' .. '9' ->
+            advance c;
+            digits ()
+        | _ -> ()
+      in
+      digits ();
+      let s = String.sub c.text start (c.pos - start) in
+      (match int_of_string_opt s with
+      | Some v -> Int v
+      | None -> fail ("bad number " ^ s))
+  | Some ch -> fail (Printf.sprintf "unexpected %c at %d" ch c.pos)
+
+let parse text =
+  let c = { text; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length text then fail "trailing garbage";
+  v
+
+let member name = function
+  | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise Not_found)
+  | _ -> raise Not_found
+
+(* ---------------- encoders ---------------- *)
+
+let of_schedule app schedule =
+  List
+    (Array.to_list schedule
+    |> List.map (fun (e : Sched.Schedule.entry) ->
+           let task = Rtlb.App.task app e.Sched.Schedule.e_task in
+           Obj
+             [
+               ("task", Str task.Rtlb.Task.name);
+               ("start", Int e.Sched.Schedule.e_start);
+               ("finish", Int (Sched.Schedule.finish app e));
+               ( "host",
+                 Str
+                   (match e.Sched.Schedule.e_host with
+                   | Sched.Schedule.On_proc (p, k) -> Printf.sprintf "%s#%d" p k
+                   | Sched.Schedule.On_node (n, k) -> Printf.sprintf "%s#%d" n k)
+               );
+               ( "resource_units",
+                 List
+                   (List.map
+                      (fun (r, u) ->
+                        Obj [ ("resource", Str r); ("unit", Int u) ])
+                      e.Sched.Schedule.e_resource_units) );
+             ]))
+
+let of_analysis (a : Rtlb.Analysis.t) =
+  let windows =
+    List
+      (Array.to_list (Rtlb.App.tasks a.Rtlb.Analysis.app)
+      |> List.map (fun (task : Rtlb.Task.t) ->
+             let i = task.Rtlb.Task.id in
+             Obj
+               [
+                 ("task", Str task.Rtlb.Task.name);
+                 ("est", Int a.Rtlb.Analysis.windows.Rtlb.Est_lct.est.(i));
+                 ("lct", Int a.Rtlb.Analysis.windows.Rtlb.Est_lct.lct.(i));
+               ]))
+  in
+  let name i = (Rtlb.App.task a.Rtlb.Analysis.app i).Rtlb.Task.name in
+  let bounds =
+    List
+      (List.map
+         (fun (b : Rtlb.Lower_bound.bound) ->
+           Obj
+             ([
+                ("resource", Str b.Rtlb.Lower_bound.resource);
+                ("lb", Int b.Rtlb.Lower_bound.lb);
+                ( "partition",
+                  List
+                    (List.map
+                       (fun block -> List (List.map (fun i -> Str (name i)) block))
+                       b.Rtlb.Lower_bound.partition.Rtlb.Partition.blocks) );
+              ]
+             @
+             match b.Rtlb.Lower_bound.witness with
+             | None -> []
+             | Some w ->
+                 [
+                   ( "witness",
+                     Obj
+                       [
+                         ("t1", Int w.Rtlb.Lower_bound.w_t1);
+                         ("t2", Int w.Rtlb.Lower_bound.w_t2);
+                         ("theta", Int w.Rtlb.Lower_bound.w_theta);
+                       ] );
+                 ]))
+         a.Rtlb.Analysis.bounds)
+  in
+  let cost =
+    match a.Rtlb.Analysis.cost with
+    | Rtlb.Cost.No_feasible_system e ->
+        Obj [ ("model", Str "none"); ("error", Str e) ]
+    | Rtlb.Cost.Shared_cost { s_terms; s_cost } ->
+        Obj
+          [
+            ("model", Str "shared");
+            ("bound", Int s_cost);
+            ( "terms",
+              List
+                (List.map
+                   (fun (r, c, lb) ->
+                     Obj [ ("resource", Str r); ("unit_cost", Int c); ("lb", Int lb) ])
+                   s_terms) );
+          ]
+    | Rtlb.Cost.Dedicated_cost d ->
+        Obj
+          [
+            ("model", Str "dedicated");
+            ("bound", Int d.Rtlb.Cost.d_cost);
+            ("lp_relaxation", Str (Rat.to_string d.Rtlb.Cost.d_relaxed_cost));
+            ( "nodes",
+              Obj (List.map (fun (n, x) -> (n, Int x)) d.Rtlb.Cost.d_counts) );
+          ]
+  in
+  Obj
+    [
+      ("tasks", Int (Rtlb.App.n_tasks a.Rtlb.Analysis.app));
+      ("windows", windows);
+      ("bounds", bounds);
+      ("cost", cost);
+      ( "feasible_windows",
+        Bool
+          (match
+             Rtlb.Est_lct.feasible_windows a.Rtlb.Analysis.app
+               a.Rtlb.Analysis.windows
+           with
+          | Ok () -> true
+          | Error _ -> false) );
+    ]

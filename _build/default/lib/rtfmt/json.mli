@@ -1,0 +1,34 @@
+(** Minimal JSON values, printer, parser, and encoders for analysis
+    results — so other tooling can consume the CLI's output without
+    scraping tables.
+
+    Only what the CLI needs: UTF-8 pass-through strings with standard
+    escapes, integer numbers (all quantities in this repository are
+    integers or rationals printed as strings). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default true) pretty-prints with two-space indentation. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Strict parser for the subset {!to_string} emits (numbers must be
+    integers).  @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t
+(** Object field access.  @raise Not_found when absent or not an object. *)
+
+val of_analysis : Rtlb.Analysis.t -> t
+(** Structured rendering of a full four-step analysis: task windows,
+    per-resource bounds with witnesses and partitions, and the cost
+    outcome. *)
+
+val of_schedule : Rtlb.App.t -> Sched.Schedule.t -> t

@@ -1,0 +1,14 @@
+(** Full plain-text analysis reports: everything the four steps produced,
+    as aligned tables — the CLI's [analyze --full] output and a reusable
+    building block for tools on top of the library. *)
+
+val windows_table : Rtlb.Analysis.t -> Table.t
+(** task / EST / LCT / window / slack / critical flag. *)
+
+val bounds_table : Rtlb.Analysis.t -> Table.t
+(** resource / LB / witness interval / witness demand / partition. *)
+
+val render : ?demand_windows:int -> Rtlb.Analysis.t -> string
+(** The complete report: headline, windows table, bounds table, cost
+    outcome, criticality summary, and (when [demand_windows] is given) a
+    sliding demand profile of that width for every bounded resource. *)

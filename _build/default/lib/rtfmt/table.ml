@@ -1,0 +1,80 @@
+type align = Left | Right | Centre
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+  width : int;
+}
+
+let create ?aligns headers =
+  if headers = [] then invalid_arg "Table.create: no columns";
+  let width = List.length headers in
+  let aligns =
+    match aligns with
+    | None -> Left :: List.init (width - 1) (fun _ -> Right)
+    | Some a when List.length a = width -> a
+    | Some _ -> invalid_arg "Table.create: wrong number of alignments"
+  in
+  { headers; aligns; rows = []; width }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Table.add_row: wrong row width";
+  t.rows <- Cells cells :: t.rows
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let missing = width - n in
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+    | Centre ->
+        let l = missing / 2 in
+        String.make l ' ' ^ s ^ String.make (missing - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          List.iteri
+            (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+            cells)
+    rows;
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_string buf "|";
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "+";
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "|\n"
+  in
+  line t.headers;
+  rule ();
+  List.iter (function Separator -> rule () | Cells c -> line c) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for reports and benchmark output. *)
+
+type align = Left | Right | Centre
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Left] for the
+    first column and [Right] for the rest (the common "name, numbers"
+    layout).
+    @raise Invalid_argument when [aligns] is given with a wrong length. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the row width differs from the header. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** Convenience: a label column followed by integers. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** Boxed ASCII rendering, e.g.
+    {v
+    | task | E  | L  |
+    |------+----+----|
+    | T1   |  0 |  3 |
+    v} *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Array Buffer List Option Platform Preemptive Printf Rtlb Schedule String

@@ -1,0 +1,1 @@
+lib/sched/horn.ml: Array Flow List Rtlb

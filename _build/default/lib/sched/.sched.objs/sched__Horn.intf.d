@@ -1,0 +1,1 @@
+lib/sched/horn.mli: Rtlb

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.ml: Array Fun List Option Platform Rtlb Schedule String Timeline

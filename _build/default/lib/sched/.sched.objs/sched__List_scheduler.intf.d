@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Platform Rtlb Schedule

@@ -1,0 +1,1 @@
+lib/sched/makespan.ml: Array Dag List Rtlb

@@ -1,0 +1,1 @@
+lib/sched/platform.ml: Array Format Hashtbl List Option Printf Rtlb String

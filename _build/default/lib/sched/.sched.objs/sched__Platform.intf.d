@@ -1,0 +1,1 @@
+lib/sched/platform.mli: Format Rtlb

@@ -1,0 +1,1 @@
+lib/sched/preemptive.ml: Array Dag Fun Hashtbl List Option Printf Rtlb String

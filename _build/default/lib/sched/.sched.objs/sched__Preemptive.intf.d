@@ -1,0 +1,1 @@
+lib/sched/preemptive.mli: Rtlb

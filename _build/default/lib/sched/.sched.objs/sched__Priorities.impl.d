@@ -1,0 +1,1 @@
+lib/sched/priorities.ml: Array Rtlb

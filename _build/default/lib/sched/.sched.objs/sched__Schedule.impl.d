@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Dag Format List Option Platform Printf Rtlb String

@@ -1,0 +1,1 @@
+lib/sched/search.ml: Array Fun List List_scheduler Option Platform Rtlb Schedule Set String Timeline

@@ -1,0 +1,1 @@
+lib/sched/search.mli: Platform Rtlb Schedule

@@ -1,0 +1,1 @@
+lib/sched/simulator.ml: Array Fun List Option Platform Rtlb Schedule String

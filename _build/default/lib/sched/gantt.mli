@@ -1,0 +1,34 @@
+(** ASCII Gantt charts for schedules.
+
+    One row per host instance (and per shared-resource unit when
+    requested), one column per time unit, with task names packed into
+    their execution intervals:
+
+    {v
+    P1#0  |T1 T1 T1 T4 T4 T4 T4 T4 .  .  |
+    P1#1  |T2 T2 T2 T2 T2 T2 T5 T5 T5 T5|
+    v} *)
+
+val render :
+  ?width:int ->
+  ?show_resources:bool ->
+  Rtlb.App.t ->
+  Platform.t ->
+  Schedule.t ->
+  string
+(** [render app platform schedule] draws the schedule.  [width] (default
+    [100]) caps the number of time columns; longer horizons are scaled by
+    whole-number time-per-column factors.  [show_resources] (default
+    [false]) adds one row per shared-resource unit. *)
+
+val render_preemptive :
+  ?width:int -> Rtlb.App.t -> procs:(string * int) list -> Preemptive.schedule -> string
+(** Gantt chart of a preemptive schedule (one row per processor instance;
+    tasks may appear in several slices). *)
+
+val render_svg :
+  ?show_resources:bool -> Rtlb.App.t -> Platform.t -> Schedule.t -> string
+(** Standalone SVG rendering of the schedule: one lane per host instance
+    (and resource unit when requested), deadline-violating tasks in red,
+    a time axis underneath.  Deterministic output, suitable for golden
+    testing and for piping to a file from the CLI. *)

@@ -1,0 +1,99 @@
+type job = { j_release : int; j_deadline : int; j_compute : int }
+
+let validate jobs m =
+  if m <= 0 then invalid_arg "Horn: m <= 0";
+  List.iter
+    (fun j ->
+      if j.j_release < 0 || j.j_compute < 0 then
+        invalid_arg "Horn: negative job field";
+      if j.j_release + j.j_compute > j.j_deadline then
+        invalid_arg "Horn: job window smaller than its computation")
+    jobs
+
+let feasible ~jobs ~m =
+  validate jobs m;
+  let jobs = List.filter (fun j -> j.j_compute > 0) jobs in
+  if jobs = [] then true
+  else begin
+    let points =
+      List.concat_map (fun j -> [ j.j_release; j.j_deadline ]) jobs
+      |> List.sort_uniq compare
+      |> Array.of_list
+    in
+    let n_jobs = List.length jobs in
+    let n_intervals = Array.length points - 1 in
+    (* vertex layout: 0 = source, 1 = sink, 2.. jobs, then intervals *)
+    let source = 0 and sink = 1 in
+    let job_v k = 2 + k in
+    let interval_v l = 2 + n_jobs + l in
+    let net = Flow.create ~n:(2 + n_jobs + n_intervals) in
+    let total = ref 0 in
+    List.iteri
+      (fun k j ->
+        total := !total + j.j_compute;
+        Flow.add_edge net ~src:source ~dst:(job_v k) ~capacity:j.j_compute;
+        for l = 0 to n_intervals - 1 do
+          let t1 = points.(l) and t2 = points.(l + 1) in
+          if j.j_release <= t1 && t2 <= j.j_deadline then
+            Flow.add_edge net ~src:(job_v k) ~dst:(interval_v l)
+              ~capacity:(t2 - t1)
+        done)
+      jobs;
+    for l = 0 to n_intervals - 1 do
+      Flow.add_edge net ~src:(interval_v l) ~dst:sink
+        ~capacity:(m * (points.(l + 1) - points.(l)))
+    done;
+    Flow.max_flow net ~source ~sink = !total
+  end
+
+let min_processors ~jobs =
+  let jobs = List.filter (fun j -> j.j_compute > 0) jobs in
+  if jobs = [] then 0
+  else begin
+    let hi = List.length jobs in
+    let rec bisect lo hi =
+      (* invariant: infeasible at lo (or lo = 0), feasible at hi *)
+      if lo + 1 >= hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if feasible ~jobs ~m:mid then bisect lo mid else bisect mid hi
+    in
+    if feasible ~jobs ~m:1 then 1 else bisect 1 hi
+  end
+
+let of_app app =
+  Array.to_list (Rtlb.App.tasks app)
+  |> List.map (fun (t : Rtlb.Task.t) ->
+         {
+           j_release = t.Rtlb.Task.release;
+           j_deadline = t.Rtlb.Task.deadline;
+           j_compute = t.Rtlb.Task.compute;
+         })
+
+let density_bound ~jobs =
+  let jobs = List.filter (fun j -> j.j_compute > 0) jobs in
+  match jobs with
+  | [] -> 0
+  | _ ->
+      let points =
+        List.concat_map (fun j -> [ j.j_release; j.j_deadline ]) jobs
+        |> List.sort_uniq compare
+        |> Array.of_list
+      in
+      let np = Array.length points in
+      let best = ref 0 in
+      for a = 0 to np - 2 do
+        for b = a + 1 to np - 1 do
+          let t1 = points.(a) and t2 = points.(b) in
+          let demand =
+            List.fold_left
+              (fun acc j ->
+                acc
+                + Rtlb.Overlap.psi ~preemptive:true ~est:j.j_release
+                    ~lct:j.j_deadline ~compute:j.j_compute ~t1 ~t2)
+              0 jobs
+          in
+          best := max !best ((demand + t2 - t1 - 1) / (t2 - t1))
+        done
+      done;
+      !best

@@ -1,0 +1,39 @@
+(** Priority-driven non-preemptive list scheduler with communication and
+    resource contention, for both platform architectures.
+
+    Repeatedly picks the highest-priority task whose predecessors are all
+    placed, and assigns it the host (and, in the shared model, the
+    resource units) that lets it start earliest; message latency is paid
+    exactly when producer and consumer sit on different hosts.
+
+    The scheduler is a {e sufficient} feasibility test: a returned
+    schedule is checked to be feasible, but failure does not prove
+    infeasibility (greedy list scheduling is not complete).  This is the
+    validation counterpart of the paper's bounds: whenever it succeeds on
+    a platform, every [LB_r] must be at most the platform's unit count —
+    the property the test suite exercises. *)
+
+type failure = {
+  f_task : int;  (** First task that missed its deadline. *)
+  f_start : int;  (** Best achievable start time. *)
+  f_deadline : int;
+  f_partial : Schedule.entry list;  (** Placements made before the miss,
+                                        in placement order. *)
+}
+
+val run :
+  ?priority:(int -> int) ->
+  Rtlb.App.t ->
+  Platform.t ->
+  (Schedule.t, failure) result
+(** [priority] maps a task id to its key; smaller keys are served first
+    (ties by id).  Defaults to the task deadline (EDF).  A task with no
+    capable host on the platform fails immediately with
+    [f_start = max_int]. *)
+
+val feasible : ?priority:(int -> int) -> Rtlb.App.t -> Platform.t -> bool
+(** [run] succeeded and the schedule passes {!Schedule.check}. *)
+
+val lct_priority : Rtlb.System.t -> Rtlb.App.t -> int -> int
+(** Priority by latest completion time from the Section 4 analysis —
+    usually a stronger key than the raw deadline. *)

@@ -1,0 +1,17 @@
+(** Exact minimum makespan for small instances (branch and bound).
+
+    Model: non-preemptive tasks with precedence on [m] identical
+    processors; deadlines, resources, processor types and communication
+    are ignored.  Used to sandwich the Jain–Rajaraman bounds and to
+    measure list-scheduling optimality gaps — strictly a test/benchmark
+    oracle, exponential in the worst case. *)
+
+val minimum :
+  ?node_limit:int -> Rtlb.App.t -> m:int -> int option
+(** The optimal makespan, or [None] when the search exceeds [node_limit]
+    (default [500_000]) nodes.
+    @raise Invalid_argument when [m <= 0]. *)
+
+val greedy : Rtlb.App.t -> m:int -> int
+(** Graham list schedule (tasks by topological order, earliest-free
+    machine), whose makespan upper-bounds the optimum. *)

@@ -1,0 +1,151 @@
+type t =
+  | Shared_platform of {
+      procs : (string * int) list;
+      resources : (string * int) list;
+    }
+  | Dedicated_platform of (Rtlb.System.node_type * int) list
+
+let check_counts what l =
+  let names = List.map fst l in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg (Printf.sprintf "Platform: duplicate %s" what);
+  List.iter
+    (fun (n, c) ->
+      if c < 0 then
+        invalid_arg (Printf.sprintf "Platform: negative count of %s" n))
+    l
+
+let shared ~procs ~resources =
+  check_counts "processor type" procs;
+  check_counts "resource" resources;
+  Shared_platform { procs; resources }
+
+let dedicated nodes =
+  List.iter
+    (fun ((nt : Rtlb.System.node_type), c) ->
+      if c < 0 then
+        invalid_arg
+          (Printf.sprintf "Platform: negative count of %s"
+             nt.Rtlb.System.nt_name))
+    nodes;
+  Dedicated_platform nodes
+
+let units t r =
+  match t with
+  | Shared_platform { procs; resources } -> (
+      match List.assoc_opt r procs with
+      | Some c -> c
+      | None -> ( match List.assoc_opt r resources with Some c -> c | None -> 0))
+  | Dedicated_platform nodes ->
+      List.fold_left
+        (fun acc (nt, c) -> acc + (c * Rtlb.System.node_provides nt r))
+        0 nodes
+
+let cost ~system t =
+  match (system, t) with
+  | Rtlb.System.Shared costs, Shared_platform { procs; resources } ->
+      List.fold_left
+        (fun acc (r, c) ->
+          match List.assoc_opt r costs with
+          | Some unit_cost -> acc + (unit_cost * c)
+          | None -> invalid_arg ("Platform.cost: no cost for " ^ r))
+        0 (procs @ resources)
+  | Rtlb.System.Dedicated _, Dedicated_platform nodes ->
+      List.fold_left
+        (fun acc ((nt : Rtlb.System.node_type), c) ->
+          acc + (nt.Rtlb.System.nt_cost * c))
+        0 nodes
+  | _ -> invalid_arg "Platform.cost: architecture mismatch"
+
+let generous system app =
+  let tasks = Array.to_list (Rtlb.App.tasks app) in
+  match system with
+  | Rtlb.System.Shared _ ->
+      let count_by key =
+        List.fold_left
+          (fun acc task ->
+            List.fold_left
+              (fun acc (k, units) ->
+                let c = try List.assoc k acc with Not_found -> 0 in
+                (k, c + units) :: List.remove_assoc k acc)
+              acc (key task))
+          [] tasks
+      in
+      let procs =
+        count_by (fun (t : Rtlb.Task.t) -> [ (t.Rtlb.Task.proc, 1) ])
+      in
+      let resources = count_by (fun (t : Rtlb.Task.t) -> t.Rtlb.Task.demands) in
+      shared ~procs ~resources
+  | Rtlb.System.Dedicated nts ->
+      (* One eligible node per task, attributed to the first eligible
+         type. *)
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun task ->
+          match Rtlb.System.eligible_nodes system task with
+          | nt :: _ ->
+              let c =
+                Option.value ~default:0
+                  (Hashtbl.find_opt counts nt.Rtlb.System.nt_name)
+              in
+              Hashtbl.replace counts nt.Rtlb.System.nt_name (c + 1)
+          | [] ->
+              invalid_arg
+                ("Platform.generous: no node for task "
+                ^ task.Rtlb.Task.name))
+        tasks;
+      dedicated
+        (List.filter_map
+           (fun nt ->
+             match Hashtbl.find_opt counts nt.Rtlb.System.nt_name with
+             | Some c -> Some (nt, c)
+             | None -> None)
+           nts)
+
+let of_bounds system app bounds =
+  match system with
+  | Rtlb.System.Shared _ ->
+      let proc_types =
+        Array.to_list (Rtlb.App.tasks app)
+        |> List.map (fun (t : Rtlb.Task.t) -> t.Rtlb.Task.proc)
+        |> List.sort_uniq String.compare
+      in
+      let procs, resources =
+        List.partition
+          (fun (b : Rtlb.Lower_bound.bound) ->
+            List.mem b.Rtlb.Lower_bound.resource proc_types)
+          bounds
+      in
+      let pairs l =
+        List.map
+          (fun (b : Rtlb.Lower_bound.bound) ->
+            (b.Rtlb.Lower_bound.resource, b.Rtlb.Lower_bound.lb))
+          l
+      in
+      shared ~procs:(pairs procs) ~resources:(pairs resources)
+  | Rtlb.System.Dedicated nts -> (
+      match Rtlb.Cost.dedicated_bound system app bounds with
+      | Error e -> invalid_arg ("Platform.of_bounds: " ^ e)
+      | Ok d ->
+          dedicated
+            (List.filter_map
+               (fun (nt : Rtlb.System.node_type) ->
+                 match
+                   List.assoc_opt nt.Rtlb.System.nt_name
+                     d.Rtlb.Cost.d_counts
+                 with
+                 | Some c when c > 0 -> Some (nt, c)
+                 | _ -> None)
+               nts))
+
+let pp ppf = function
+  | Shared_platform { procs; resources } ->
+      Format.fprintf ppf "shared platform:";
+      List.iter (fun (p, c) -> Format.fprintf ppf " %dx%s" c p) procs;
+      List.iter (fun (r, c) -> Format.fprintf ppf " %dx%s" c r) resources
+  | Dedicated_platform nodes ->
+      Format.fprintf ppf "dedicated platform:";
+      List.iter
+        (fun ((nt : Rtlb.System.node_type), c) ->
+          Format.fprintf ppf " %dx%s" c nt.Rtlb.System.nt_name)
+        nodes

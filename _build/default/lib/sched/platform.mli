@@ -1,0 +1,42 @@
+(** Concrete platform instances the schedulers run against.
+
+    A platform is a system model with multiplicities filled in: so many
+    processors of each type plus so many units of each resource (shared
+    architecture), or so many nodes of each node type (dedicated
+    architecture). *)
+
+type t =
+  | Shared_platform of {
+      procs : (string * int) list;  (** Processor instances per type. *)
+      resources : (string * int) list;  (** Units per resource type. *)
+    }
+  | Dedicated_platform of (Rtlb.System.node_type * int) list
+
+val shared : procs:(string * int) list -> resources:(string * int) list -> t
+(** @raise Invalid_argument on duplicates or negative counts. *)
+
+val dedicated : (Rtlb.System.node_type * int) list -> t
+
+val units : t -> string -> int
+(** Total units of a resource or processor type available anywhere in the
+    platform (for a dedicated platform, summed over nodes — the quantity
+    the paper's [LB_r] bounds from below). *)
+
+val cost : system:Rtlb.System.t -> t -> int
+(** Cost of the platform under the matching cost model.
+    @raise Invalid_argument when platform and system architectures
+    disagree. *)
+
+val generous : Rtlb.System.t -> Rtlb.App.t -> t
+(** A platform trivially large enough for any feasible application: one
+    processor (or eligible node) per task.  Useful as a feasibility
+    sanity check and as a search upper bound. *)
+
+val of_bounds : Rtlb.System.t -> Rtlb.App.t -> Rtlb.Lower_bound.bound list -> t
+(** The smallest platform the lower bounds allow: exactly [LB_r] units of
+    every resource (shared model), or for the dedicated model a
+    cost-minimal node mix covering the bounds — i.e. the Section 7
+    optimum.  @raise Invalid_argument when the covering problem is
+    infeasible. *)
+
+val pp : Format.formatter -> t -> unit

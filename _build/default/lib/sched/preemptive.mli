@@ -1,0 +1,42 @@
+(** Preemptive EDF scheduling on a pool of processors — the validation
+    counterpart of the Theorem 3 (preemptive) overlap bounds.
+
+    Unit-quantum simulation: at every time step the earliest-deadline
+    ready tasks occupy the processors of their type; preemptive tasks may
+    be suspended and migrated freely, non-preemptive tasks keep their
+    processor until they complete.  Message delays are charged on every
+    precedence edge (conservative: as if producer and consumer were never
+    co-located), so a feasible result here is feasible under any
+    placement-aware accounting.
+
+    Restriction: tasks must not require shared resources (a preempted
+    task cannot safely release an exclusive resource mid-service); apps
+    with resource-using tasks are rejected. *)
+
+type slice = {
+  p_task : int;
+  p_start : int;
+  p_finish : int;  (** Half-open [\[p_start, p_finish)]. *)
+  p_proc : string * int;  (** Processor type and instance. *)
+}
+
+type schedule = slice list array
+(** Per task, its execution slices in increasing start order. *)
+
+val run :
+  Rtlb.App.t -> procs:(string * int) list -> (schedule, int) result
+(** [Error i] names the first task that missed its deadline.
+    @raise Invalid_argument when some task uses resources, or some task's
+      processor type has no units. *)
+
+val check :
+  Rtlb.App.t -> procs:(string * int) list -> schedule -> (unit, string list) result
+(** Independent validation: slice totals equal computation times, slices
+    respect arrival (release + latest predecessor finish + message) and
+    deadline, processors are never double-booked, tasks never run on two
+    processors at once, and non-preemptive tasks run in one piece. *)
+
+val feasible : Rtlb.App.t -> procs:(string * int) list -> bool
+
+val total_slices : schedule -> int
+(** Number of slices (preemption count + task count). *)

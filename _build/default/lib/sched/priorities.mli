@@ -1,0 +1,22 @@
+(** Priority policies for the list scheduler — including ones derived
+    from the paper's own analysis.
+
+    A priority maps each task to a key; smaller keys dispatch first.  The
+    interesting question, measured in experiment E11: how much does
+    priority quality affect whether the {e bound-sized} platform is
+    actually schedulable?  Analysis-derived keys (LCT, least window
+    slack) see communication and co-location effects that the raw
+    deadline cannot. *)
+
+type policy =
+  | Deadline  (** Plain EDF on absolute deadlines. *)
+  | Lct  (** Latest completion time from the Section 4 analysis. *)
+  | Least_slack  (** [L_i - E_i - C_i]: tightest-window first. *)
+  | Longest_work_first  (** Classic LPT, as a non-analysis control. *)
+
+val all : policy list
+val name : policy -> string
+
+val make : policy -> Rtlb.System.t -> Rtlb.App.t -> int -> int
+(** Instantiate the key function for an application (the analysis-based
+    policies run {!Rtlb.Est_lct} once at construction). *)

@@ -1,0 +1,45 @@
+(** Schedules and an independent feasibility checker.
+
+    A schedule assigns every task a start time and a host (one processor
+    instance plus, in the shared model, one unit of each resource it
+    needs; or one node instance in the dedicated model).  Execution is
+    non-preemptive: a feasible non-preemptive schedule is also feasible
+    when some tasks are allowed to preempt, so schedulers built on this
+    representation give valid upper bounds for both settings. *)
+
+type host =
+  | On_proc of string * int  (** Processor type and instance index. *)
+  | On_node of string * int  (** Node-type name and instance index. *)
+
+type entry = {
+  e_task : int;
+  e_start : int;
+  e_host : host;
+  e_resource_units : (string * int) list;
+      (** Shared model: the resource unit index used for each required
+          resource.  Empty in the dedicated model. *)
+}
+
+type t = entry array
+(** Indexed by task id. *)
+
+val finish : Rtlb.App.t -> entry -> int
+val host_equal : host -> host -> bool
+
+val makespan : Rtlb.App.t -> t -> int
+
+val check : Rtlb.App.t -> Platform.t -> t -> (unit, string list) result
+(** Verifies, from scratch and independently of any scheduler:
+    - every task appears once, with [e_start >= release] and
+      [finish <= deadline];
+    - hosts exist on the platform and can run their tasks;
+    - no two tasks overlap on the same processor/node instance;
+    - precedence with communication: a successor on a different host
+      starts no earlier than [finish + m], on the same host no earlier
+      than [finish];
+    - shared resources: no unit is used by two overlapping tasks, and
+      every task holds one unit of each resource it needs.
+
+    Returns all violations found. *)
+
+val pp : Rtlb.App.t -> Format.formatter -> t -> unit

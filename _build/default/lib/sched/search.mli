@@ -1,0 +1,44 @@
+(** Platform-sizing searches built on the list scheduler.
+
+    These provide the {e upper} bounds that the paper's lower bounds are
+    validated and measured against: if a schedule exists on a platform
+    with [k] units of resource [r], then the true minimum is at most [k],
+    and soundness demands [LB_r <= k]. *)
+
+type report = {
+  platform : Platform.t;  (** Smallest feasible platform found. *)
+  tested : int;  (** Feasibility tests performed. *)
+}
+
+val min_shared_platform :
+  ?priority:(int -> int) ->
+  ?max_extra:int ->
+  Rtlb.App.t ->
+  report option
+(** Searches shared platforms in order of increasing total unit count,
+    starting from one unit of every processor type and resource the
+    application mentions, growing any dimension by one at a time
+    (uniform-cost search).  Returns the first platform the list scheduler
+    can schedule feasibly, or [None] if none is found within
+    [max_extra] (default [32]) added units over the start point.
+
+    The result is an upper bound on the optimal platform: the greedy
+    scheduler may miss feasible platforms, never the reverse. *)
+
+val min_units_for :
+  ?priority:(int -> int) ->
+  Rtlb.App.t ->
+  resource:string ->
+  generous:(string -> int) ->
+  int option
+(** Smallest [k] such that the list scheduler succeeds with [k] units of
+    [resource] while every other dimension is fixed at [generous] — the
+    single-resource profile used by the tightness experiment. *)
+
+val backtracking_feasible :
+  ?node_limit:int -> Rtlb.App.t -> Platform.t -> Schedule.t option
+(** Exhaustive branch-and-bound over (ready task, host) placements with
+    earliest-start insertion, LCT-window pruning and a node budget
+    (default [200_000]).  Finds schedules greedy EDF misses; still
+    restricted to non-idling placements, so [None] does not certify
+    infeasibility (documented limitation of non-preemptive search). *)

@@ -1,0 +1,41 @@
+(** Online dispatch simulation with actual (possibly shorter-than-WCET)
+    execution times.
+
+    The list scheduler builds a plan offline; a running system instead
+    {e dispatches}: whenever a processor frees up, the highest-priority
+    ready task starts on it, with no knowledge of the future.  This
+    simulator executes that policy event by event, taking each task's
+    {e actual} execution time from a caller-supplied function.
+
+    Its purpose in this repository is the classical sanity check behind
+    WCET-based analysis: non-preemptive multiprocessor dispatch suffers
+    {e timing anomalies} (Graham 1969) — finishing {e early} can reorder
+    the dispatch and make a deadline that was met at WCET be missed at
+    shorter execution times.  Experiment E9 measures how often. *)
+
+type outcome = {
+  o_finished : bool;  (** Every task completed within its deadline. *)
+  o_makespan : int;
+  o_first_miss : int option;  (** Task id of the first deadline miss. *)
+  o_schedule : Schedule.t option;
+      (** The executed assignment when all tasks completed (possibly with
+          misses); [None] if dispatch dead-locked (cannot happen on a
+          platform where every task has a capable host). *)
+}
+
+val run_online :
+  ?priority:(int -> int) ->
+  actual:(int -> int) ->
+  Rtlb.App.t ->
+  Platform.t ->
+  outcome
+(** [actual i] is task [i]'s real execution time, in [\[0, C_i\]]
+    (checked).  [priority] as in {!List_scheduler} (default EDF by
+    deadline).  Shared-model resource units are acquired with the
+    processor and held for the actual duration. *)
+
+val wcet : Rtlb.App.t -> int -> int
+(** The identity profile: every task runs exactly its [C_i]. *)
+
+val scaled : Rtlb.App.t -> percent:int -> int -> int
+(** [ceil (C_i * percent / 100)], clipped to [\[0, C_i\]]. *)

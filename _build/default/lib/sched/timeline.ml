@@ -1,0 +1,40 @@
+(* Sorted list of disjoint non-empty busy intervals. *)
+type t = (int * int) list
+
+let empty = []
+let busy_intervals t = t
+
+let is_free t ~start ~finish =
+  if finish < start then invalid_arg "Timeline.is_free: negative interval";
+  start = finish
+  || List.for_all (fun (b, e) -> e <= start || finish <= b) t
+
+let add t ~start ~finish =
+  if finish < start then invalid_arg "Timeline.add: negative interval";
+  if start = finish then t
+  else if not (is_free t ~start ~finish) then
+    invalid_arg "Timeline.add: overlapping interval"
+  else
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | (b, e) :: rest when b < start -> (b, e) :: insert rest
+      | rest -> (start, finish) :: rest
+    in
+    insert t
+
+let earliest_gap t ~from ~duration =
+  if duration < 0 then invalid_arg "Timeline.earliest_gap: negative duration";
+  if duration = 0 then from
+  else
+    let rec scan candidate = function
+      | [] -> candidate
+      | (b, e) :: rest ->
+          if candidate + duration <= b then candidate
+          else scan (max candidate e) rest
+    in
+    scan from t
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.map (fun (b, e) -> Printf.sprintf "%d,%d" b e) t))

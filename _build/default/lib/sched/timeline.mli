@@ -1,0 +1,23 @@
+(** Busy-interval timeline of one exclusive unit (a processor instance, a
+    node instance, or one unit of a shared resource).
+
+    Intervals are half-open [\[start, finish)]; zero-length intervals are
+    accepted and occupy nothing. *)
+
+type t
+
+val empty : t
+
+val busy_intervals : t -> (int * int) list
+(** Sorted, pairwise-disjoint. *)
+
+val is_free : t -> start:int -> finish:int -> bool
+
+val add : t -> start:int -> finish:int -> t
+(** @raise Invalid_argument when the interval overlaps an existing busy
+    interval or [finish < start]. *)
+
+val earliest_gap : t -> from:int -> duration:int -> int
+(** The earliest [s >= from] such that [\[s, s + duration)] is free. *)
+
+val pp : Format.formatter -> t -> unit

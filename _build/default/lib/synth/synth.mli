@@ -1,0 +1,31 @@
+(** Architectural synthesis of dedicated systems — the paper's motivating
+    application (Section 1: the bounds "reduce the search times for
+    computer-aided synthesis of distributed real-time systems").
+
+    [search] looks for a minimum-cost multiset of nodes (drawn from a
+    dedicated catalogue) on which the list scheduler can meet every
+    constraint, by uniform-cost search over node-count vectors.  The
+    paper's lower bounds are {e admissible}: a configuration violating
+    [sum_n gamma_nr x_n >= LB_r] (or task coverage) cannot be feasible, so
+    filtering on them skips scheduler invocations without changing the
+    result.  The benchmark compares the invocation counts with and
+    without the filter. *)
+
+type stats = {
+  found : (Sched.Platform.t * int) option;
+      (** Cheapest feasible configuration and its cost. *)
+  sched_calls : int;  (** List-scheduler invocations performed. *)
+  pruned : int;  (** Configurations skipped by the lower-bound filter. *)
+  expanded : int;  (** Configurations popped from the frontier. *)
+}
+
+val search :
+  ?use_lower_bounds:bool ->
+  ?priority:(int -> int) ->
+  ?max_expanded:int ->
+  system:Rtlb.System.t ->
+  Rtlb.App.t ->
+  stats
+(** [use_lower_bounds] defaults to [true]; [max_expanded] (default
+    [20_000]) bounds the configurations examined.
+    @raise Invalid_argument when [system] is not dedicated. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Dag Hashtbl List Prng Rtlb

@@ -1,0 +1,1 @@
+lib/workload/mutate.ml: Array Dag List Rtlb

@@ -1,0 +1,307 @@
+type shape =
+  | Layered of { layers : int; density : float }
+  | Series_parallel
+  | Fork_join of { width : int }
+  | Out_tree
+  | In_tree
+  | Gauss of { size : int }
+  | Fft of { points : int }
+  | Stencil of { rows : int; cols : int }
+  | Chain
+  | Independent
+
+type config = {
+  seed : int;
+  n_tasks : int;
+  shape : shape;
+  compute_range : int * int;
+  ccr : float;
+  laxity : float;
+  proc_types : (string * float) list;
+  resource_types : (string * float) list;
+  preemptive_fraction : float;
+  release_spread : float;
+}
+
+let default =
+  {
+    seed = 42;
+    n_tasks = 20;
+    shape = Layered { layers = 4; density = 0.4 };
+    compute_range = (1, 10);
+    ccr = 0.5;
+    laxity = 1.5;
+    proc_types = [ ("P1", 0.7); ("P2", 0.3) ];
+    resource_types = [ ("r1", 0.3) ];
+    preemptive_fraction = 0.0;
+    release_spread = 0.0;
+  }
+
+let shape_name = function
+  | Layered _ -> "layered"
+  | Series_parallel -> "series-parallel"
+  | Fork_join _ -> "fork-join"
+  | Out_tree -> "out-tree"
+  | In_tree -> "in-tree"
+  | Gauss _ -> "gauss"
+  | Fft _ -> "fft"
+  | Stencil _ -> "stencil"
+  | Chain -> "chain"
+  | Independent -> "independent"
+
+(* ------------------------------------------------------------------ *)
+(* Edge structure per shape: returns (n, edge list without weights).   *)
+(* ------------------------------------------------------------------ *)
+
+let layered_edges rng n layers density =
+  let layers = max 1 (min layers n) in
+  (* Layer of each task: contiguous blocks of roughly equal size. *)
+  let layer_of = Array.init n (fun i -> i * layers / n) in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let li = layer_of.(i) and lj = layer_of.(j) in
+      if lj = li + 1 && Prng.chance rng density then edges := (i, j) :: !edges
+      else if lj > li + 1 && Prng.chance rng (density /. 4.0) then
+        edges := (i, j) :: !edges
+    done
+  done;
+  (n, !edges)
+
+let chain_edges n = (n, List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let fork_join_edges n width =
+  if n < 3 then chain_edges n
+  else
+    let width = max 1 (min width (n - 2)) in
+    let inner = n - 2 in
+    (* chains of inner tasks distributed over [width] branches *)
+    let edges = ref [] in
+    let branch_of = Array.init inner (fun k -> k mod width) in
+    let last_of_branch = Array.make width (-1) in
+    for k = 0 to inner - 1 do
+      let v = k + 1 in
+      let b = branch_of.(k) in
+      if last_of_branch.(b) = -1 then edges := (0, v) :: !edges
+      else edges := (last_of_branch.(b), v) :: !edges;
+      last_of_branch.(b) <- v
+    done;
+    Array.iter
+      (fun last -> if last <> -1 then edges := (last, n - 1) :: !edges)
+      last_of_branch;
+    (n, !edges)
+
+let out_tree_edges rng n =
+  (n, List.init (max 0 (n - 1)) (fun k -> (Prng.int rng (k + 1), k + 1)))
+
+(* Converging tree: every non-final task has exactly one successor chosen
+   among the later tasks, so all chains end at task [n - 1]. *)
+let in_tree_edges rng n =
+  (n, List.init (max 0 (n - 1)) (fun i -> (i, Prng.range rng (i + 1) (n - 1))))
+
+let series_parallel_edges rng n =
+  (* Recursive SP construction over id ranges [lo, hi]; returns edges and
+     the (entry, exit) pair.  Every range of size >= 2 is either a series
+     split or a parallel split with fresh entry/exit. *)
+  let edges = ref [] in
+  let rec build lo hi =
+    let size = hi - lo + 1 in
+    if size = 1 then (lo, lo)
+    else if size = 2 then begin
+      edges := (lo, hi) :: !edges;
+      (lo, hi)
+    end
+    else if Prng.bool rng then begin
+      (* series: [lo, mid] then [mid+1, hi] *)
+      let mid = lo + 1 + Prng.int rng (size - 2) in
+      let e1, x1 = build lo mid in
+      let e2, x2 = build (mid + 1) hi in
+      edges := (x1, e2) :: !edges;
+      (e1, x2)
+    end
+    else begin
+      (* parallel: entry lo, exit hi, branches in between *)
+      let inner_lo = lo + 1 and inner_hi = hi - 1 in
+      if inner_hi < inner_lo then begin
+        edges := (lo, hi) :: !edges;
+        (lo, hi)
+      end
+      else begin
+        let cut =
+          if inner_hi = inner_lo then inner_lo
+          else inner_lo + Prng.int rng (inner_hi - inner_lo)
+        in
+        let branches =
+          if cut = inner_hi then [ (inner_lo, inner_hi) ]
+          else [ (inner_lo, cut); (cut + 1, inner_hi) ]
+        in
+        List.iter
+          (fun (blo, bhi) ->
+            let e, x = build blo bhi in
+            edges := (lo, e) :: (x, hi) :: !edges)
+          branches;
+        (lo, hi)
+      end
+    end
+  in
+  if n = 0 then (0, [])
+  else begin
+    let _ = build 0 (n - 1) in
+    (n, List.sort_uniq compare !edges)
+  end
+
+(* Gaussian elimination on a k x k matrix: step s has a pivot task and
+   (k - 1 - s) update tasks; the pivot feeds every update of its step, and
+   each update feeds the next step's pivot and its own column's update. *)
+let gauss_edges size =
+  let k = max 2 size in
+  let id = Hashtbl.create 16 in
+  let n = ref 0 in
+  let node key =
+    match Hashtbl.find_opt id key with
+    | Some v -> v
+    | None ->
+        let v = !n in
+        incr n;
+        Hashtbl.add id key v;
+        v
+  in
+  let edges = ref [] in
+  for s = 0 to k - 2 do
+    let pivot = node (`Pivot s) in
+    for c = s + 1 to k - 1 do
+      let upd = node (`Update (s, c)) in
+      edges := (pivot, upd) :: !edges;
+      if s > 0 then edges := (node (`Update (s - 1, c)), upd) :: !edges
+    done;
+    if s > 0 then edges := (node (`Update (s - 1, s)), pivot) :: !edges
+  done;
+  (!n, List.sort_uniq compare !edges)
+
+let fft_edges points =
+  let p = max 2 points in
+  let log2 =
+    let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+    go 0 p
+  in
+  if 1 lsl log2 <> p then invalid_arg "Gen: Fft points must be a power of two";
+  (* stage 0 .. log2: p tasks each; butterfly edges between stages *)
+  let n = p * (log2 + 1) in
+  let id stage k = (stage * p) + k in
+  let edges = ref [] in
+  for stage = 0 to log2 - 1 do
+    let span = 1 lsl (log2 - 1 - stage) in
+    for k = 0 to p - 1 do
+      let partner = k lxor span in
+      edges := (id stage k, id (stage + 1) k) :: !edges;
+      edges := (id stage k, id (stage + 1) partner) :: !edges
+    done
+  done;
+  (n, List.sort_uniq compare !edges)
+
+let stencil_edges rows cols =
+  let rows = max 1 rows and cols = max 1 cols in
+  let id i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if i + 1 < rows then edges := (id i j, id (i + 1) j) :: !edges;
+      if j + 1 < cols then edges := (id i j, id i (j + 1)) :: !edges
+    done
+  done;
+  (rows * cols, !edges)
+
+let structure rng config =
+  match config.shape with
+  | Layered { layers; density } -> layered_edges rng config.n_tasks layers density
+  | Series_parallel -> series_parallel_edges rng config.n_tasks
+  | Fork_join { width } -> fork_join_edges config.n_tasks width
+  | Out_tree -> out_tree_edges rng config.n_tasks
+  | In_tree -> in_tree_edges rng config.n_tasks
+  | Gauss { size } -> gauss_edges size
+  | Fft { points } -> fft_edges points
+  | Stencil { rows; cols } -> stencil_edges rows cols
+  | Chain -> chain_edges config.n_tasks
+  | Independent -> (config.n_tasks, [])
+
+let generate config =
+  let rng = Prng.create config.seed in
+  let n, bare_edges = structure rng config in
+  let lo, hi = config.compute_range in
+  if lo < 0 || hi < lo then invalid_arg "Gen.generate: bad compute range";
+  let computes = Array.init n (fun _ -> Prng.range rng lo hi) in
+  let mean_compute = float_of_int (lo + hi) /. 2.0 in
+  let max_msg = max 1 (int_of_float (2.0 *. config.ccr *. mean_compute)) in
+  let edges =
+    List.map
+      (fun (src, dst) ->
+        let m = if config.ccr <= 0.0 then 0 else Prng.range rng 1 max_msg in
+        (src, dst, m))
+      bare_edges
+  in
+  let procs = Array.init n (fun _ -> Prng.weighted rng config.proc_types) in
+  let resources =
+    Array.init n (fun _ ->
+        List.filter_map
+          (fun (r, p) -> if Prng.chance rng p then Some r else None)
+          config.resource_types)
+  in
+  let preemptive =
+    Array.init n (fun _ -> Prng.chance rng config.preemptive_fraction)
+  in
+  (* Communication-aware critical path drives deadlines and releases. *)
+  let graph = Dag.create ~n ~edges in
+  let cp =
+    max 1
+      (Array.fold_left max 0
+         (Dag.longest_path_with_edges graph ~vertex_weight:(fun i ->
+              computes.(i))))
+  in
+  let releases =
+    Array.init n (fun i ->
+        if Dag.pred_ids graph i = [] && config.release_spread > 0.0 then
+          Prng.int rng
+            (max 1 (int_of_float (config.release_spread *. float_of_int cp)))
+        else 0)
+  in
+  let deadline =
+    max
+      (int_of_float (ceil (config.laxity *. float_of_int cp)))
+      (Array.fold_left max 1
+         (Array.init n (fun i -> releases.(i) + computes.(i))))
+  in
+  (* Slack for releases: a released source still needs room downstream; the
+     global deadline above already covers release + compute per task, and
+     path feasibility is ensured by adding the largest release. *)
+  let deadline =
+    deadline + Array.fold_left max 0 releases
+  in
+  let tasks =
+    List.init n (fun i ->
+        Rtlb.Task.make ~id:i ~compute:computes.(i) ~release:releases.(i)
+          ~deadline ~proc:procs.(i) ~resources:resources.(i)
+          ~preemptive:preemptive.(i) ())
+  in
+  Rtlb.App.make ~tasks ~edges
+
+let shared_system config =
+  let costs =
+    List.map (fun (p, _) -> (p, 5)) config.proc_types
+    @ List.map (fun (r, _) -> (r, 3)) config.resource_types
+  in
+  Rtlb.System.shared ~costs
+
+let dedicated_system config =
+  let all_resources = List.map (fun (r, _) -> (r, 1)) config.resource_types in
+  let nodes =
+    List.concat_map
+      (fun (p, _) ->
+        let full =
+          Rtlb.System.node_type ~name:(p ^ "-full") ~proc:p
+            ~provides:all_resources ~cost:10 ()
+        in
+        let bare = Rtlb.System.node_type ~name:(p ^ "-bare") ~proc:p ~cost:6 () in
+        if all_resources = [] then [ bare ] else [ full; bare ])
+      config.proc_types
+  in
+  Rtlb.System.dedicated nodes

@@ -1,0 +1,69 @@
+(** Synthetic real-time applications for experiments and property tests.
+
+    The paper evaluates on a single hand-built example; the benchmark
+    harness instead sweeps these generators over the constraint space the
+    paper's analysis claims to handle: precedence shapes, communication
+    intensity (CCR), deadline tightness (laxity), heterogeneous processor
+    types, resource density, and preemptability. *)
+
+type shape =
+  | Layered of { layers : int; density : float }
+      (** Random layered DAG: edges between consecutive (and occasionally
+          skipping) layers with the given probability. *)
+  | Series_parallel
+      (** Recursive series/parallel composition — the classic structured
+          task-graph family. *)
+  | Fork_join of { width : int }
+      (** A source fanning out to [width] chains joining in a sink. *)
+  | Out_tree  (** Random tree rooted at task 0 (diverging). *)
+  | In_tree  (** Random converging tree. *)
+  | Gauss of { size : int }
+      (** Gaussian-elimination dependency kernel on a [size x size]
+          matrix (pivot task then column updates per step). *)
+  | Fft of { points : int }
+      (** Butterfly graph of a [points]-point FFT ([points] must be a
+          power of two). *)
+  | Stencil of { rows : int; cols : int }
+      (** 2-D wavefront: task [(i,j)] feeds [(i+1,j)] and [(i,j+1)] — the
+          classic dynamic-programming / systolic dependency. *)
+  | Chain
+  | Independent
+
+type config = {
+  seed : int;
+  n_tasks : int;  (** Ignored by [Gauss]/[Fft], which have intrinsic sizes. *)
+  shape : shape;
+  compute_range : int * int;
+  ccr : float;
+      (** Communication-to-computation ratio: mean message size is
+          [ccr * mean compute]. *)
+  laxity : float;
+      (** Global deadline = [ceil(laxity * communication-aware critical
+          path)]; [1.0] is maximally tight. *)
+  proc_types : (string * float) list;  (** Types with selection weights. *)
+  resource_types : (string * float) list;
+      (** Each resource is required by a task with the given
+          probability. *)
+  preemptive_fraction : float;
+  release_spread : float;
+      (** Source tasks get a release uniform in [\[0, spread * critical
+          path\]]. *)
+}
+
+val default : config
+(** 20 tasks, layered 4x, computes 1..10, ccr 0.5, laxity 1.5, two
+    processor types, one resource at density 0.3, non-preemptive,
+    releases 0. *)
+
+val generate : config -> Rtlb.App.t
+(** Deterministic in [config] (including the seed). *)
+
+val shared_system : config -> Rtlb.System.t
+(** A shared model pricing processors at 5 and resources at 3. *)
+
+val dedicated_system : config -> Rtlb.System.t
+(** A dedicated catalogue with, per processor type, a full node (all
+    resources, cost 10) and a bare node (cost 6) — every generated task is
+    hostable. *)
+
+val shape_name : shape -> string

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014): tiny, fast, and passes BigCrush
+   when used as a 64-bit stream. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* Keep 62 bits so the value fits OCaml's 63-bit [int]; modulo bias is
+     negligible for the small bounds used here. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (_, w) -> acc +. max 0.0 w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Prng.weighted: no positive weight";
+  let x = float t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: empty list"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest ->
+        let acc = acc +. max 0.0 w in
+        if x < acc then v else go acc rest
+  in
+  go 0.0 choices
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

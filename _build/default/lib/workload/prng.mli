@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workload generation must be reproducible across runs and platforms, so
+    benchmarks and property tests use this self-contained generator rather
+    than [Random]. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded with the given value. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Raw 64-bit step. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument when [hi < lo]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** True with the given probability (clamped to [\[0, 1\]]). *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, x)]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val weighted : t -> ('a * float) list -> 'a
+(** Pick with the given non-negative weights.
+    @raise Invalid_argument when all weights are zero or the list is
+    empty. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Printf QCheck QCheck2 QCheck_alcotest Rtfmt Rtlb String Workload

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Dag Fun Helpers List Rtlb

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Helpers List Lp Rat Rtlb Sched

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Filename Helpers List Printf QCheck Rat Rtfmt Rtlb Sched String Sys Workload

@@ -1,0 +1,1 @@
+test/test_est_lct.ml: Alcotest Array Dag Fun Helpers List Printf Rtlb

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dag Helpers List Option Rtlb Sched String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Flow Fun Helpers List Printf QCheck Sched String

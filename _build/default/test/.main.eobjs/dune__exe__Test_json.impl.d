@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Array Dag Helpers List Rtfmt Rtlb Sched Workload

@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Array Helpers List QCheck Rtlb Sched

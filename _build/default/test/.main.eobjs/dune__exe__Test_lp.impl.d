@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Helpers List Lp Printf QCheck Rat String

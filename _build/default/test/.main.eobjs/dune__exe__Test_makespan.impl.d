@@ -1,0 +1,1 @@
+test/test_makespan.ml: Alcotest Array Baselines Dag Helpers List Rtlb Sched

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Fun Helpers List Printf QCheck Rtlb String

@@ -1,0 +1,1 @@
+test/test_multiunit.ml: Alcotest Array Dag Helpers List Rtfmt Rtlb Sched String

@@ -1,0 +1,1 @@
+test/test_mutate.ml: Alcotest Array Dag Fun Helpers List QCheck Rtlb Workload

@@ -1,0 +1,1 @@
+test/test_overlap.ml: Alcotest Helpers Printf QCheck Rtlb

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Helpers List Rtlb

@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest Array Dag Helpers List Printf QCheck Rat Rtlb String

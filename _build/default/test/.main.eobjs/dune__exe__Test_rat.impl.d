@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Helpers Printf QCheck Rat

@@ -1,0 +1,1 @@
+test/test_rtfmt.ml: Alcotest Array Dag Helpers List QCheck Rtfmt Rtlb String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Helpers List Rtlb Sched String

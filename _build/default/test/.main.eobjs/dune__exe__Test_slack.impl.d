@@ -1,0 +1,1 @@
+test/test_slack.ml: Alcotest Array Dag Fun Helpers List Rtlb String Workload

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Helpers Rtlb Sched Synth

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dag Helpers List Printf Rtfmt Rtlb Workload

@@ -1,0 +1,87 @@
+(* End-to-end tests of the Analysis driver on the paper example and on
+   generated instances. *)
+
+open Helpers
+
+let paper = Rtlb.Paper_example.app
+
+let end_to_end_shared () =
+  let a = Rtlb.Analysis.run Rtlb.Paper_example.shared paper in
+  check_int "LB_P1" 3 (Rtlb.Analysis.bound_for a "P1");
+  check_int "LB_P2" 2 (Rtlb.Analysis.bound_for a "P2");
+  check_int "LB_r1" 2 (Rtlb.Analysis.bound_for a "r1");
+  check_int "total processors" 5 (Rtlb.Analysis.total_processors a);
+  check_bool "feasible" false (Rtlb.Analysis.is_infeasible a);
+  Alcotest.check_raises "unknown resource" Not_found (fun () ->
+      ignore (Rtlb.Analysis.bound_for a "nope"))
+
+let end_to_end_dedicated () =
+  let a = Rtlb.Analysis.run Rtlb.Paper_example.dedicated paper in
+  match a.Rtlb.Analysis.cost with
+  | Rtlb.Cost.Dedicated_cost d -> check_int "cost" 40 d.Rtlb.Cost.d_cost
+  | _ -> Alcotest.fail "expected dedicated cost"
+
+let rejects_unhostable () =
+  let broken =
+    Rtlb.System.dedicated
+      [ Rtlb.System.node_type ~name:"x" ~proc:"P1" ~cost:1 () ]
+  in
+  match Rtlb.Analysis.run broken paper with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let report_renders () =
+  let a = Rtlb.Analysis.run Rtlb.Paper_example.shared paper in
+  let text = Format.asprintf "%a" Rtlb.Analysis.pp a in
+  List.iter
+    (fun needle ->
+      check_bool ("report mentions " ^ needle) true
+        (string_contains ~needle text))
+    [ "LB_P1 = 3"; "LB_P2 = 2"; "LB_r1 = 2"; "T15"; "shared cost" ]
+
+let detects_infeasible_windows () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:5 ~deadline:20 ~proc:"P" ();
+          Rtlb.Task.make ~id:1 ~compute:5 ~deadline:9 ~proc:"P" ();
+        ]
+      ~edges:[ (0, 1, 5) ]
+      (* task 1 can start no earlier than 5 (merged with task 0), so it
+         completes at 10 > 9: infeasible on any platform *)
+  in
+  let a = Rtlb.Analysis.run (Rtlb.System.shared ~costs:[ ("P", 1) ]) app in
+  check_bool "infeasible detected" true (Rtlb.Analysis.is_infeasible a)
+
+let prop_tests =
+  [
+    qtest ~count:100 "bound_for matches the bounds list"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let a = Rtlb.Analysis.run (shared_of i) i.app in
+        List.for_all
+          (fun (b : Rtlb.Lower_bound.bound) ->
+            Rtlb.Analysis.bound_for a b.Rtlb.Lower_bound.resource
+            = b.Rtlb.Lower_bound.lb)
+          a.Rtlb.Analysis.bounds);
+    qtest ~count:100 "analysis is deterministic"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let a = Rtlb.Analysis.run (shared_of i) i.app in
+        let b = Rtlb.Analysis.run (shared_of i) i.app in
+        Format.asprintf "%a" Rtlb.Analysis.pp a
+        = Format.asprintf "%a" Rtlb.Analysis.pp b);
+  ]
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "end to end (shared)" `Quick end_to_end_shared;
+        Alcotest.test_case "end to end (dedicated)" `Quick end_to_end_dedicated;
+        Alcotest.test_case "unhostable task rejected" `Quick rejects_unhostable;
+        Alcotest.test_case "report rendering" `Quick report_renders;
+        Alcotest.test_case "infeasible windows surfaced" `Quick
+          detects_infeasible_windows;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,154 @@
+(* Tests for the prior-art baselines and their relationship to the paper's
+   analysis (the paper's "none of the existing algorithms deal with ..."
+   claims, made checkable). *)
+
+open Helpers
+
+(* A hand instance from the Fernandez–Bussell setting: one processor
+   type, no resources, no communication.
+      0(3) -> 2(2) -> 4(4)
+      1(5) -> 3(1) -> 4
+   critical time: 1-3-4 = 10. *)
+let fb_app =
+  Rtlb.App.make
+    ~tasks:
+      (List.mapi
+         (fun id c -> Rtlb.Task.make ~id ~compute:c ~deadline:10 ~proc:"P" ())
+         [ 3; 5; 2; 1; 4 ])
+    ~edges:[ (0, 2, 0); (1, 3, 0); (2, 4, 0); (3, 4, 0) ]
+
+let fb_windows () =
+  let fb = Baselines.Fernandez_bussell.analyse fb_app in
+  check_int "omega = critical time" 10 fb.Baselines.Fernandez_bussell.omega;
+  Alcotest.(check (array int))
+    "EST" [| 0; 0; 3; 5; 6 |] fb.Baselines.Fernandez_bussell.est;
+  Alcotest.(check (array int))
+    "LCT" [| 4; 5; 6; 6; 10 |] fb.Baselines.Fernandez_bussell.lct;
+  check_int "bound" 2 fb.Baselines.Fernandez_bussell.bound
+
+let fb_omega_argument () =
+  let fb = Baselines.Fernandez_bussell.analyse ~omega:20 fb_app in
+  check_int "looser omega can only shrink the bound" 1
+    fb.Baselines.Fernandez_bussell.bound;
+  Alcotest.check_raises "omega below critical time"
+    (Invalid_argument "Fernandez_bussell.analyse: omega below critical time")
+    (fun () -> ignore (Baselines.Fernandez_bussell.analyse ~omega:5 fb_app))
+
+let am_single_merge () =
+  (* Two producers feed a consumer; only one can be co-located.
+     0(4) -m=3-> 2(2), 1(4) -m=3-> 2.
+     emr both 7; merging one leaves the other's message: E_2 = 7 is not
+     improvable... with one merge E_2 = max(4, 7) = 7. *)
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        (List.mapi
+           (fun id c -> Rtlb.Task.make ~id ~compute:c ~deadline:30 ~proc:"P" ())
+           [ 4; 4; 2 ])
+      ~edges:[ (0, 2, 3); (1, 2, 3) ]
+  in
+  let est = Baselines.Al_mohammed.est_single_merge app in
+  check_int "E_2 with one co-location" 7 est.(2);
+  (* The paper's analysis can merge BOTH producers: est({0,1}) =
+     ect = 8... which is worse than 7 here, so it keeps 7 too. *)
+  let w = Rtlb.Est_lct.compute (Rtlb.System.shared ~costs:[ ("P", 1) ]) app in
+  check_int "full merge analysis agrees here" 7 w.Rtlb.Est_lct.est.(2)
+
+let am_chain_beats_fb_blindness () =
+  (* On a two-task chain with a large message, FB (comm-blind) sees
+     critical time 5+4 = 9; Al-Mohammed sees that splitting pays the
+     message... both end with one processor, but AM's windows are
+     anchored at omega >= 9. *)
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        (List.mapi
+           (fun id c -> Rtlb.Task.make ~id ~compute:c ~deadline:50 ~proc:"P" ())
+           [ 5; 4 ])
+      ~edges:[ (0, 1, 10) ]
+  in
+  let fb = Baselines.Fernandez_bussell.analyse app in
+  let am = Baselines.Al_mohammed.analyse app in
+  check_int "FB omega ignores the message" 9 fb.Baselines.Fernandez_bussell.omega;
+  check_int "AM omega merges the chain" 9 am.Baselines.Al_mohammed.omega;
+  check_int "both need one processor" 1
+    (min fb.Baselines.Fernandez_bussell.bound am.Baselines.Al_mohammed.bound)
+
+(* Restriction of a generated instance to the FB model. *)
+let restrict_fb i =
+  let tasks =
+    Array.to_list (Rtlb.App.tasks i.app)
+    |> List.map (fun (t : Rtlb.Task.t) ->
+           Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:t.Rtlb.Task.compute
+             ~deadline:1_000_000 ~proc:"P" ())
+  in
+  let edges =
+    Dag.fold_edges (Rtlb.App.graph i.app) ~init:[] ~f:(fun acc ~src ~dst _ ->
+        (src, dst, 0) :: acc)
+  in
+  Rtlb.App.make ~tasks ~edges
+
+let restrict_comm i =
+  (* keep messages, flatten processor/resource/deadline structure *)
+  let tasks =
+    Array.to_list (Rtlb.App.tasks i.app)
+    |> List.map (fun (t : Rtlb.Task.t) ->
+           Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:t.Rtlb.Task.compute
+             ~deadline:1_000_000 ~proc:"P" ())
+  in
+  let edges =
+    Dag.fold_edges (Rtlb.App.graph i.app) ~init:[] ~f:(fun acc ~src ~dst m ->
+        (src, dst, m) :: acc)
+  in
+  Rtlb.App.make ~tasks ~edges
+
+let prop_tests =
+  [
+    qtest ~count:150 "our analysis = FB on the FB model"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        (* Same windows, same bound, when deadlines are set to omega. *)
+        let app0 = restrict_fb i in
+        let fb = Baselines.Fernandez_bussell.analyse app0 in
+        let app =
+          Rtlb.App.map_tasks app0 ~f:(fun t ->
+              Rtlb.Task.with_deadline t fb.Baselines.Fernandez_bussell.omega)
+        in
+        let system = Rtlb.System.shared ~costs:[ ("P", 1) ] in
+        let w = Rtlb.Est_lct.compute system app in
+        let ours =
+          Rtlb.Lower_bound.for_resource ~est:w.Rtlb.Est_lct.est
+            ~lct:w.Rtlb.Est_lct.lct app "P"
+        in
+        w.Rtlb.Est_lct.est = fb.Baselines.Fernandez_bussell.est
+        && w.Rtlb.Est_lct.lct = fb.Baselines.Fernandez_bussell.lct
+        && ours.Rtlb.Lower_bound.lb = fb.Baselines.Fernandez_bussell.bound);
+    qtest ~count:150 "our windows dominate Al-Mohammed's"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        (* Same model (one proc type, no resources), deadlines at AM's
+           omega: the multi-merge windows are never looser. *)
+        let am0 = Baselines.Al_mohammed.analyse (restrict_comm i) in
+        let app =
+          Rtlb.App.map_tasks (restrict_comm i) ~f:(fun t ->
+              Rtlb.Task.with_deadline t am0.Baselines.Al_mohammed.omega)
+        in
+        let system = Rtlb.System.shared ~costs:[ ("P", 1) ] in
+        let w = Rtlb.Est_lct.compute system app in
+        let n = Rtlb.App.n_tasks app in
+        List.for_all
+          (fun t ->
+            w.Rtlb.Est_lct.est.(t) <= am0.Baselines.Al_mohammed.est.(t)
+            && w.Rtlb.Est_lct.lct.(t) >= am0.Baselines.Al_mohammed.lct.(t))
+          (List.init n Fun.id));
+  ]
+
+let suite =
+  [
+    ( "baselines",
+      [
+        Alcotest.test_case "FB windows and bound" `Quick fb_windows;
+        Alcotest.test_case "FB omega handling" `Quick fb_omega_argument;
+        Alcotest.test_case "AM single-merge EST" `Quick am_single_merge;
+        Alcotest.test_case "AM vs FB on a chain" `Quick am_chain_beats_fb_blindness;
+      ]
+      @ prop_tests );
+  ]

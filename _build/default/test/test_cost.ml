@@ -1,0 +1,205 @@
+(* Tests for the Section 7 cost bounds. *)
+
+open Helpers
+
+let paper = Rtlb.Paper_example.app
+
+let analysis_shared = Rtlb.Analysis.run Rtlb.Paper_example.shared paper
+let analysis_dedicated = Rtlb.Analysis.run Rtlb.Paper_example.dedicated paper
+
+let paper_shared_cost () =
+  match analysis_shared.Rtlb.Analysis.cost with
+  | Rtlb.Cost.Shared_cost { s_terms; s_cost } ->
+      (* 3 CostR(P1) + 2 CostR(P2) + 2 CostR(r1) with costs 5/4/3. *)
+      check_int "cost" ((3 * 5) + (2 * 4) + (2 * 3)) s_cost;
+      Alcotest.(check (list (triple string int int)))
+        "terms"
+        [ ("P1", 5, 3); ("P2", 4, 2); ("r1", 3, 2) ]
+        s_terms
+  | _ -> Alcotest.fail "expected shared cost"
+
+let paper_dedicated_cost () =
+  match analysis_dedicated.Rtlb.Analysis.cost with
+  | Rtlb.Cost.Dedicated_cost d ->
+      Alcotest.(check (list (pair string int)))
+        "x = (2, 1, 2)" Rtlb.Paper_example.expected_dedicated_counts
+        d.Rtlb.Cost.d_counts;
+      check_int "cost 2*10 + 1*6 + 2*7" 40 d.Rtlb.Cost.d_cost;
+      check_bool "relaxation <= integer cost" true
+        Rat.(d.Rtlb.Cost.d_relaxed_cost <= of_int d.Rtlb.Cost.d_cost)
+  | _ -> Alcotest.fail "expected dedicated cost"
+
+let paper_ilp_formulation () =
+  (* The Step 4 program has the three resource rows plus one coverage row
+     per distinct eligibility set ({N1}, {N1,N2}, {N3}). *)
+  let bounds = analysis_dedicated.Rtlb.Analysis.bounds in
+  let p = Rtlb.Cost.dedicated_problem Rtlb.Paper_example.dedicated paper bounds in
+  check_int "variables" 3 (Lp.Problem.num_vars p);
+  check_int "rows" 6 (List.length p.Lp.Problem.constraints)
+
+let zero_bound_resources_drop_out () =
+  (* A resource nobody uses must not constrain the program. *)
+  let bounds =
+    analysis_dedicated.Rtlb.Analysis.bounds
+    @ [
+        {
+          Rtlb.Lower_bound.resource = "unused";
+          lb = 0;
+          witness = None;
+          partition = { Rtlb.Partition.blocks = []; spans = [] };
+        };
+      ]
+  in
+  let p = Rtlb.Cost.dedicated_problem Rtlb.Paper_example.dedicated paper bounds in
+  check_int "rows unchanged" 6 (List.length p.Lp.Problem.constraints)
+
+let infeasible_coverage () =
+  (* A catalogue that cannot host P2 tasks has no feasible system. *)
+  let broken =
+    Rtlb.System.dedicated
+      [ Rtlb.System.node_type ~name:"N1" ~proc:"P1" ~provides:[ ("r1", 1) ] ~cost:1 () ]
+  in
+  match Rtlb.System.validate_for broken paper with
+  | Ok () -> Alcotest.fail "validation should fail"
+  | Error _ -> ()
+
+let node_multiplicity_counts () =
+  (* A node carrying 2 units of r1 halves the node count r1 demands. *)
+  let fat =
+    Rtlb.System.dedicated
+      [
+        Rtlb.System.node_type ~name:"fat" ~proc:"P1" ~provides:[ ("r1", 2) ] ~cost:9 ();
+        Rtlb.System.node_type ~name:"p2" ~proc:"P2" ~cost:7 ();
+      ]
+  in
+  let analysis = Rtlb.Analysis.run fat paper in
+  match analysis.Rtlb.Analysis.cost with
+  | Rtlb.Cost.Dedicated_cost d ->
+      (* needs: P1 >= 3 -> 3 fat nodes (each also gives 2 r1 >= 2 ✓);
+         P2 >= 2. Cost 3*9 + 2*7 = 41. *)
+      check_int "cost" 41 d.Rtlb.Cost.d_cost
+  | _ -> Alcotest.fail "expected dedicated"
+
+(* Exhaustive reference for the dedicated bound: enumerate node-count
+   vectors up to a small cap and take the cheapest one satisfying the
+   covering constraints. *)
+let brute_force_dedicated system app (bounds : Rtlb.Lower_bound.bound list) =
+  let nts = Array.of_list (Rtlb.System.node_types system) in
+  let k = Array.length nts in
+  let cap = 4 in
+  let best = ref None in
+  let x = Array.make k 0 in
+  let eligibility =
+    Array.to_list (Rtlb.App.tasks app)
+    |> List.map (fun task ->
+           Array.map (fun nt -> Rtlb.System.node_can_host nt task) nts)
+  in
+  let feasible () =
+    List.for_all
+      (fun (b : Rtlb.Lower_bound.bound) ->
+        let supply = ref 0 in
+        Array.iteri
+          (fun d c ->
+            supply :=
+              !supply
+              + c * Rtlb.System.node_provides nts.(d) b.Rtlb.Lower_bound.resource)
+          x;
+        !supply >= b.Rtlb.Lower_bound.lb)
+      bounds
+    && List.for_all
+         (fun mask ->
+           let ok = ref false in
+           Array.iteri (fun d c -> if c > 0 && mask.(d) then ok := true) x;
+           !ok)
+         eligibility
+  in
+  let rec go d =
+    if d = k then begin
+      if feasible () then begin
+        let cost = ref 0 in
+        Array.iteri (fun d c -> cost := !cost + (c * nts.(d).Rtlb.System.nt_cost)) x;
+        match !best with
+        | Some b when b <= !cost -> ()
+        | _ -> best := Some !cost
+      end
+    end
+    else
+      for v = 0 to cap do
+        x.(d) <- v;
+        go (d + 1)
+      done
+  in
+  go 0;
+  !best
+
+let prop_tests =
+  [
+    qtest ~count:40 "dedicated ILP bound matches exhaustive enumeration"
+      (arb_instance ~max_tasks:6 ()) (fun i ->
+        let system = dedicated_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        match
+          (a.Rtlb.Analysis.cost,
+           brute_force_dedicated system i.app a.Rtlb.Analysis.bounds)
+        with
+        | Rtlb.Cost.Dedicated_cost d, Some cost ->
+            (* the cap can truncate the true search space only upward *)
+            d.Rtlb.Cost.d_cost <= cost
+            && (d.Rtlb.Cost.d_cost = cost
+               || List.exists (fun (_, x) -> x > 4) d.Rtlb.Cost.d_counts)
+        | Rtlb.Cost.Dedicated_cost _, None -> true
+        | _ -> false);
+    qtest ~count:100 "shared cost equals the hand sum"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let system = shared_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        match a.Rtlb.Analysis.cost with
+        | Rtlb.Cost.Shared_cost { s_terms; s_cost } ->
+            s_cost
+            = List.fold_left (fun acc (_, c, lb) -> acc + (c * lb)) 0 s_terms
+            && List.for_all
+                 (fun (r, c, lb) ->
+                   c = Rtlb.System.resource_cost system r
+                   && lb = Rtlb.Analysis.bound_for a r)
+                 s_terms
+        | _ -> false);
+    qtest ~count:80 "dedicated optimum satisfies its own program"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let system = dedicated_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        match a.Rtlb.Analysis.cost with
+        | Rtlb.Cost.Dedicated_cost d ->
+            let point =
+              Array.of_list (List.map (fun (_, x) -> Rat.of_int x) d.Rtlb.Cost.d_counts)
+            in
+            Lp.Problem.satisfies d.Rtlb.Cost.d_problem point
+            && Rat.(d.Rtlb.Cost.d_relaxed_cost <= of_int d.Rtlb.Cost.d_cost)
+        | _ -> false);
+    qtest ~count:80 "dedicated platform from bounds covers the bounds"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let system = dedicated_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        let platform =
+          Sched.Platform.of_bounds system i.app a.Rtlb.Analysis.bounds
+        in
+        List.for_all
+          (fun (b : Rtlb.Lower_bound.bound) ->
+            Sched.Platform.units platform b.Rtlb.Lower_bound.resource
+            >= b.Rtlb.Lower_bound.lb)
+          a.Rtlb.Analysis.bounds);
+  ]
+
+let suite =
+  [
+    ( "cost",
+      [
+        Alcotest.test_case "paper Step 4 shared" `Quick paper_shared_cost;
+        Alcotest.test_case "paper Step 4 dedicated" `Quick paper_dedicated_cost;
+        Alcotest.test_case "ILP formulation shape" `Quick paper_ilp_formulation;
+        Alcotest.test_case "zero bounds drop out" `Quick
+          zero_bound_resources_drop_out;
+        Alcotest.test_case "uncoverable task detected" `Quick infeasible_coverage;
+        Alcotest.test_case "multi-unit nodes" `Quick node_multiplicity_counts;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,239 @@
+(* Corner-path coverage: exercises branches the themed suites do not —
+   dedicated-model rendering/encoding, the full report, file IO, and a
+   handful of invariants phrased as quick properties. *)
+
+open Helpers
+
+let paper = Rtlb.Paper_example.app
+
+let dedicated_platform =
+  Sched.Platform.dedicated
+    (List.map
+       (fun (nt : Rtlb.System.node_type) ->
+         (nt, match nt.Rtlb.System.nt_name with "N2" -> 1 | _ -> 2))
+       (Rtlb.System.node_types Rtlb.Paper_example.dedicated))
+
+let dedicated_gantt () =
+  match Sched.List_scheduler.run paper dedicated_platform with
+  | Error _ -> Alcotest.fail "setup"
+  | Ok s ->
+      let out = Sched.Gantt.render paper dedicated_platform s in
+      List.iter
+        (fun needle ->
+          check_bool ("gantt row " ^ needle) true (string_contains ~needle out))
+        [ "N1#0"; "N1#1"; "N2#0"; "N3#1" ]
+
+let dedicated_json () =
+  let a = Rtlb.Analysis.run Rtlb.Paper_example.dedicated paper in
+  let v = Rtfmt.Json.of_analysis a in
+  let v = Rtfmt.Json.parse (Rtfmt.Json.to_string v) in
+  match Rtfmt.Json.member "cost" v with
+  | cost -> (
+      (match Rtfmt.Json.member "model" cost with
+      | Rtfmt.Json.Str "dedicated" -> ()
+      | _ -> Alcotest.fail "model");
+      (match Rtfmt.Json.member "bound" cost with
+      | Rtfmt.Json.Int 40 -> ()
+      | _ -> Alcotest.fail "bound");
+      match Rtfmt.Json.member "nodes" cost with
+      | Rtfmt.Json.Obj nodes ->
+          Alcotest.(check (list string))
+            "node names" [ "N1"; "N2"; "N3" ] (List.map fst nodes)
+      | _ -> Alcotest.fail "nodes")
+
+let full_report () =
+  let a = Rtlb.Analysis.run Rtlb.Paper_example.shared paper in
+  let text = Rtfmt.Report.render ~demand_windows:4 a in
+  List.iter
+    (fun needle ->
+      check_bool ("report has " ^ needle) true (string_contains ~needle text))
+    [
+      "task windows"; "resource bounds"; "criticality"; "demand profiles";
+      "| T12  | 30 | 30 |"; "shared cost >= 29";
+    ];
+  (* windows/bounds tables as standalone values *)
+  let wt = Rtfmt.Table.render (Rtfmt.Report.windows_table a) in
+  check_bool "windows table critical flag" true (string_contains ~needle:"*" wt);
+  let bt = Rtfmt.Table.render (Rtfmt.Report.bounds_table a) in
+  check_bool "bounds table partition" true
+    (string_contains ~needle:"{T2,T1" bt)
+
+let sensitivity_dedicated_cost () =
+  let samples =
+    Rtlb.Sensitivity.deadline_sweep Rtlb.Paper_example.dedicated paper
+      ~factors:[ 1.0 ]
+  in
+  match samples with
+  | [ s ] -> Alcotest.(check (option int)) "ILP cost" (Some 40) s.Rtlb.Sensitivity.s_shared_cost
+  | _ -> Alcotest.fail "one sample"
+
+let timebound_dedicated () =
+  let capacity = function "P1" -> 3 | "P2" -> 2 | "r1" -> 2 | _ -> 0 in
+  match
+    Rtlb.Time_bound.minimum_completion_time Rtlb.Paper_example.dedicated paper
+      ~capacity
+  with
+  | Some tb -> check_bool "bounded" true (tb.Rtlb.Time_bound.tb_omega <= 36)
+  | None -> Alcotest.fail "expected bound"
+
+let horn_on_paper () =
+  let jobs = Sched.Horn.of_app paper in
+  (* precedence/type-blind relaxation: still a valid lower bound *)
+  let m = Sched.Horn.min_processors ~jobs in
+  check_bool "relaxation minimum sane" true (m >= 1 && m <= 5);
+  check_bool "density <= flow" true (Sched.Horn.density_bound ~jobs <= m)
+
+let preemptive_slices_counted () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:4 ~deadline:12 ~proc:"P" ~preemptive:true ();
+          Rtlb.Task.make ~id:1 ~compute:2 ~release:1 ~deadline:4 ~proc:"P"
+            ~preemptive:true ();
+        ]
+      ~edges:[]
+  in
+  match Sched.Preemptive.run app ~procs:[ ("P", 1) ] with
+  | Error _ -> Alcotest.fail "expected feasible"
+  | Ok s ->
+      (* task 0 runs [0,1), preempted for task 1 [1,3), resumes [3,6) *)
+      check_int "three slices total" 3 (Sched.Preemptive.total_slices s);
+      check_int "task 0 split in two" 2 (List.length s.(0))
+
+let svg_gantt () =
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P1", 3); ("P2", 2) ] ~resources:[ ("r1", 2) ]
+  in
+  match Sched.List_scheduler.run paper platform with
+  | Error _ -> Alcotest.fail "setup"
+  | Ok s ->
+      let svg = Sched.Gantt.render_svg ~show_resources:true paper platform s in
+      List.iter
+        (fun needle ->
+          check_bool ("svg has " ^ needle) true (string_contains ~needle svg))
+        [ "<svg"; "</svg>"; "P1#2"; "r1#1"; "T15"; "hsl(" ];
+      (* balanced: every <rect and <text is self-contained; cheap sanity *)
+      check_bool "no deadline violations drawn red" false
+        (string_contains ~needle:"hsl(0, 85%, 55%)" svg);
+      (* a forged late entry is drawn in red *)
+      let late = Array.copy s in
+      late.(14) <- { late.(14) with Sched.Schedule.e_start = 35 };
+      let svg' = Sched.Gantt.render_svg paper platform late in
+      check_bool "late task highlighted" true
+        (string_contains ~needle:"hsl(0, 85%, 55%)" svg')
+
+let parse_file_io () =
+  let path = Filename.temp_file "rtlb" ".app" in
+  let oc = open_out path in
+  output_string oc "task A compute=1 deadline=5 proc=P\n";
+  close_out oc;
+  let { Rtfmt.Appfile.app; _ } = Rtfmt.Appfile.parse_file path in
+  Sys.remove path;
+  check_int "one task" 1 (Rtlb.App.n_tasks app)
+
+let mutate_shrink_messages () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        (List.init 2 (fun id ->
+             Rtlb.Task.make ~id ~compute:1 ~deadline:20 ~proc:"P" ()))
+      ~edges:[ (0, 1, 7) ]
+  in
+  let halved = Workload.Mutate.scale_messages app ~percent:50 in
+  check_int "7 halves down to 3" 3 (Rtlb.App.message halved ~src:0 ~dst:1);
+  let grown = Workload.Mutate.scale_messages app ~percent:150 in
+  check_int "7 grows up to 11" 11 (Rtlb.App.message grown ~src:0 ~dst:1)
+
+let prng_misc () =
+  let g = Workload.Prng.create 5 in
+  let g' = Workload.Prng.copy g in
+  check_int "copy diverges independently"
+    (Workload.Prng.int g 1000) (Workload.Prng.int g' 1000);
+  check_bool "pick from singleton" true (Workload.Prng.pick g [ 42 ] = 42);
+  (match Workload.Prng.pick g [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pick");
+  match Workload.Prng.weighted g [ ("a", 0.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero weights"
+
+let prop_tests =
+  [
+    qtest ~count:100 "hostable implies a costed system exists"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let system = dedicated_of i in
+        match Rtlb.System.validate_for system i.app with
+        | Error _ -> true
+        | Ok () -> (
+            match (Rtlb.Analysis.run system i.app).Rtlb.Analysis.cost with
+            | Rtlb.Cost.Dedicated_cost _ -> true
+            | Rtlb.Cost.Shared_cost _ | Rtlb.Cost.No_feasible_system _ -> false));
+    qtest ~count:200 "rational comparison is a total order (sampled)"
+      (QCheck.triple
+         (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range 1 50))
+         (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range 1 50))
+         (QCheck.pair (QCheck.int_range (-50) 50) (QCheck.int_range 1 50)))
+      (fun ((a, b), (c, d), (e, f)) ->
+        let x = Rat.make a b and y = Rat.make c d and z = Rat.make e f in
+        let antisym =
+          not (Rat.compare x y <= 0 && Rat.compare y x <= 0)
+          || Rat.equal x y
+        in
+        let trans =
+          not (Rat.compare x y <= 0 && Rat.compare y z <= 0)
+          || Rat.compare x z <= 0
+        in
+        antisym && trans);
+    qtest ~count:150 "timeline gaps match a brute-force scan"
+      (QCheck.make
+         ~print:(fun l -> String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) l))
+         QCheck.Gen.(
+           list_size (int_range 0 6)
+             (map
+                (fun (s, l) -> (s, s + 1 + l))
+                (pair (int_range 0 30) (int_range 0 5)))))
+      (fun intervals ->
+        (* build a timeline from non-overlapping subset *)
+        let tl =
+          List.fold_left
+            (fun tl (s, f) ->
+              if Sched.Timeline.is_free tl ~start:s ~finish:f then
+                Sched.Timeline.add tl ~start:s ~finish:f
+              else tl)
+            Sched.Timeline.empty intervals
+        in
+        List.for_all
+          (fun (from, duration) ->
+            let got = Sched.Timeline.earliest_gap tl ~from ~duration in
+            (* brute force: first t >= from with [t, t+duration) free *)
+            let rec scan t =
+              if Sched.Timeline.is_free tl ~start:t ~finish:(t + duration)
+              then t
+              else scan (t + 1)
+            in
+            got = scan from)
+          [ (0, 1); (0, 3); (5, 2); (17, 4); (40, 1) ]);
+  ]
+
+let suite =
+  [
+    ( "coverage",
+      [
+        Alcotest.test_case "dedicated gantt" `Quick dedicated_gantt;
+        Alcotest.test_case "dedicated JSON" `Quick dedicated_json;
+        Alcotest.test_case "full report" `Quick full_report;
+        Alcotest.test_case "sensitivity (dedicated cost)" `Quick
+          sensitivity_dedicated_cost;
+        Alcotest.test_case "time bound (dedicated)" `Quick timebound_dedicated;
+        Alcotest.test_case "Horn on the paper example" `Quick horn_on_paper;
+        Alcotest.test_case "preemptive slice counting" `Quick
+          preemptive_slices_counted;
+        Alcotest.test_case "svg gantt" `Quick svg_gantt;
+        Alcotest.test_case "appfile file IO" `Quick parse_file_io;
+        Alcotest.test_case "message scaling both ways" `Quick
+          mutate_shrink_messages;
+        Alcotest.test_case "prng odds and ends" `Quick prng_misc;
+      ]
+      @ prop_tests );
+  ]

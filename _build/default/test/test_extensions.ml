@@ -1,0 +1,399 @@
+(* Tests for the designer-facing extensions: Gantt charts, demand
+   profiles, sensitivity sweeps, completion-time bounds, the preemptive
+   EDF scheduler, and the candidate-point policy ablation. *)
+
+open Helpers
+
+let paper = Rtlb.Paper_example.app
+let windows = Rtlb.Est_lct.compute Rtlb.Paper_example.shared paper
+let est = windows.Rtlb.Est_lct.est
+let lct = windows.Rtlb.Est_lct.lct
+
+(* ---------------- Gantt ---------------- *)
+
+let gantt_renders () =
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P1", 3); ("P2", 2) ] ~resources:[ ("r1", 2) ]
+  in
+  match Sched.List_scheduler.run paper platform with
+  | Error _ -> Alcotest.fail "setup"
+  | Ok s ->
+      let out = Sched.Gantt.render ~show_resources:true paper platform s in
+      List.iter
+        (fun needle ->
+          check_bool ("gantt mentions " ^ needle) true
+            (string_contains ~needle out))
+        [ "P1#0"; "P1#2"; "P2#1"; "r1#1"; "T15"; "|" ];
+      (* every task name appears somewhere *)
+      Array.iter
+        (fun (t : Rtlb.Task.t) ->
+          if t.Rtlb.Task.compute > 0 then
+            check_bool (t.Rtlb.Task.name ^ " drawn") true
+              (string_contains ~needle:t.Rtlb.Task.name out))
+        (Rtlb.App.tasks paper)
+
+let gantt_scales () =
+  let tasks =
+    [ Rtlb.Task.make ~id:0 ~compute:500 ~deadline:1000 ~proc:"P" () ]
+  in
+  let app = Rtlb.App.make ~tasks ~edges:[] in
+  let platform = Sched.Platform.shared ~procs:[ ("P", 1) ] ~resources:[] in
+  match Sched.List_scheduler.run app platform with
+  | Error _ -> Alcotest.fail "setup"
+  | Ok s ->
+      let out = Sched.Gantt.render ~width:50 app platform s in
+      check_bool "scaling note present" true
+        (string_contains ~needle:"time units)" out)
+
+(* ---------------- Demand profiles ---------------- *)
+
+let demand_profile () =
+  let profile = Rtlb.Demand.sliding ~est ~lct paper ~resource:"P1" ~window:3 in
+  check_string "resource" "P1" profile.Rtlb.Demand.d_resource;
+  (match profile.Rtlb.Demand.d_peak with
+  | None -> Alcotest.fail "expected a peak"
+  | Some p ->
+      (* [3,6] carries demand 9 -> 3 units, the Step 3 maximum *)
+      check_int "peak units" 3 p.Rtlb.Demand.d_units);
+  (* the sliding profile is part of the render *)
+  let text = Rtlb.Demand.render profile in
+  check_bool "render has bars" true (string_contains ~needle:"###" text)
+
+let demand_peak_matches_bound () =
+  List.iter
+    (fun r ->
+      let b = Rtlb.Lower_bound.for_resource ~est ~lct paper r in
+      match Rtlb.Demand.peak_over_all_windows ~est ~lct paper ~resource:r with
+      | None -> Alcotest.fail "expected peak"
+      | Some p ->
+          check_int ("peak = LB for " ^ r) b.Rtlb.Lower_bound.lb
+            p.Rtlb.Demand.d_units)
+    [ "P1"; "P2"; "r1" ]
+
+let demand_errors () =
+  match Rtlb.Demand.sliding ~est ~lct paper ~resource:"P1" ~window:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---------------- Sensitivity ---------------- *)
+
+let sensitivity_on_example () =
+  let samples =
+    Rtlb.Sensitivity.deadline_sweep Rtlb.Paper_example.shared paper
+      ~factors:[ 1.0; 2.0; 4.0 ]
+  in
+  check_int "three samples" 3 (List.length samples);
+  let at f =
+    List.find (fun s -> s.Rtlb.Sensitivity.s_factor = f) samples
+  in
+  check_bool "baseline feasible" true (at 1.0).Rtlb.Sensitivity.s_feasible;
+  Alcotest.(check (list (pair string int)))
+    "baseline bounds are the Step 3 bounds"
+    Rtlb.Paper_example.expected_bounds
+    (at 1.0).Rtlb.Sensitivity.s_bounds;
+  (* relaxing deadlines can only lower the cost bound *)
+  let cost f =
+    Option.value ~default:max_int (at f).Rtlb.Sensitivity.s_shared_cost
+  in
+  check_bool "cost monotone 1->2" true (cost 2.0 <= cost 1.0);
+  check_bool "cost monotone 2->4" true (cost 4.0 <= cost 2.0);
+  let text = Rtlb.Sensitivity.render samples in
+  check_bool "render lists resources" true (string_contains ~needle:"LB_P1" text)
+
+let sensitivity_detects_infeasible () =
+  let samples =
+    Rtlb.Sensitivity.deadline_sweep Rtlb.Paper_example.shared paper
+      ~factors:[ 0.5 ]
+  in
+  match samples with
+  | [ s ] -> check_bool "half deadlines infeasible" false s.Rtlb.Sensitivity.s_feasible
+  | _ -> Alcotest.fail "one sample expected"
+
+let scale_floors_at_window () =
+  let app = Rtlb.Sensitivity.scale_deadlines paper ~factor:0.01 in
+  Array.iter
+    (fun (t : Rtlb.Task.t) ->
+      check_bool "deadline >= release + compute" true
+        (t.Rtlb.Task.deadline >= t.Rtlb.Task.release + t.Rtlb.Task.compute))
+    (Rtlb.App.tasks app)
+
+(* ---------------- Time bounds ---------------- *)
+
+let timebound_single_processor () =
+  (* Two independent C=4 tasks on one processor: cannot finish before 8;
+     on two processors: 4. *)
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        (List.init 2 (fun id ->
+             Rtlb.Task.make ~id ~compute:4 ~deadline:100 ~proc:"P" ()))
+      ~edges:[]
+  in
+  let system = Rtlb.System.shared ~costs:[ ("P", 1) ] in
+  let bound caps =
+    match
+      Rtlb.Time_bound.minimum_completion_time system app
+        ~capacity:(fun _ -> caps)
+    with
+    | Some tb -> tb.Rtlb.Time_bound.tb_omega
+    | None -> -1
+  in
+  check_int "one processor" 8 (bound 1);
+  check_int "two processors" 4 (bound 2)
+
+let timebound_on_example () =
+  let system = Rtlb.Paper_example.shared in
+  let capacity = function "P1" -> 3 | "P2" -> 2 | "r1" -> 2 | _ -> 0 in
+  match Rtlb.Time_bound.minimum_completion_time system paper ~capacity with
+  | None -> Alcotest.fail "expected a bound"
+  | Some tb ->
+      (* The paper's deadlines (36) admit a feasible schedule on this
+         platform, so the time bound cannot exceed 36. *)
+      check_bool "omega <= 36" true (tb.Rtlb.Time_bound.tb_omega <= 36);
+      check_bool "omega >= longest chain" true (tb.Rtlb.Time_bound.tb_omega >= 22);
+      (* all bounds fit the capacity at omega *)
+      List.iter
+        (fun (r, lb) ->
+          check_bool ("fits " ^ r) true (lb <= capacity r))
+        tb.Rtlb.Time_bound.tb_bounds
+
+let timebound_zero_capacity () =
+  let system = Rtlb.Paper_example.shared in
+  check_bool "zero capacity rejected" true
+    (Rtlb.Time_bound.minimum_completion_time system paper ~capacity:(fun _ -> 0)
+    = None)
+
+(* ---------------- Preemptive EDF ---------------- *)
+
+let staggered outer_compute =
+  Rtlb.App.make
+    ~tasks:
+      [
+        Rtlb.Task.make ~id:0 ~compute:outer_compute ~deadline:12 ~proc:"P"
+          ~preemptive:true ();
+        Rtlb.Task.make ~id:1 ~compute:outer_compute ~deadline:12 ~proc:"P"
+          ~preemptive:true ();
+        Rtlb.Task.make ~id:2 ~compute:6 ~release:2 ~deadline:10 ~proc:"P"
+          ~preemptive:true ();
+      ]
+    ~edges:[]
+
+let preemptive_basic () =
+  (* 2 outer [0,12] C7 + 1 inner [2,10] C6: EDF packs this on 2
+     processors; 1 cannot hold the 20 units of work. *)
+  let app = staggered 7 in
+  check_bool "2 procs suffice preemptively" true
+    (Sched.Preemptive.feasible app ~procs:[ ("P", 2) ]);
+  check_bool "1 proc does not" false
+    (Sched.Preemptive.feasible app ~procs:[ ("P", 1) ]);
+  (* and the preemptive bound agrees *)
+  let a = Rtlb.Analysis.run (Rtlb.System.shared ~costs:[ ("P", 1) ]) app in
+  check_int "LB_P preemptive" 2 (Rtlb.Analysis.bound_for a "P")
+
+let edf_not_optimal_but_horn_is () =
+  (* With C8 outers the set is still feasible on 2 processors (Horn's
+     flow proves it; so does the Theorem 3 bound) but global EDF misses
+     it — the classic multiprocessor-EDF non-optimality. *)
+  let app = staggered 8 in
+  check_bool "EDF misses the feasible set" false
+    (Sched.Preemptive.feasible app ~procs:[ ("P", 2) ]);
+  let jobs = Sched.Horn.of_app app in
+  check_bool "Horn: feasible on 2" true (Sched.Horn.feasible ~jobs ~m:2);
+  check_bool "Horn: infeasible on 1" false (Sched.Horn.feasible ~jobs ~m:1);
+  check_int "Horn minimum" 2 (Sched.Horn.min_processors ~jobs);
+  check_int "Theorem 3 bound matches" 2 (Sched.Horn.density_bound ~jobs)
+
+let preemptive_respects_precedence () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:3 ~deadline:20 ~proc:"P" ~preemptive:true ();
+          Rtlb.Task.make ~id:1 ~compute:4 ~deadline:20 ~proc:"P" ~preemptive:true ();
+        ]
+      ~edges:[ (0, 1, 5) ]
+  in
+  match Sched.Preemptive.run app ~procs:[ ("P", 2) ] with
+  | Error _ -> Alcotest.fail "expected feasible"
+  | Ok s ->
+      (match Sched.Preemptive.check app ~procs:[ ("P", 2) ] s with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es));
+      (* successor starts only after message: 3 + 5 = 8 *)
+      (match s.(1) with
+      | first :: _ -> check_int "message delay honoured" 8 first.Sched.Preemptive.p_start
+      | [] -> Alcotest.fail "no slices")
+
+let preemptive_rejects_resources () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [ Rtlb.Task.make ~id:0 ~compute:1 ~deadline:5 ~proc:"P" ~resources:[ "r" ] () ]
+      ~edges:[]
+  in
+  match Sched.Preemptive.run app ~procs:[ ("P", 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let preemptive_nonpreemptive_tasks_run_whole () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:6 ~deadline:20 ~proc:"P" ();
+          Rtlb.Task.make ~id:1 ~compute:2 ~deadline:7 ~proc:"P" ();
+        ]
+      ~edges:[]
+  in
+  (* EDF prefers task 1 (deadline 7); task 0, once started, must not be
+     split around it. *)
+  match Sched.Preemptive.run app ~procs:[ ("P", 1) ] with
+  | Error _ -> Alcotest.fail "expected feasible"
+  | Ok s ->
+      check_int "task 0 in one slice" 1 (List.length s.(0));
+      match Sched.Preemptive.check app ~procs:[ ("P", 1) ] s with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es)
+
+(* ---------------- Candidate-point policies ---------------- *)
+
+let enriched_points_superset () =
+  let compute =
+    Array.init (Rtlb.App.n_tasks paper) (fun i ->
+        (Rtlb.App.task paper i).Rtlb.Task.compute)
+  in
+  let tasks = Rtlb.App.tasks_using paper "P1" in
+  let basic = Rtlb.Lower_bound.candidate_points ~est ~lct tasks ~lo:0 ~hi:36 in
+  let rich =
+    Rtlb.Lower_bound.candidate_points ~policy:`Enriched ~est ~lct ~compute
+      tasks ~lo:0 ~hi:36
+  in
+  check_bool "superset" true (List.for_all (fun p -> List.mem p rich) basic);
+  check_bool "strictly more points" true (List.length rich > List.length basic)
+
+(* ---------------- Properties ---------------- *)
+
+let prop_tests =
+  [
+    qtest ~count:100 "enriched points never lower a bound"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let w = Rtlb.Est_lct.compute (shared_of i) i.app in
+        let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+        List.for_all
+          (fun r ->
+            let basic = Rtlb.Lower_bound.for_resource ~est ~lct i.app r in
+            let rich =
+              Rtlb.Lower_bound.for_resource ~policy:`Enriched ~est ~lct i.app r
+            in
+            rich.Rtlb.Lower_bound.lb >= basic.Rtlb.Lower_bound.lb)
+          (Rtlb.App.resource_set i.app));
+    qtest ~count:60 "preemptive EDF schedules always pass their checker"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        (* strip resources and force preemptive tasks *)
+        let app =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:t.Rtlb.Task.compute
+                       ~release:t.Rtlb.Task.release ~deadline:t.Rtlb.Task.deadline
+                       ~proc:t.Rtlb.Task.proc ~preemptive:true ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst m -> (src, dst, m) :: acc))
+        in
+        let procs =
+          Array.to_list (Rtlb.App.tasks app)
+          |> List.map (fun (t : Rtlb.Task.t) -> t.Rtlb.Task.proc)
+          |> List.sort_uniq String.compare
+          |> List.map (fun p -> (p, Rtlb.App.n_tasks app))
+        in
+        match Sched.Preemptive.run app ~procs with
+        | Error _ -> true
+        | Ok s -> Sched.Preemptive.check app ~procs s = Ok ());
+    qtest ~count:40 "preemptive bound sound against preemptive EDF"
+      (arb_instance ~max_tasks:8 ()) (fun i ->
+        (* if EDF schedules on k processors of the (single) type, then
+           LB <= k *)
+        let app =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:t.Rtlb.Task.compute
+                       ~release:t.Rtlb.Task.release ~deadline:t.Rtlb.Task.deadline
+                       ~proc:"P" ~preemptive:true ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst m -> (src, dst, m) :: acc))
+        in
+        let a = Rtlb.Analysis.run (Rtlb.System.shared ~costs:[ ("P", 1) ]) app in
+        let lb = Rtlb.Analysis.bound_for a "P" in
+        let rec min_k k =
+          if k > Rtlb.App.n_tasks app then None
+          else if Sched.Preemptive.feasible app ~procs:[ ("P", k) ] then Some k
+          else min_k (k + 1)
+        in
+        match min_k 1 with None -> true | Some k -> lb <= k);
+    qtest ~count:60 "time bound consistent: passes omega, fails omega-1"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let system = shared_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        (* capacity = the analysis bounds themselves: a platform that the
+           bounds allow *)
+        let capacity r =
+          match
+            List.find_opt
+              (fun (b : Rtlb.Lower_bound.bound) ->
+                String.equal b.Rtlb.Lower_bound.resource r)
+              a.Rtlb.Analysis.bounds
+          with
+          | Some b -> max 1 b.Rtlb.Lower_bound.lb
+          | None -> 1
+        in
+        match Rtlb.Time_bound.minimum_completion_time system i.app ~capacity with
+        | None -> false
+        | Some tb ->
+            (* omega never beats the obvious floor, and the horizon the
+               deadlines allow must be >= it when bounds fit *)
+            let floor_ =
+              Array.fold_left
+                (fun acc (t : Rtlb.Task.t) ->
+                  max acc (t.Rtlb.Task.release + t.Rtlb.Task.compute))
+                1 (Rtlb.App.tasks i.app)
+            in
+            tb.Rtlb.Time_bound.tb_omega >= floor_
+            && tb.Rtlb.Time_bound.tb_omega <= Rtlb.App.horizon i.app);
+  ]
+
+let suite =
+  [
+    ( "extensions",
+      [
+        Alcotest.test_case "gantt renders the example" `Quick gantt_renders;
+        Alcotest.test_case "gantt scales long horizons" `Quick gantt_scales;
+        Alcotest.test_case "demand profile" `Quick demand_profile;
+        Alcotest.test_case "demand peak = LB" `Quick demand_peak_matches_bound;
+        Alcotest.test_case "demand errors" `Quick demand_errors;
+        Alcotest.test_case "sensitivity sweep" `Quick sensitivity_on_example;
+        Alcotest.test_case "sensitivity infeasible" `Quick
+          sensitivity_detects_infeasible;
+        Alcotest.test_case "deadline scaling floors" `Quick scale_floors_at_window;
+        Alcotest.test_case "time bound: single pool" `Quick
+          timebound_single_processor;
+        Alcotest.test_case "time bound: paper example" `Quick timebound_on_example;
+        Alcotest.test_case "time bound: zero capacity" `Quick
+          timebound_zero_capacity;
+        Alcotest.test_case "preemptive EDF: staggered family" `Quick
+          preemptive_basic;
+        Alcotest.test_case "preemptive EDF: precedence" `Quick
+          preemptive_respects_precedence;
+        Alcotest.test_case "preemptive EDF: resources rejected" `Quick
+          preemptive_rejects_resources;
+        Alcotest.test_case "preemptive EDF: non-preemptive run whole" `Quick
+          preemptive_nonpreemptive_tasks_run_whole;
+        Alcotest.test_case "enriched candidate points" `Quick
+          enriched_points_superset;
+      ]
+      @ prop_tests );
+  ]

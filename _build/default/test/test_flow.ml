@@ -1,0 +1,222 @@
+(* Tests for the max-flow substrate and Horn's optimal preemptive
+   feasibility built on it. *)
+
+open Helpers
+
+let simple_network () =
+  (* classic: s=0, t=3; s->1 (3), s->2 (2), 1->2 (5), 1->3 (2), 2->3 (3) *)
+  let net = Flow.create ~n:4 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:3;
+  Flow.add_edge net ~src:0 ~dst:2 ~capacity:2;
+  Flow.add_edge net ~src:1 ~dst:2 ~capacity:5;
+  Flow.add_edge net ~src:1 ~dst:3 ~capacity:2;
+  Flow.add_edge net ~src:2 ~dst:3 ~capacity:3;
+  check_int "max flow" 5 (Flow.max_flow net ~source:0 ~sink:3);
+  check_int "flow into 1" 3 (Flow.flow_on_edges net ~src:0 ~dst:1);
+  check_int "flow into 2" 2 (Flow.flow_on_edges net ~src:0 ~dst:2);
+  (* min cut contains the source side only *)
+  let cut = Flow.min_cut net ~source:0 in
+  check_bool "source in cut" true (List.mem 0 cut);
+  check_bool "sink not in cut" false (List.mem 3 cut)
+
+let disconnected () =
+  let net = Flow.create ~n:3 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:7;
+  check_int "no path" 0 (Flow.max_flow net ~source:0 ~sink:2)
+
+let parallel_edges () =
+  let net = Flow.create ~n:2 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:2;
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:3;
+  check_int "parallel edges add" 5 (Flow.max_flow net ~source:0 ~sink:1);
+  check_int "combined flow" 5 (Flow.flow_on_edges net ~src:0 ~dst:1)
+
+let zero_capacity () =
+  let net = Flow.create ~n:2 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:0;
+  check_int "zero cap" 0 (Flow.max_flow net ~source:0 ~sink:1)
+
+let needs_augmenting_back_edges () =
+  (* The textbook case where a naive greedy gets stuck without residual
+     back edges: s->a, s->b, a->b, a->t, b->t, all capacity 1, plus a
+     saturating first path through a->b. *)
+  let net = Flow.create ~n:4 in
+  let s = 0 and a = 1 and b = 2 and t = 3 in
+  Flow.add_edge net ~src:s ~dst:a ~capacity:1;
+  Flow.add_edge net ~src:s ~dst:b ~capacity:1;
+  Flow.add_edge net ~src:a ~dst:b ~capacity:1;
+  Flow.add_edge net ~src:a ~dst:t ~capacity:1;
+  Flow.add_edge net ~src:b ~dst:t ~capacity:1;
+  check_int "max flow" 2 (Flow.max_flow net ~source:s ~sink:t)
+
+let invalid_inputs () =
+  let net = Flow.create ~n:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Flow.add_edge: self loop")
+    (fun () -> Flow.add_edge net ~src:1 ~dst:1 ~capacity:1);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Flow.add_edge: negative capacity") (fun () ->
+      Flow.add_edge net ~src:0 ~dst:1 ~capacity:(-1));
+  Alcotest.check_raises "source = sink"
+    (Invalid_argument "Flow.max_flow: source = sink") (fun () ->
+      ignore (Flow.max_flow net ~source:0 ~sink:0))
+
+(* brute-force reference: max bipartite-ish flow via repeated DFS
+   augmentation on a tiny adjacency-matrix network *)
+let brute_force_max_flow caps source sink =
+  let n = Array.length caps in
+  let cap = Array.map Array.copy caps in
+  let total = ref 0 in
+  let rec augment () =
+    let seen = Array.make n false in
+    let rec dfs v limit =
+      if v = sink then limit
+      else begin
+        seen.(v) <- true;
+        let rec try_next w =
+          if w >= n then 0
+          else if (not seen.(w)) && cap.(v).(w) > 0 then begin
+            let got = dfs w (min limit cap.(v).(w)) in
+            if got > 0 then begin
+              cap.(v).(w) <- cap.(v).(w) - got;
+              cap.(w).(v) <- cap.(w).(v) + got;
+              got
+            end
+            else try_next (w + 1)
+          end
+          else try_next (w + 1)
+        in
+        try_next 0
+      end
+    in
+    let got = dfs source max_int in
+    if got > 0 then begin
+      total := !total + got;
+      augment ()
+    end
+  in
+  augment ();
+  !total
+
+let arb_network =
+  let gen st =
+    let n = 3 + QCheck.Gen.int_bound 3 st in
+    let caps = Array.make_matrix n n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && QCheck.Gen.bool st then
+          caps.(i).(j) <- QCheck.Gen.int_bound 9 st
+      done
+    done;
+    caps
+  in
+  let print caps =
+    let n = Array.length caps in
+    String.concat ";"
+      (List.concat
+         (List.init n (fun i ->
+              List.filter_map
+                (fun j ->
+                  if caps.(i).(j) > 0 then
+                    Some (Printf.sprintf "%d->%d:%d" i j caps.(i).(j))
+                  else None)
+                (List.init n Fun.id))))
+  in
+  QCheck.make ~print gen
+
+(* ---------------- Horn ---------------- *)
+
+let j r d c = { Sched.Horn.j_release = r; j_deadline = d; j_compute = c }
+
+let horn_basics () =
+  check_bool "empty set" true (Sched.Horn.feasible ~jobs:[] ~m:1);
+  check_int "empty min" 0 (Sched.Horn.min_processors ~jobs:[]);
+  let two_full = [ j 0 10 10; j 0 10 10 ] in
+  check_bool "two full-window jobs on 2" true
+    (Sched.Horn.feasible ~jobs:two_full ~m:2);
+  check_bool "two full-window jobs on 1" false
+    (Sched.Horn.feasible ~jobs:two_full ~m:1);
+  check_int "min" 2 (Sched.Horn.min_processors ~jobs:two_full);
+  Alcotest.check_raises "impossible job"
+    (Invalid_argument "Horn: job window smaller than its computation")
+    (fun () -> ignore (Sched.Horn.feasible ~jobs:[ j 0 3 5 ] ~m:1))
+
+let density_bound_not_tight () =
+  (* Two saturated 2-job clusters at [0,2] and [8,10] plus a wide job
+     [0,10] C=8: all contiguous intervals allow 2 processors, yet the wide
+     job can gather at most 6 units outside the clusters on one processor,
+     so 3 are needed — the flow test sees it, interval density cannot. *)
+  let jobs =
+    [ j 0 2 2; j 0 2 2; j 8 10 2; j 8 10 2; j 0 10 8 ]
+  in
+  check_int "density bound" 2 (Sched.Horn.density_bound ~jobs);
+  check_bool "flow refutes m=2" false (Sched.Horn.feasible ~jobs ~m:2);
+  check_int "true minimum" 3 (Sched.Horn.min_processors ~jobs)
+
+let horn_migration_helps () =
+  (* 3 jobs C=2 in [0,3]: work 6 over 3 time units on 2 processors needs
+     migration (each processor does 3 units; some job splits). *)
+  let jobs = [ j 0 3 2; j 0 3 2; j 0 3 2 ] in
+  check_bool "feasible with migration on 2" true (Sched.Horn.feasible ~jobs ~m:2);
+  check_int "min processors" 2 (Sched.Horn.min_processors ~jobs)
+
+let arb_jobs =
+  let gen st =
+    let n = 1 + QCheck.Gen.int_bound 7 st in
+    List.init n (fun _ ->
+        let r = QCheck.Gen.int_bound 10 st in
+        let c = QCheck.Gen.int_bound 8 st in
+        let slack = QCheck.Gen.int_bound 8 st in
+        j r (r + c + slack) c)
+  in
+  let print jobs =
+    String.concat ";"
+      (List.map
+         (fun x ->
+           Printf.sprintf "[%d,%d]C%d" x.Sched.Horn.j_release
+             x.Sched.Horn.j_deadline x.Sched.Horn.j_compute)
+         jobs)
+  in
+  QCheck.make ~print gen
+
+let prop_tests =
+  [
+    qtest ~count:300 "Dinic agrees with DFS augmentation" arb_network
+      (fun caps ->
+        let n = Array.length caps in
+        let net = Flow.create ~n in
+        Array.iteri
+          (fun i row ->
+            Array.iteri
+              (fun jx c -> if c > 0 then Flow.add_edge net ~src:i ~dst:jx ~capacity:c)
+              row)
+          caps;
+        Flow.max_flow net ~source:0 ~sink:(n - 1)
+        = brute_force_max_flow caps 0 (n - 1));
+    qtest ~count:200
+      "Theorem 3 density bound never exceeds Horn's optimum" arb_jobs
+      (fun jobs ->
+        Sched.Horn.density_bound ~jobs <= Sched.Horn.min_processors ~jobs);
+    qtest ~count:200 "Horn minimum is a true threshold" arb_jobs (fun jobs ->
+        let m = Sched.Horn.min_processors ~jobs in
+        m = 0
+        || Sched.Horn.feasible ~jobs ~m
+           && (m = 1 || not (Sched.Horn.feasible ~jobs ~m:(m - 1))));
+  ]
+
+let suite =
+  [
+    ( "flow",
+      [
+        Alcotest.test_case "simple network" `Quick simple_network;
+        Alcotest.test_case "disconnected" `Quick disconnected;
+        Alcotest.test_case "parallel edges" `Quick parallel_edges;
+        Alcotest.test_case "zero capacity" `Quick zero_capacity;
+        Alcotest.test_case "residual back edges" `Quick needs_augmenting_back_edges;
+        Alcotest.test_case "invalid inputs" `Quick invalid_inputs;
+        Alcotest.test_case "Horn basics" `Quick horn_basics;
+        Alcotest.test_case "Horn migration" `Quick horn_migration_helps;
+        Alcotest.test_case "density bound not tight (gap family)" `Quick
+          density_bound_not_tight;
+      ]
+      @ prop_tests );
+  ]

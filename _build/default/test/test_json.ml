@@ -1,0 +1,174 @@
+(* Tests for the JSON encoder/parser and the analysis/schedule encoders. *)
+
+open Helpers
+
+let j = Rtfmt.Json.parse
+let s = Rtfmt.Json.to_string
+
+let print_parse_roundtrip () =
+  let value =
+    Rtfmt.Json.(
+      Obj
+        [
+          ("name", Str "T1");
+          ("count", Int (-3));
+          ("flag", Bool true);
+          ("nothing", Null);
+          ("items", List [ Int 1; Int 2; Str "x" ]);
+          ("empty_list", List []);
+          ("empty_obj", Obj []);
+        ])
+  in
+  check_string "roundtrip" (s value) (s (j (s value)));
+  check_string "compact roundtrip" (s value)
+    (s (j (s ~indent:false value)))
+
+let escaping () =
+  let tricky = "quote\" backslash\\ newline\n tab\t" in
+  match j (s (Rtfmt.Json.Str tricky)) with
+  | Rtfmt.Json.Str back -> check_string "escapes survive" tricky back
+  | _ -> Alcotest.fail "expected string"
+
+let parse_errors () =
+  let bad text =
+    match j text with
+    | exception Rtfmt.Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ text)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "tru";
+  bad "1.5";
+  (* floats are rejected: everything here is integral *)
+  bad "[1] trailing"
+
+let member_access () =
+  let v = j "{\"a\": 1, \"b\": [true]}" in
+  (match Rtfmt.Json.member "a" v with
+  | Rtfmt.Json.Int 1 -> ()
+  | _ -> Alcotest.fail "member a");
+  match Rtfmt.Json.member "missing" v with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let analysis_encoding () =
+  let a = Rtlb.Analysis.run Rtlb.Paper_example.shared Rtlb.Paper_example.app in
+  let v = Rtfmt.Json.of_analysis a in
+  (* The encoding parses back and carries the headline facts. *)
+  let v = j (s v) in
+  (match Rtfmt.Json.member "tasks" v with
+  | Rtfmt.Json.Int 15 -> ()
+  | _ -> Alcotest.fail "tasks");
+  (match Rtfmt.Json.member "feasible_windows" v with
+  | Rtfmt.Json.Bool true -> ()
+  | _ -> Alcotest.fail "feasible");
+  (match Rtfmt.Json.member "bounds" v with
+  | Rtfmt.Json.List bounds ->
+      check_int "three bounds" 3 (List.length bounds);
+      List.iter
+        (fun b ->
+          match
+            (Rtfmt.Json.member "resource" b, Rtfmt.Json.member "lb" b)
+          with
+          | Rtfmt.Json.Str r, Rtfmt.Json.Int lb ->
+              check_int ("lb " ^ r) (Rtlb.Analysis.bound_for a r) lb
+          | _ -> Alcotest.fail "bound shape")
+        bounds
+  | _ -> Alcotest.fail "bounds");
+  match Rtfmt.Json.member "cost" v with
+  | Rtfmt.Json.Obj _ as cost -> (
+      match Rtfmt.Json.member "model" cost with
+      | Rtfmt.Json.Str "shared" -> ()
+      | _ -> Alcotest.fail "cost model")
+  | _ -> Alcotest.fail "cost"
+
+let schedule_encoding () =
+  let app = Rtlb.Paper_example.app in
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P1", 3); ("P2", 2) ] ~resources:[ ("r1", 2) ]
+  in
+  match Sched.List_scheduler.run app platform with
+  | Error _ -> Alcotest.fail "setup"
+  | Ok schedule -> (
+      match j (s (Rtfmt.Json.of_schedule app schedule)) with
+      | Rtfmt.Json.List entries ->
+          check_int "all tasks present" 15 (List.length entries);
+          List.iter
+            (fun e ->
+              match
+                (Rtfmt.Json.member "start" e, Rtfmt.Json.member "finish" e)
+              with
+              | Rtfmt.Json.Int st, Rtfmt.Json.Int fi ->
+                  check_bool "start <= finish" true (st <= fi)
+              | _ -> Alcotest.fail "entry shape")
+            entries
+      | _ -> Alcotest.fail "expected list")
+
+let prop_tests =
+  [
+    qtest ~count:200 "print/parse roundtrips analysis JSON"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let a = Rtlb.Analysis.run (shared_of i) i.app in
+        let v = Rtfmt.Json.of_analysis a in
+        s v = s (j (s v)));
+  ]
+
+let stencil_shape () =
+  let cfg =
+    { Workload.Gen.default with Workload.Gen.shape = Workload.Gen.Stencil { rows = 3; cols = 4 } }
+  in
+  let app = Workload.Gen.generate cfg in
+  let g = Rtlb.App.graph app in
+  check_int "tasks" 12 (Rtlb.App.n_tasks app);
+  (* edges: down 2*4, right 3*3 *)
+  check_int "edges" 17 (Dag.n_edges g);
+  check_int_list "single source" [ 0 ] (Dag.sources g);
+  check_int_list "single sink" [ 11 ] (Dag.sinks g);
+  (* wavefront critical path = rows + cols - 1 cells *)
+  let unit_app =
+    Rtlb.App.make
+      ~tasks:
+        (Array.to_list (Rtlb.App.tasks app)
+        |> List.map (fun (t : Rtlb.Task.t) ->
+               Rtlb.Task.make ~id:t.Rtlb.Task.id ~compute:1 ~deadline:1000
+                 ~proc:"P" ()))
+      ~edges:
+        (Dag.fold_edges g ~init:[] ~f:(fun acc ~src ~dst _ ->
+             (src, dst, 0) :: acc))
+  in
+  check_int "wavefront depth" 6 (Rtlb.App.critical_time unit_app)
+
+let preemptive_gantt () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:4 ~deadline:10 ~proc:"P" ~preemptive:true ();
+          Rtlb.Task.make ~id:1 ~compute:3 ~deadline:5 ~proc:"P" ~preemptive:true ();
+        ]
+      ~edges:[]
+  in
+  match Sched.Preemptive.run app ~procs:[ ("P", 1) ] with
+  | Error _ -> Alcotest.fail "expected feasible"
+  | Ok schedule ->
+      let out = Sched.Gantt.render_preemptive app ~procs:[ ("P", 1) ] schedule in
+      check_bool "row label" true (string_contains ~needle:"P#0" out);
+      check_bool "task drawn" true (string_contains ~needle:"T2" out)
+
+let suite =
+  [
+    ( "json-and-misc",
+      [
+        Alcotest.test_case "print/parse roundtrip" `Quick print_parse_roundtrip;
+        Alcotest.test_case "escaping" `Quick escaping;
+        Alcotest.test_case "parse errors" `Quick parse_errors;
+        Alcotest.test_case "member access" `Quick member_access;
+        Alcotest.test_case "analysis encoding" `Quick analysis_encoding;
+        Alcotest.test_case "schedule encoding" `Quick schedule_encoding;
+        Alcotest.test_case "stencil workload" `Quick stencil_shape;
+        Alcotest.test_case "preemptive gantt" `Quick preemptive_gantt;
+      ]
+      @ prop_tests );
+  ]

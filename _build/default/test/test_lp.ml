@@ -1,0 +1,283 @@
+(* Tests for the simplex LP solver and the branch-and-bound ILP. *)
+
+open Helpers
+
+let ri = Rat.of_int
+
+let check_rat msg expected actual =
+  Alcotest.(check string) msg (Rat.to_string expected) (Rat.to_string actual)
+
+let solve_ints ~sense ~objective rows =
+  Lp.Simplex.solve (Lp.Problem.of_ints ~sense ~objective rows)
+
+let optimal = function
+  | Lp.Simplex.Optimal { value; point } -> (value, point)
+  | Lp.Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Lp.Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+(* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  (classic; opt 36 at (2,6)) *)
+let textbook_max () =
+  let value, point =
+    optimal
+      (solve_ints ~sense:Lp.Problem.Maximize ~objective:[| 3; 5 |]
+         [
+           ([| 1; 0 |], Lp.Problem.Le, 4);
+           ([| 0; 2 |], Lp.Problem.Le, 12);
+           ([| 3; 2 |], Lp.Problem.Le, 18);
+         ])
+  in
+  check_rat "value" (ri 36) value;
+  check_rat "x" (ri 2) point.(0);
+  check_rat "y" (ri 6) point.(1)
+
+(* min x + y st x + 2y >= 4, 3x + y >= 6  -> fractional optimum *)
+let min_with_ge () =
+  let value, point =
+    optimal
+      (solve_ints ~sense:Lp.Problem.Minimize ~objective:[| 1; 1 |]
+         [
+           ([| 1; 2 |], Lp.Problem.Ge, 4);
+           ([| 3; 1 |], Lp.Problem.Ge, 6);
+         ])
+  in
+  (* intersection: x = 8/5, y = 6/5 -> value 14/5 *)
+  check_rat "value" (Rat.make 14 5) value;
+  check_rat "x" (Rat.make 8 5) point.(0);
+  check_rat "y" (Rat.make 6 5) point.(1)
+
+let equality_constraint () =
+  (* min 2x + 3y with x + y = 10: put everything on the cheaper x. *)
+  let value, point =
+    optimal
+      (solve_ints ~sense:Lp.Problem.Minimize ~objective:[| 2; 3 |]
+         [
+           ([| 1; 1 |], Lp.Problem.Eq, 10);
+           ([| 1; 0 |], Lp.Problem.Ge, 3);
+         ])
+  in
+  check_rat "value" (ri 20) value;
+  check_rat "x" (ri 10) point.(0);
+  check_rat "y" Rat.zero point.(1)
+
+let infeasible_detected () =
+  match
+    solve_ints ~sense:Lp.Problem.Minimize ~objective:[| 1 |]
+      [
+        ([| 1 |], Lp.Problem.Ge, 5);
+        ([| 1 |], Lp.Problem.Le, 3);
+      ]
+  with
+  | Lp.Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let unbounded_detected () =
+  match
+    solve_ints ~sense:Lp.Problem.Maximize ~objective:[| 1; 0 |]
+      [ ([| 0; 1 |], Lp.Problem.Le, 4) ]
+  with
+  | Lp.Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let negative_rhs_normalised () =
+  (* x >= -2 is vacuous for x >= 0: optimum at 0. *)
+  let value, _ =
+    optimal
+      (solve_ints ~sense:Lp.Problem.Minimize ~objective:[| 1 |]
+         [ ([| -1 |], Lp.Problem.Le, 2) ])
+  in
+  check_rat "value" Rat.zero value
+
+let degenerate_ok () =
+  (* Redundant constraints force degenerate pivots; Bland's rule must
+     terminate. *)
+  let value, _ =
+    optimal
+      (solve_ints ~sense:Lp.Problem.Maximize ~objective:[| 1; 1 |]
+         [
+           ([| 1; 1 |], Lp.Problem.Le, 10);
+           ([| 2; 2 |], Lp.Problem.Le, 20);
+           ([| 1; 0 |], Lp.Problem.Le, 10);
+           ([| 0; 1 |], Lp.Problem.Le, 10);
+         ])
+  in
+  check_rat "value" (ri 10) value
+
+let paper_ilp () =
+  (* Section 8 Step 4: min 10 x1 + 6 x2 + 7 x3
+     st x1 + x2 >= 3, x1 >= 2, x3 >= 2 -> (2, 1, 2), cost 40. *)
+  let p =
+    Lp.Problem.of_ints ~sense:Lp.Problem.Minimize ~objective:[| 10; 6; 7 |]
+      [
+        ([| 1; 1; 0 |], Lp.Problem.Ge, 3);
+        ([| 1; 0; 0 |], Lp.Problem.Ge, 2);
+        ([| 0; 0; 1 |], Lp.Problem.Ge, 2);
+      ]
+  in
+  match Lp.Ilp.solve p with
+  | Lp.Ilp.Optimal { value; point } ->
+      check_rat "cost" (ri 40) value;
+      check_int_list "solution" [ 2; 1; 2 ] (Array.to_list point)
+  | _ -> Alcotest.fail "expected optimal"
+
+let ilp_needs_branching () =
+  (* max x + y st 2x + 2y <= 3: LP opt 3/2 fractional, ILP opt 1. *)
+  let p =
+    Lp.Problem.of_ints ~sense:Lp.Problem.Maximize ~objective:[| 1; 1 |]
+      [ ([| 2; 2 |], Lp.Problem.Le, 3) ]
+  in
+  (match Lp.Ilp.relaxation p with
+  | Lp.Simplex.Optimal { value; _ } -> check_rat "relaxed" (Rat.make 3 2) value
+  | _ -> Alcotest.fail "relaxation should be optimal");
+  match Lp.Ilp.solve p with
+  | Lp.Ilp.Optimal { value; _ } -> check_rat "integer" (ri 1) value
+  | _ -> Alcotest.fail "expected optimal"
+
+let ilp_infeasible () =
+  (* 2x = 1 has no integer solution (branching must exhaust). *)
+  let p =
+    Lp.Problem.of_ints ~sense:Lp.Problem.Minimize ~objective:[| 1 |]
+      [ ([| 2 |], Lp.Problem.Eq, 1) ]
+  in
+  match Lp.Ilp.solve p with
+  | Lp.Ilp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let lp_format_export () =
+  let p =
+    Lp.Problem.of_ints ~var_names:[| "N1"; "N2" |] ~sense:Lp.Problem.Minimize
+      ~objective:[| 10; 6 |]
+      [ ([| 1; 1 |], Lp.Problem.Ge, 3); ([| 1; 0 |], Lp.Problem.Eq, 2) ]
+  in
+  let text = Lp.Problem.to_lp_format p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("lp format has " ^ needle) true
+        (Helpers.string_contains ~needle text))
+    [
+      "Minimize"; "obj: 10 N1 + 6 N2"; "Subject To"; "c0: 1 N1 + 1 N2 >= 3";
+      "c1: 1 N1 = 2"; "General"; "End";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random small covering ILPs vs exhaustive enumeration.   *)
+(* ------------------------------------------------------------------ *)
+
+type cover = {
+  costs : int array;  (* 2..3 vars, costs 1..9 *)
+  rows : (int array * int) list;  (* coeffs 0..3, rhs 0..6, all >= *)
+}
+
+let arb_cover =
+  let gen st =
+    let n = 2 + QCheck.Gen.int_bound 1 st in
+    let costs = Array.init n (fun _ -> 1 + QCheck.Gen.int_bound 8 st) in
+    let n_rows = 1 + QCheck.Gen.int_bound 2 st in
+    let rows =
+      List.init n_rows (fun _ ->
+          ( Array.init n (fun _ -> QCheck.Gen.int_bound 3 st),
+            QCheck.Gen.int_bound 6 st ))
+    in
+    { costs; rows }
+  in
+  let print c =
+    Printf.sprintf "min %s st %s"
+      (String.concat "+"
+         (Array.to_list (Array.mapi (fun i c -> Printf.sprintf "%dx%d" c i) c.costs)))
+      (String.concat "; "
+         (List.map
+            (fun (row, b) ->
+              Printf.sprintf "%s >= %d"
+                (String.concat "+"
+                   (Array.to_list (Array.mapi (fun i c -> Printf.sprintf "%dx%d" c i) row)))
+                b)
+            c.rows))
+  in
+  QCheck.make ~print gen
+
+let brute_force_cover { costs; rows } =
+  (* Enumerate x in [0, 10]^n; 10 covers any rhs <= 6 with coeff >= 1. *)
+  let n = Array.length costs in
+  let best = ref None in
+  let x = Array.make n 0 in
+  let rec go d =
+    if d = n then begin
+      let ok =
+        List.for_all
+          (fun (row, b) ->
+            let lhs = ref 0 in
+            Array.iteri (fun i c -> lhs := !lhs + (c * x.(i))) row;
+            !lhs >= b)
+          rows
+      in
+      if ok then begin
+        let cost = ref 0 in
+        Array.iteri (fun i c -> cost := !cost + (c * x.(i))) costs;
+        match !best with
+        | Some b when b <= !cost -> ()
+        | _ -> best := Some !cost
+      end
+    end
+    else
+      for v = 0 to 10 do
+        x.(d) <- v;
+        go (d + 1)
+      done
+  in
+  go 0;
+  !best
+
+let cover_problem { costs; rows } =
+  Lp.Problem.of_ints ~sense:Lp.Problem.Minimize ~objective:costs
+    (List.map (fun (row, b) -> (row, Lp.Problem.Ge, b)) rows)
+
+let prop_tests =
+  [
+    qtest ~count:300 "ILP matches brute force on covering problems" arb_cover
+      (fun c ->
+        let expected = brute_force_cover c in
+        match (Lp.Ilp.solve (cover_problem c), expected) with
+        | Lp.Ilp.Optimal { value; point }, Some cost ->
+            Rat.equal value (ri cost)
+            && Lp.Problem.satisfies (cover_problem c)
+                 (Array.map ri point)
+        | Lp.Ilp.Infeasible, None -> true
+        | _ -> false);
+    qtest ~count:300 "LP relaxation lower-bounds the ILP" arb_cover (fun c ->
+        match
+          (Lp.Ilp.solve (cover_problem c), Lp.Ilp.relaxation (cover_problem c))
+        with
+        | Lp.Ilp.Optimal { value = iv; _ }, Lp.Simplex.Optimal { value = rv; _ }
+          ->
+            Rat.(rv <= iv)
+        | Lp.Ilp.Infeasible, _ -> true
+        | _ -> false);
+    qtest ~count:300 "simplex point satisfies its constraints" arb_cover
+      (fun c ->
+        let p = cover_problem c in
+        match Lp.Simplex.solve p with
+        | Lp.Simplex.Optimal { point; _ } -> Lp.Problem.satisfies p point
+        | Lp.Simplex.Infeasible ->
+            (* possible: a zero row with positive rhs *)
+            brute_force_cover c = None
+        | Lp.Simplex.Unbounded -> false);
+  ]
+
+let suite =
+  [
+    ( "lp",
+      [
+        Alcotest.test_case "textbook maximisation" `Quick textbook_max;
+        Alcotest.test_case "minimisation with >= rows" `Quick min_with_ge;
+        Alcotest.test_case "equality constraint" `Quick equality_constraint;
+        Alcotest.test_case "infeasible detected" `Quick infeasible_detected;
+        Alcotest.test_case "unbounded detected" `Quick unbounded_detected;
+        Alcotest.test_case "negative rhs normalised" `Quick
+          negative_rhs_normalised;
+        Alcotest.test_case "degenerate pivots terminate" `Quick degenerate_ok;
+        Alcotest.test_case "paper's Step 4 ILP" `Quick paper_ilp;
+        Alcotest.test_case "branching needed" `Quick ilp_needs_branching;
+        Alcotest.test_case "integer-infeasible detected" `Quick ilp_infeasible;
+        Alcotest.test_case "LP-format export" `Quick lp_format_export;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the Jain–Rajaraman time bounds and the exact makespan
+   oracle that sandwiches them. *)
+
+open Helpers
+
+let app_of computes edges =
+  Rtlb.App.make
+    ~tasks:
+      (List.mapi
+         (fun id c ->
+           Rtlb.Task.make ~id ~compute:c ~deadline:1000 ~proc:"P" ())
+         computes)
+    ~edges
+
+let greedy_known () =
+  (* independent [3;3;2;2;2] on 2 machines: greedy in id order gives 6 *)
+  let app = app_of [ 3; 3; 2; 2; 2 ] [] in
+  (* id-order greedy splits the 3s across machines and pays 7; the
+     optimum below is 6 *)
+  check_int "greedy" 7 (Sched.Makespan.greedy app ~m:2);
+  check_int "one machine is the sum" 12 (Sched.Makespan.greedy app ~m:1)
+
+let exact_known () =
+  let app = app_of [ 3; 3; 2; 2; 2 ] [] in
+  Alcotest.(check (option int)) "optimal packing" (Some 6)
+    (Sched.Makespan.minimum app ~m:2);
+  Alcotest.(check (option int)) "three machines" (Some 5)
+    (Sched.Makespan.minimum app ~m:3);
+  (* 3+3 on one machine beats splitting them *)
+  let app = app_of [ 5; 4; 3; 3; 3 ] [] in
+  Alcotest.(check (option int)) "LPT-hard instance" (Some 9)
+    (Sched.Makespan.minimum app ~m:2)
+
+let exact_with_precedence () =
+  (* chain 4 -> 4 plus independent 4, m = 2: chain dominates -> 8 *)
+  let app = app_of [ 4; 4; 4 ] [ (0, 1, 0) ] in
+  Alcotest.(check (option int)) "chain bound" (Some 8)
+    (Sched.Makespan.minimum app ~m:2);
+  (* fork: 1 -> {5,5,5}, m=2: 1 + ceil(15/2)=9? machines: after 1:
+     [5,5] and [5] -> 1+10 = 11 vs balance 1+5+5: optimal 11 *)
+  let app = app_of [ 1; 5; 5; 5 ] [ (0, 1, 0); (0, 2, 0); (0, 3, 0) ] in
+  Alcotest.(check (option int)) "fork" (Some 11)
+    (Sched.Makespan.minimum app ~m:2)
+
+let jr_known () =
+  let app = app_of [ 3; 3; 2; 2; 2 ] [] in
+  let jr = Baselines.Jain_rajaraman.analyse app ~m:2 in
+  check_int "work bound" 6 jr.Baselines.Jain_rajaraman.jr_work_bound;
+  check_int "path bound" 3 jr.Baselines.Jain_rajaraman.jr_path_bound;
+  check_int "lower" 6 jr.Baselines.Jain_rajaraman.jr_lower;
+  (* Graham: cp + ceil((W - cp)/m) = 3 + ceil(9/2) = 8 *)
+  check_int "upper" 8 jr.Baselines.Jain_rajaraman.jr_upper;
+  Alcotest.check_raises "m = 0 rejected"
+    (Invalid_argument "Jain_rajaraman.analyse: m <= 0") (fun () ->
+      ignore (Baselines.Jain_rajaraman.analyse app ~m:0))
+
+let jr_density_beats_naive () =
+  (* Two chains of (4,4) and two of (1,1) on 2 machines: work bound
+     ceil(20/2)=10, cp 8; density sees the [0,?] congestion...
+     construct: chains A:4->4, B:4->4, m=2: W=16, work bound 8 = cp ->
+     naive lower 8, and 8 is achievable. *)
+  let app = app_of [ 4; 4; 4; 4 ] [ (0, 1, 0); (2, 3, 0) ] in
+  let jr = Baselines.Jain_rajaraman.analyse app ~m:2 in
+  check_int "lower equals optimum" 8 jr.Baselines.Jain_rajaraman.jr_lower;
+  Alcotest.(check (option int)) "optimum" (Some 8)
+    (Sched.Makespan.minimum app ~m:2)
+
+let prop_tests =
+  [
+    qtest ~count:80 "JR sandwich: lower <= exact <= upper"
+      (arb_instance ~max_tasks:8 ()) (fun i ->
+        (* strip to the JR model *)
+        let app =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id
+                       ~compute:t.Rtlb.Task.compute ~deadline:1_000_000
+                       ~proc:"P" ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst _ -> (src, dst, 0) :: acc))
+        in
+        List.for_all
+          (fun m ->
+            let jr = Baselines.Jain_rajaraman.analyse app ~m in
+            match Sched.Makespan.minimum app ~m with
+            | None -> true
+            | Some opt ->
+                jr.Baselines.Jain_rajaraman.jr_lower <= opt
+                && opt <= jr.Baselines.Jain_rajaraman.jr_upper
+                && opt <= Sched.Makespan.greedy app ~m)
+          [ 1; 2; 3 ]);
+    qtest ~count:80 "exact makespan equals total work on one machine"
+      (arb_instance ~max_tasks:7 ()) (fun i ->
+        let app =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id
+                       ~compute:t.Rtlb.Task.compute ~deadline:1_000_000
+                       ~proc:"P" ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst _ -> (src, dst, 0) :: acc))
+        in
+        let total = Rtlb.App.total_work app "P" in
+        match Sched.Makespan.minimum app ~m:1 with
+        | None -> true
+        | Some opt -> opt = max total (Rtlb.App.critical_time app));
+    qtest ~count:60 "more machines never hurt"
+      (arb_instance ~max_tasks:7 ()) (fun i ->
+        let app =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id
+                       ~compute:t.Rtlb.Task.compute ~deadline:1_000_000
+                       ~proc:"P" ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst _ -> (src, dst, 0) :: acc))
+        in
+        match (Sched.Makespan.minimum app ~m:1, Sched.Makespan.minimum app ~m:2) with
+        | Some a, Some b -> b <= a
+        | _ -> true);
+  ]
+
+let suite =
+  [
+    ( "makespan",
+      [
+        Alcotest.test_case "greedy on known instances" `Quick greedy_known;
+        Alcotest.test_case "exact on known instances" `Quick exact_known;
+        Alcotest.test_case "exact with precedence" `Quick exact_with_precedence;
+        Alcotest.test_case "JR bounds on known instances" `Quick jr_known;
+        Alcotest.test_case "JR lower meets the optimum" `Quick
+          jr_density_beats_naive;
+      ]
+      @ prop_tests );
+  ]

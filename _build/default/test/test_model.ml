@@ -1,0 +1,190 @@
+(* Tests for the application model: tasks, applications, system models and
+   mergeability. *)
+
+open Helpers
+
+let task ?(id = 0) ?(compute = 3) ?(release = 0) ?(deadline = 20) ?(proc = "P1")
+    ?(resources = []) ?(preemptive = false) () =
+  Rtlb.Task.make ~id ~compute ~release ~deadline ~proc ~resources ~preemptive ()
+
+let task_constructor () =
+  let t = task ~resources:[ "b"; "a"; "b" ] () in
+  Alcotest.(check (list string)) "resources sorted+deduped" [ "a"; "b" ]
+    t.Rtlb.Task.resources;
+  check_string "default name" "T1" t.Rtlb.Task.name;
+  Alcotest.(check (list string)) "needs includes proc" [ "P1"; "a"; "b" ]
+    (Rtlb.Task.needs t);
+  check_bool "uses proc" true (Rtlb.Task.uses t "P1");
+  check_bool "uses resource" true (Rtlb.Task.uses t "a");
+  check_bool "not uses" false (Rtlb.Task.uses t "z");
+  check_int "laxity" 17 (Rtlb.Task.laxity t)
+
+let task_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "negative compute" (fun () -> task ~compute:(-1) ());
+  expect_invalid "negative release" (fun () -> task ~release:(-2) ());
+  expect_invalid "window too small" (fun () ->
+      task ~release:15 ~compute:10 ~deadline:20 ());
+  expect_invalid "empty proc" (fun () -> task ~proc:"" ());
+  expect_invalid "proc among resources" (fun () ->
+      task ~proc:"P1" ~resources:[ "P1" ] ());
+  (* zero compute is allowed: milestone tasks (paper example task 12) *)
+  check_int "zero compute ok" 0 (task ~compute:0 ()).Rtlb.Task.compute
+
+let small_app () =
+  Rtlb.App.make
+    ~tasks:
+      [
+        task ~id:0 ~resources:[ "r1" ] ();
+        task ~id:1 ~proc:"P2" ();
+        task ~id:2 ~resources:[ "r2" ] ();
+      ]
+    ~edges:[ (0, 1, 4); (1, 2, 2) ]
+
+let app_accessors () =
+  let app = small_app () in
+  check_int "n_tasks" 3 (Rtlb.App.n_tasks app);
+  Alcotest.(check (list string)) "RES" [ "P1"; "P2"; "r1"; "r2" ]
+    (Rtlb.App.resource_set app);
+  check_int_list "ST_P1" [ 0; 2 ] (Rtlb.App.tasks_using app "P1");
+  check_int_list "ST_r1" [ 0 ] (Rtlb.App.tasks_using app "r1");
+  check_int "message" 4 (Rtlb.App.message app ~src:0 ~dst:1);
+  check_int "total work P1" 6 (Rtlb.App.total_work app "P1");
+  check_int "horizon" 20 (Rtlb.App.horizon app);
+  check_int "critical time" 9 (Rtlb.App.critical_time app);
+  check_int_list "preds" [ 1 ] (Rtlb.App.preds app 2);
+  check_int_list "succs" [ 1 ] (Rtlb.App.succs app 0)
+
+let app_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "duplicate ids" (fun () ->
+      Rtlb.App.make ~tasks:[ task ~id:0 (); task ~id:0 () ] ~edges:[]);
+  expect_invalid "id out of range" (fun () ->
+      Rtlb.App.make ~tasks:[ task ~id:5 () ] ~edges:[]);
+  expect_invalid "negative message" (fun () ->
+      Rtlb.App.make
+        ~tasks:[ task ~id:0 (); task ~id:1 () ]
+        ~edges:[ (0, 1, -1) ])
+
+let shared_system () =
+  let s = Rtlb.System.shared ~costs:[ ("P1", 5); ("r1", 2) ] in
+  check_int "cost" 5 (Rtlb.System.resource_cost s "P1");
+  Alcotest.check_raises "unknown resource"
+    (Invalid_argument "System.resource_cost: unknown resource zz") (fun () ->
+      ignore (Rtlb.System.resource_cost s "zz"));
+  check_bool "no node types" true (Rtlb.System.node_types s = [])
+
+let nt name proc provides cost =
+  Rtlb.System.node_type ~name ~proc ~provides ~cost ()
+
+let dedicated_system () =
+  let n1 = nt "N1" "P1" [ ("r1", 2) ] 10 in
+  let s = Rtlb.System.dedicated [ n1; nt "N2" "P2" [] 5 ] in
+  check_int "gamma_n,r1" 2 (Rtlb.System.node_provides n1 "r1");
+  check_int "gamma_n,P1 counts the processor" 1 (Rtlb.System.node_provides n1 "P1");
+  check_int "gamma unknown" 0 (Rtlb.System.node_provides n1 "zz");
+  let t_ok = task ~resources:[ "r1" ] () in
+  let t_bad = task ~resources:[ "r9" ] () in
+  check_bool "can host" true (Rtlb.System.node_can_host n1 t_ok);
+  check_bool "cannot host" false (Rtlb.System.node_can_host n1 t_bad);
+  check_int "eligible count" 1 (List.length (Rtlb.System.eligible_nodes s t_ok));
+  match Rtlb.System.validate_for s (small_app ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "r2 task should have no host"
+
+let mergeability_shared () =
+  let app = small_app () in
+  let s = Rtlb.System.shared ~costs:[] in
+  check_bool "same proc" true (Rtlb.System.mergeable s app [ 0; 2 ]);
+  check_bool "diff proc" false (Rtlb.System.mergeable s app [ 0; 1 ]);
+  check_bool "singleton" true (Rtlb.System.mergeable s app [ 1 ]);
+  check_bool "empty" true (Rtlb.System.mergeable s app [])
+
+let mergeability_dedicated () =
+  let app = small_app () in
+  (* one node type with r1 only: tasks 0 (needs r1) and 2 (needs r2) are
+     individually hostable nowhere/somewhere but never together *)
+  let s1 =
+    Rtlb.System.dedicated [ nt "A" "P1" [ ("r1", 1) ] 1; nt "B" "P1" [ ("r2", 1) ] 1 ]
+  in
+  check_bool "union not covered" false (Rtlb.System.mergeable s1 app [ 0; 2 ]);
+  let s2 =
+    Rtlb.System.dedicated [ nt "AB" "P1" [ ("r1", 1); ("r2", 1) ] 1 ]
+  in
+  check_bool "union covered" true (Rtlb.System.mergeable s2 app [ 0; 2 ]);
+  check_bool "proc mismatch still blocks" false
+    (Rtlb.System.mergeable s2 app [ 0; 1 ])
+
+let seq_schedules () =
+  (* ect: jobs (est, c) run back to back *)
+  check_int "ect chain" 9 (Rtlb.Seq_schedule.ect [ (0, 4); (2, 5) ]);
+  check_int "ect with gap" 12 (Rtlb.Seq_schedule.ect [ (0, 2); (10, 2) ]);
+  check_int "ect single" 7 (Rtlb.Seq_schedule.ect [ (3, 4) ]);
+  (* lst mirrors ect *)
+  check_int "lst chain" 21 (Rtlb.Seq_schedule.lst [ (30, 5); (25, 4) ]);
+  check_int "lst paper task 9" 19 (Rtlb.Seq_schedule.lst [ (30, 5); (30, 6) ]);
+  check_int "lst single" 25 (Rtlb.Seq_schedule.lst [ (30, 5) ]);
+  Alcotest.check_raises "ect empty"
+    (Invalid_argument "Seq_schedule.ect: empty job set") (fun () ->
+      ignore (Rtlb.Seq_schedule.ect []))
+
+let prop_tests =
+  let arb_jobs =
+    QCheck.make
+      ~print:(fun l ->
+        String.concat ";" (List.map (fun (a, c) -> Printf.sprintf "(%d,%d)" a c) l))
+      QCheck.Gen.(
+        list_size (int_range 1 8)
+          (pair (int_range 0 30) (int_range 0 9)))
+  in
+  [
+    qtest "ect >= every est + compute" arb_jobs (fun jobs ->
+        let e = Rtlb.Seq_schedule.ect jobs in
+        List.for_all (fun (est, c) -> e >= est + c) jobs);
+    qtest "ect >= total work after first est" arb_jobs (fun jobs ->
+        let e = Rtlb.Seq_schedule.ect jobs in
+        let total = List.fold_left (fun acc (_, c) -> acc + c) 0 jobs in
+        let min_est = List.fold_left (fun acc (a, _) -> min acc a) max_int jobs in
+        e >= min_est + total);
+    qtest "lst mirrors ect under negation" arb_jobs (fun jobs ->
+        (* lst over (lct, c) == -ect over (-lct, c) *)
+        let mirrored = List.map (fun (a, c) -> (-a, c)) jobs in
+        Rtlb.Seq_schedule.lst jobs = -Rtlb.Seq_schedule.ect mirrored);
+    qtest "mergeable is monotone under subset"
+      (QCheck.pair (arb_instance ~max_tasks:8 ()) (QCheck.int_bound 100))
+      (fun (i, salt) ->
+        let sys = dedicated_of i in
+        let n = Rtlb.App.n_tasks i.app in
+        let ids =
+          List.filter (fun v -> (v * 7 + salt) mod 3 = 0) (List.init n Fun.id)
+        in
+        let sub = List.filteri (fun k _ -> k mod 2 = 0) ids in
+        (not (Rtlb.System.mergeable sys i.app ids))
+        || Rtlb.System.mergeable sys i.app sub);
+  ]
+
+let suite =
+  [
+    ( "model",
+      [
+        Alcotest.test_case "task constructor" `Quick task_constructor;
+        Alcotest.test_case "task validation" `Quick task_validation;
+        Alcotest.test_case "app accessors" `Quick app_accessors;
+        Alcotest.test_case "app validation" `Quick app_validation;
+        Alcotest.test_case "shared system" `Quick shared_system;
+        Alcotest.test_case "dedicated system" `Quick dedicated_system;
+        Alcotest.test_case "mergeability (shared)" `Quick mergeability_shared;
+        Alcotest.test_case "mergeability (dedicated)" `Quick
+          mergeability_dedicated;
+        Alcotest.test_case "sequential ect/lst" `Quick seq_schedules;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,196 @@
+(* Tests for multi-unit resource demands: a task listing a resource k
+   times holds k units simultaneously, through the model, the bounds, the
+   schedulers and the file format. *)
+
+open Helpers
+
+let task ?(id = 0) ?(compute = 4) ?(deadline = 20) ?(resources = []) () =
+  Rtlb.Task.make ~id ~compute ~deadline ~proc:"P" ~resources ()
+
+let demand_accounting () =
+  let t = task ~resources:[ "dma"; "dma"; "buf" ] () in
+  Alcotest.(check (list (pair string int)))
+    "demands" [ ("buf", 1); ("dma", 2) ] t.Rtlb.Task.demands;
+  Alcotest.(check (list string)) "resources dedup" [ "buf"; "dma" ]
+    t.Rtlb.Task.resources;
+  check_int "units dma" 2 (Rtlb.Task.units t "dma");
+  check_int "units proc" 1 (Rtlb.Task.units t "P");
+  check_int "units other" 0 (Rtlb.Task.units t "zz")
+
+let two_dma_app =
+  (* Two overlapping tasks, each holding 2 DMA channels for 4 of the first
+     8 ticks: demand on [0,8] is 2*4 + 2*4 = 16 -> at least 2 channels. *)
+  Rtlb.App.make
+    ~tasks:
+      [
+        task ~id:0 ~deadline:8 ~resources:[ "dma"; "dma" ] ();
+        task ~id:1 ~deadline:8 ~resources:[ "dma"; "dma" ] ();
+      ]
+    ~edges:[]
+
+let bound_scales_with_units () =
+  let system = Rtlb.System.shared ~costs:[ ("P", 1); ("dma", 1) ] in
+  let a = Rtlb.Analysis.run system two_dma_app in
+  (* each task needs both channels for half the window; two tasks fill it *)
+  check_int "LB_dma" 2 (Rtlb.Analysis.bound_for a "dma");
+  check_int "LB_P" 1 (Rtlb.Analysis.bound_for a "P");
+  (* tightening so both must run in [0,4] doubles the requirement *)
+  let tight =
+    Rtlb.App.map_tasks two_dma_app ~f:(fun t -> Rtlb.Task.with_deadline t 4)
+  in
+  let b = Rtlb.Analysis.run system tight in
+  check_int "LB_dma doubled" 4 (Rtlb.Analysis.bound_for b "dma")
+
+let scheduler_acquires_k_units () =
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[ ("dma", 2) ]
+  in
+  (* with only 2 channels the two tasks must serialise: 8 ticks needed *)
+  check_bool "feasible at 8" true
+    (Sched.List_scheduler.feasible two_dma_app platform);
+  (match Sched.List_scheduler.run two_dma_app platform with
+  | Error _ -> Alcotest.fail "expected schedule"
+  | Ok s ->
+      (match Sched.Schedule.check two_dma_app platform s with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es));
+      check_int "serialised makespan" 8 (Sched.Schedule.makespan two_dma_app s);
+      Array.iter
+        (fun (e : Sched.Schedule.entry) ->
+          check_int "holds two units" 2
+            (List.length e.Sched.Schedule.e_resource_units))
+        s);
+  (* four channels let them run in parallel *)
+  let wide =
+    Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[ ("dma", 4) ]
+  in
+  match Sched.List_scheduler.run two_dma_app wide with
+  | Error _ -> Alcotest.fail "expected schedule"
+  | Ok s -> check_int "parallel makespan" 4 (Sched.Schedule.makespan two_dma_app s)
+
+let checker_counts_units () =
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[ ("dma", 2) ]
+  in
+  match Sched.List_scheduler.run two_dma_app platform with
+  | Error _ -> Alcotest.fail "setup"
+  | Ok s ->
+      (* forging an entry that holds only one unit must be caught *)
+      let forged = Array.copy s in
+      forged.(0) <-
+        {
+          forged.(0) with
+          Sched.Schedule.e_resource_units = [ ("dma", 0) ];
+        };
+      (match Sched.Schedule.check two_dma_app platform forged with
+      | Ok () -> Alcotest.fail "checker missed an under-allocation"
+      | Error _ -> ());
+      (* duplicated unit indices are not two units *)
+      let forged = Array.copy s in
+      forged.(0) <-
+        {
+          forged.(0) with
+          Sched.Schedule.e_resource_units = [ ("dma", 0); ("dma", 0) ];
+        };
+      match Sched.Schedule.check two_dma_app platform forged with
+      | Ok () -> Alcotest.fail "checker missed a duplicated unit"
+      | Error _ -> ()
+
+let dedicated_hosting_counts () =
+  let small = Rtlb.System.node_type ~name:"small" ~proc:"P" ~provides:[ ("dma", 1) ] ~cost:1 () in
+  let big = Rtlb.System.node_type ~name:"big" ~proc:"P" ~provides:[ ("dma", 2) ] ~cost:2 () in
+  let t = task ~resources:[ "dma"; "dma" ] () in
+  check_bool "small node cannot host" false (Rtlb.System.node_can_host small t);
+  check_bool "big node hosts" true (Rtlb.System.node_can_host big t);
+  let system = Rtlb.System.dedicated [ small; big ] in
+  check_int "only the big node is eligible" 1
+    (List.length (Rtlb.System.eligible_nodes system t))
+
+let simulator_handles_units () =
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[ ("dma", 2) ]
+  in
+  let o =
+    Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet two_dma_app)
+      two_dma_app platform
+  in
+  check_bool "finished" true o.Sched.Simulator.o_finished;
+  check_int "serialised online too" 8 o.Sched.Simulator.o_makespan
+
+let appfile_roundtrip_units () =
+  let text = "task D compute=4 deadline=8 proc=P res=2xdma,buf\n" in
+  let { Rtfmt.Appfile.app; _ } = Rtfmt.Appfile.parse text in
+  let t = Rtlb.App.task app 0 in
+  check_int "parsed 2 units" 2 (Rtlb.Task.units t "dma");
+  check_int "parsed 1 unit" 1 (Rtlb.Task.units t "buf");
+  let printed = Rtfmt.Appfile.to_string app in
+  check_bool "prints NxR" true (string_contains ~needle:"2xdma" printed);
+  let reparsed = (Rtfmt.Appfile.parse printed).Rtfmt.Appfile.app in
+  check_bool "roundtrips" true
+    (Rtlb.Task.equal t (Rtlb.App.task reparsed 0))
+
+let prop_tests =
+  [
+    qtest ~count:80 "doubling demands never lowers a resource bound"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let doubled =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id ~name:t.Rtlb.Task.name
+                       ~compute:t.Rtlb.Task.compute ~release:t.Rtlb.Task.release
+                       ~deadline:t.Rtlb.Task.deadline ~proc:t.Rtlb.Task.proc
+                       ~resources:(t.Rtlb.Task.resources @ t.Rtlb.Task.resources)
+                       ~preemptive:t.Rtlb.Task.preemptive ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst m -> (src, dst, m) :: acc))
+        in
+        let system = shared_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        let b = Rtlb.Analysis.run system doubled in
+        List.for_all2
+          (fun (x : Rtlb.Lower_bound.bound) (y : Rtlb.Lower_bound.bound) ->
+            y.Rtlb.Lower_bound.lb >= x.Rtlb.Lower_bound.lb)
+          a.Rtlb.Analysis.bounds b.Rtlb.Analysis.bounds);
+    qtest ~count:80 "multi-unit schedules pass the checker"
+      (arb_instance ~max_tasks:10 ()) (fun i ->
+        let doubled =
+          Rtlb.App.make
+            ~tasks:
+              (Array.to_list (Rtlb.App.tasks i.app)
+              |> List.map (fun (t : Rtlb.Task.t) ->
+                     Rtlb.Task.make ~id:t.Rtlb.Task.id
+                       ~compute:t.Rtlb.Task.compute ~release:t.Rtlb.Task.release
+                       ~deadline:t.Rtlb.Task.deadline ~proc:t.Rtlb.Task.proc
+                       ~resources:(t.Rtlb.Task.resources @ t.Rtlb.Task.resources)
+                       ~preemptive:t.Rtlb.Task.preemptive ()))
+            ~edges:
+              (Dag.fold_edges (Rtlb.App.graph i.app) ~init:[]
+                 ~f:(fun acc ~src ~dst m -> (src, dst, m) :: acc))
+        in
+        let platform = Sched.Platform.generous (shared_of i) doubled in
+        match Sched.List_scheduler.run doubled platform with
+        | Error _ -> true
+        | Ok s -> Sched.Schedule.check doubled platform s = Ok ());
+  ]
+
+let suite =
+  [
+    ( "multi-unit",
+      [
+        Alcotest.test_case "demand accounting" `Quick demand_accounting;
+        Alcotest.test_case "bounds scale with units" `Quick
+          bound_scales_with_units;
+        Alcotest.test_case "scheduler acquires k units" `Quick
+          scheduler_acquires_k_units;
+        Alcotest.test_case "checker counts units" `Quick checker_counts_units;
+        Alcotest.test_case "dedicated hosting counts" `Quick
+          dedicated_hosting_counts;
+        Alcotest.test_case "simulator handles units" `Quick
+          simulator_handles_units;
+        Alcotest.test_case "appfile NxR roundtrip" `Quick appfile_roundtrip_units;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,145 @@
+(* Metamorphic tests: mutate an instance in a direction whose effect on
+   the analysis is provable, and check the prediction.
+
+   Window monotonicity is exact (the optimal merge value is a monotone
+   function of the neighbour windows and message sizes, by induction over
+   the topological order).  Bound monotonicity holds for the exact LB;
+   the finite candidate-point evaluation could in principle wiggle, so
+   those properties are kept separately — if they ever fail, the
+   counterexample is a finite-point artefact worth studying. *)
+
+open Helpers
+
+let windows system app =
+  let w = Rtlb.Est_lct.compute system app in
+  (w.Rtlb.Est_lct.est, w.Rtlb.Est_lct.lct)
+
+let pointwise le a b =
+  Array.for_all Fun.id (Array.mapi (fun i x -> le x b.(i)) a)
+
+let pick_task i salt = salt mod max 1 (Rtlb.App.n_tasks i.app)
+
+let pick_edge i salt =
+  let edges =
+    Dag.fold_edges (Rtlb.App.graph i.app) ~init:[] ~f:(fun acc ~src ~dst _ ->
+        (src, dst) :: acc)
+  in
+  match edges with
+  | [] -> None
+  | _ -> Some (List.nth edges (salt mod List.length edges))
+
+let with_salt = QCheck.pair (arb_instance ~max_tasks:12 ()) (QCheck.int_bound 997)
+
+let prop_tests =
+  [
+    qtest ~count:150 "relaxing a deadline: EST fixed, LCT grows pointwise"
+      with_salt (fun (i, salt) ->
+        let system = shared_of i in
+        let task = pick_task i salt in
+        let mutated = Workload.Mutate.relax_deadline i.app ~task ~by:5 in
+        let e0, l0 = windows system i.app in
+        let e1, l1 = windows system mutated in
+        e0 = e1 && pointwise ( <= ) l0 l1);
+    qtest ~count:150 "delaying a release: LCT fixed, EST grows pointwise"
+      with_salt (fun (i, salt) ->
+        let system = shared_of i in
+        let task = pick_task i salt in
+        match Workload.Mutate.delay_release i.app ~task ~by:2 with
+        | None -> true
+        | Some mutated ->
+            let e0, l0 = windows system i.app in
+            let e1, l1 = windows system mutated in
+            l0 = l1 && pointwise ( <= ) e0 e1);
+    qtest ~count:150 "growing messages narrows every window" with_salt
+      (fun (i, _) ->
+        let system = shared_of i in
+        let mutated = Workload.Mutate.scale_messages i.app ~percent:250 in
+        let e0, l0 = windows system i.app in
+        let e1, l1 = windows system mutated in
+        pointwise ( <= ) e0 e1 && pointwise ( <= ) l1 l0);
+    qtest ~count:150 "zeroing communication widens every window" with_salt
+      (fun (i, _) ->
+        let system = shared_of i in
+        let mutated = Workload.Mutate.zero_communication i.app in
+        let e0, l0 = windows system i.app in
+        let e1, l1 = windows system mutated in
+        pointwise ( <= ) e1 e0 && pointwise ( <= ) l0 l1);
+    qtest ~count:150 "adding an edge narrows, dropping it restores" with_salt
+      (fun (i, salt) ->
+        let system = shared_of i in
+        let n = Rtlb.App.n_tasks i.app in
+        let src = salt mod n and dst = (salt / n) mod n in
+        match Workload.Mutate.add_edge i.app ~src ~dst ~message:3 with
+        | None -> true
+        | Some mutated -> (
+            let e0, l0 = windows system i.app in
+            let e1, l1 = windows system mutated in
+            pointwise ( <= ) e0 e1
+            && pointwise ( <= ) l1 l0
+            &&
+            match Workload.Mutate.drop_edge mutated ~src ~dst with
+            | None -> false
+            | Some restored ->
+                let e2, l2 = windows system restored in
+                e2 = e0 && l2 = l0));
+    qtest ~count:100 "tightening a deadline never lowers a bound" with_salt
+      (fun (i, salt) ->
+        let system = shared_of i in
+        let task = pick_task i salt in
+        match Workload.Mutate.tighten_deadline i.app ~task ~by:3 with
+        | None -> true
+        | Some mutated ->
+            let a = Rtlb.Analysis.run system i.app in
+            let b = Rtlb.Analysis.run system mutated in
+            Rtlb.Analysis.is_infeasible b
+            || List.for_all2
+                 (fun (x : Rtlb.Lower_bound.bound) (y : Rtlb.Lower_bound.bound) ->
+                   y.Rtlb.Lower_bound.lb >= x.Rtlb.Lower_bound.lb)
+                 a.Rtlb.Analysis.bounds b.Rtlb.Analysis.bounds);
+    qtest ~count:100 "dropping an edge never raises a bound" with_salt
+      (fun (i, salt) ->
+        let system = shared_of i in
+        match pick_edge i salt with
+        | None -> true
+        | Some (src, dst) -> (
+            match Workload.Mutate.drop_edge i.app ~src ~dst with
+            | None -> false
+            | Some mutated ->
+                let a = Rtlb.Analysis.run system i.app in
+                let b = Rtlb.Analysis.run system mutated in
+                List.for_all2
+                  (fun (x : Rtlb.Lower_bound.bound) (y : Rtlb.Lower_bound.bound) ->
+                    y.Rtlb.Lower_bound.lb <= x.Rtlb.Lower_bound.lb)
+                  a.Rtlb.Analysis.bounds b.Rtlb.Analysis.bounds));
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "tighten below the window is rejected" `Quick (fun () ->
+        let app =
+          Rtlb.App.make
+            ~tasks:[ Rtlb.Task.make ~id:0 ~compute:5 ~deadline:10 ~proc:"P" () ]
+            ~edges:[]
+        in
+        check_bool "none" true
+          (Workload.Mutate.tighten_deadline app ~task:0 ~by:6 = None);
+        check_bool "edge of feasibility ok" true
+          (Workload.Mutate.tighten_deadline app ~task:0 ~by:5 <> None));
+    Alcotest.test_case "add_edge refuses cycles and duplicates" `Quick
+      (fun () ->
+        let app =
+          Rtlb.App.make
+            ~tasks:
+              (List.init 2 (fun id ->
+                   Rtlb.Task.make ~id ~compute:1 ~deadline:10 ~proc:"P" ()))
+            ~edges:[ (0, 1, 1) ]
+        in
+        check_bool "duplicate" true
+          (Workload.Mutate.add_edge app ~src:0 ~dst:1 ~message:1 = None);
+        check_bool "cycle" true
+          (Workload.Mutate.add_edge app ~src:1 ~dst:0 ~message:1 = None);
+        check_bool "self loop" true
+          (Workload.Mutate.add_edge app ~src:0 ~dst:0 ~message:1 = None));
+  ]
+
+let suite = [ ("mutate", unit_tests @ prop_tests) ]

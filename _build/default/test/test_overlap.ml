@@ -1,0 +1,131 @@
+(* Tests for Theorems 3 and 4: the task/interval overlap formulas. *)
+
+open Helpers
+
+let psi = Rtlb.Overlap.psi
+
+(* Window [E, L] = [4, 14], C = 6 throughout the case tests. *)
+let np = psi ~preemptive:false ~est:4 ~lct:14 ~compute:6
+let pr = psi ~preemptive:true ~est:4 ~lct:14 ~compute:6
+
+let definitions () =
+  check_int "alpha positive" 5 (Rtlb.Overlap.alpha 5);
+  check_int "alpha negative" 0 (Rtlb.Overlap.alpha (-5));
+  check_int "alpha zero" 0 (Rtlb.Overlap.alpha 0);
+  check_int "mu positive" 1 (Rtlb.Overlap.mu 3);
+  check_int "mu zero" 0 (Rtlb.Overlap.mu 0);
+  check_int "mu negative" 0 (Rtlb.Overlap.mu (-3))
+
+(* Case 1: disjoint intervals -> 0. *)
+let case1 () =
+  check_int "interval before window (np)" 0 (np ~t1:0 ~t2:4);
+  check_int "interval after window (np)" 0 (np ~t1:14 ~t2:20);
+  check_int "interval before window (p)" 0 (pr ~t1:1 ~t2:3);
+  check_int "interval after window (p)" 0 (pr ~t1:15 ~t2:20)
+
+(* Case 2: window inside interval -> full C. *)
+let case2 () =
+  check_int "containment (np)" 6 (np ~t1:0 ~t2:20);
+  check_int "containment exact (np)" 6 (np ~t1:4 ~t2:14);
+  check_int "containment (p)" 6 (pr ~t1:0 ~t2:20)
+
+(* Case 3: interval covers the tail of the window: run early. *)
+let case3 () =
+  (* [8, 20]: early run occupies [4, 10]; overlap = 10 - 8 = 2. *)
+  check_int "tail (np)" 2 (np ~t1:8 ~t2:20);
+  check_int "tail (p)" 2 (pr ~t1:8 ~t2:20);
+  check_int "tail, escapes fully" 0 (np ~t1:10 ~t2:20)
+
+(* Case 4: interval covers the head of the window: run late. *)
+let case4 () =
+  (* [0, 10]: late run occupies [8, 14]; overlap = 10 - 8 = 2. *)
+  check_int "head (np)" 2 (np ~t1:0 ~t2:10);
+  check_int "head (p)" 2 (pr ~t1:0 ~t2:10);
+  check_int "head, escapes fully" 0 (np ~t1:0 ~t2:8)
+
+(* Case 5: interval strictly inside the window — the theorems differ. *)
+let case5 () =
+  (* [7, 11] inside [4, 14]: non-preemptive must cross the interval by at
+     least min(C - head-room, C - tail-room, len):
+       head = alpha(6 - 3) = 3, tail = alpha(6 - 3) = 3, len = 4 -> 3.
+     Preemptive can split: alpha(6 - 3 - 3) = 0. *)
+  check_int "inside (np)" 3 (np ~t1:7 ~t2:11);
+  check_int "inside (p)" 0 (pr ~t1:7 ~t2:11);
+  (* Tight window: C = L - E leaves no slack for either. *)
+  let tight = psi ~est:4 ~lct:10 ~compute:6 in
+  check_int "no-slack (np)" 2 (tight ~preemptive:false ~t1:6 ~t2:8);
+  check_int "no-slack (p)" 2 (tight ~preemptive:true ~t1:6 ~t2:8)
+
+let degenerate () =
+  check_int "zero compute" 0 (psi ~preemptive:false ~est:0 ~lct:10 ~compute:0 ~t1:2 ~t2:8);
+  Alcotest.check_raises "empty interval rejected"
+    (Invalid_argument "Overlap.psi: empty interval") (fun () ->
+      ignore (np ~t1:5 ~t2:5))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_case =
+  (* (est, window slack, compute, t1, t2 extent) with everything small *)
+  QCheck.make
+    ~print:(fun (e, slack, c, t1, len, p) ->
+      Printf.sprintf "E=%d L=%d C=%d [%d,%d] %spreemptive" e
+        (e + c + slack) c t1 (t1 + len)
+        (if p then "" else "non-"))
+    QCheck.Gen.(
+      map
+        (fun (e, slack, c, t1, len, p) -> (e, slack, c, t1, len, p))
+        (tup6 (int_range 0 10) (int_range 0 10) (int_range 0 10)
+           (int_range 0 25) (int_range 1 25) bool))
+
+let params (e, slack, c, t1, len, p) =
+  (e, e + c + slack, c, t1, t1 + len, p)
+
+let prop_tests =
+  [
+    qtest ~count:2000 "closed form matches brute force" arb_case (fun x ->
+        let est, lct, compute, t1, t2, preemptive = params x in
+        psi ~preemptive ~est ~lct ~compute ~t1 ~t2
+        = Rtlb.Overlap.brute_force ~preemptive ~est ~lct ~compute ~t1 ~t2);
+    qtest ~count:2000 "preemptive never exceeds non-preemptive" arb_case
+      (fun x ->
+        let est, lct, compute, t1, t2, _ = params x in
+        psi ~preemptive:true ~est ~lct ~compute ~t1 ~t2
+        <= psi ~preemptive:false ~est ~lct ~compute ~t1 ~t2);
+    qtest ~count:2000 "bounded by C and interval length" arb_case (fun x ->
+        let est, lct, compute, t1, t2, preemptive = params x in
+        let v = psi ~preemptive ~est ~lct ~compute ~t1 ~t2 in
+        0 <= v && v <= compute && v <= t2 - t1);
+    qtest ~count:2000 "full window demands full compute" arb_case (fun x ->
+        let est, lct, compute, _, _, preemptive = params x in
+        compute = 0 || est >= lct
+        || psi ~preemptive ~est ~lct ~compute ~t1:est ~t2:lct = compute);
+    qtest ~count:2000 "monotone in interval inclusion" arb_case (fun x ->
+        let est, lct, compute, t1, t2, preemptive = params x in
+        let v = psi ~preemptive ~est ~lct ~compute ~t1 ~t2 in
+        let wider = psi ~preemptive ~est ~lct ~compute ~t1:(t1 - 1) ~t2:(t2 + 1) in
+        v <= wider);
+    qtest ~count:2000 "superadditive across a split point" arb_case (fun x ->
+        let est, lct, compute, t1, t2, preemptive = params x in
+        (* Psi(t1,t3) >= Psi(t1,t2) + Psi(t2,t3): mandatory work only adds *)
+        let t3 = t2 + 3 in
+        psi ~preemptive ~est ~lct ~compute ~t1 ~t2:t3
+        >= psi ~preemptive ~est ~lct ~compute ~t1 ~t2
+           + psi ~preemptive ~est ~lct ~compute ~t1:t2 ~t2:t3);
+  ]
+
+let suite =
+  [
+    ( "overlap",
+      [
+        Alcotest.test_case "alpha and mu" `Quick definitions;
+        Alcotest.test_case "case 1: disjoint" `Quick case1;
+        Alcotest.test_case "case 2: containment" `Quick case2;
+        Alcotest.test_case "case 3: run early" `Quick case3;
+        Alcotest.test_case "case 4: run late" `Quick case4;
+        Alcotest.test_case "case 5: interior interval" `Quick case5;
+        Alcotest.test_case "degenerate inputs" `Quick degenerate;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the Section 5 partitioning (Figure 4) and its Theorem 5
+   independence guarantee. *)
+
+open Helpers
+
+let paper = Rtlb.Paper_example.app
+let windows = Rtlb.Est_lct.compute Rtlb.Paper_example.shared paper
+let est = windows.Rtlb.Est_lct.est
+let lct = windows.Rtlb.Est_lct.lct
+
+let blocks_of r =
+  (Rtlb.Partition.compute ~est ~lct (Rtlb.App.tasks_using paper r))
+    .Rtlb.Partition.blocks
+  |> List.map (List.map (fun i -> i + 1))
+  (* paper numbering *)
+  |> List.map (List.sort compare)
+
+let paper_partitions () =
+  Alcotest.(check (list (list int)))
+    "ST_P1"
+    [ [ 1; 2; 3; 4; 5 ]; [ 9 ]; [ 10; 11; 13; 14 ]; [ 12; 15 ] ]
+    (blocks_of "P1");
+  Alcotest.(check (list (list int))) "ST_P2" [ [ 6; 7 ]; [ 8 ] ] (blocks_of "P2");
+  Alcotest.(check (list (list int)))
+    "ST_r1"
+    [ [ 1; 2 ]; [ 5 ]; [ 10; 13; 14 ]; [ 15 ] ]
+    (blocks_of "r1")
+
+let paper_spans () =
+  let p = Rtlb.Partition.compute ~est ~lct (Rtlb.App.tasks_using paper "P1") in
+  Alcotest.(check (list (pair int int)))
+    "Step 3 evaluation intervals for P1"
+    [ (0, 15); (16, 19); (19, 30); (30, 36) ]
+    p.Rtlb.Partition.spans
+
+let empty_and_singleton () =
+  let p = Rtlb.Partition.compute ~est ~lct [] in
+  check_bool "empty" true (p.Rtlb.Partition.blocks = []);
+  let p = Rtlb.Partition.compute ~est ~lct [ 0 ] in
+  Alcotest.(check (list (list int))) "singleton" [ [ 0 ] ] p.Rtlb.Partition.blocks;
+  Alcotest.(check (list (pair int int))) "singleton span" [ (0, 3) ]
+    p.Rtlb.Partition.spans
+
+let validity_on_paper () =
+  List.iter
+    (fun r ->
+      let tasks = Rtlb.App.tasks_using paper r in
+      let p = Rtlb.Partition.compute ~est ~lct tasks in
+      check_bool ("valid for " ^ r) true
+        (Rtlb.Partition.is_valid ~est ~lct tasks p))
+    (Rtlb.App.resource_set paper)
+
+let invalid_detected () =
+  (* Tasks 1 and 9 ([0,3] and [16,19]) may not share a block with task 5
+     ([6,15]) out of order: splitting {1,5} | {9} is fine but {1,9} | {5}
+     violates the chain condition. *)
+  let bogus =
+    { Rtlb.Partition.blocks = [ [ 0; 8 ]; [ 4 ] ]; spans = [ (0, 19); (6, 15) ] }
+  in
+  check_bool "chain violation caught" false
+    (Rtlb.Partition.is_valid ~est ~lct [ 0; 8; 4 ] bogus);
+  let missing = { Rtlb.Partition.blocks = [ [ 0 ] ]; spans = [ (0, 3) ] } in
+  check_bool "coverage violation caught" false
+    (Rtlb.Partition.is_valid ~est ~lct [ 0; 4 ] missing)
+
+let prop_tests =
+  [
+    qtest ~count:250 "computed partitions are always valid"
+      (arb_instance ~max_tasks:16 ()) (fun i ->
+        let w = Rtlb.Est_lct.compute (shared_of i) i.app in
+        let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+        List.for_all
+          (fun r ->
+            let tasks = Rtlb.App.tasks_using i.app r in
+            Rtlb.Partition.is_valid ~est ~lct tasks
+              (Rtlb.Partition.compute ~est ~lct tasks))
+          (Rtlb.App.resource_set i.app));
+    qtest ~count:250 "blocks are maximal runs (adjacent blocks truly split)"
+      (arb_instance ~max_tasks:16 ()) (fun i ->
+        let w = Rtlb.Est_lct.compute (shared_of i) i.app in
+        let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+        List.for_all
+          (fun r ->
+            let tasks = Rtlb.App.tasks_using i.app r in
+            let p = Rtlb.Partition.compute ~est ~lct tasks in
+            (* consecutive spans never overlap *)
+            let rec ok = function
+              | (_, f1) :: ((s2, _) :: _ as rest) -> f1 <= s2 && ok rest
+              | _ -> true
+            in
+            ok p.Rtlb.Partition.spans)
+          (Rtlb.App.resource_set i.app));
+    qtest ~count:120 "Theorem 5: partitioned bound = unpartitioned bound"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let w = Rtlb.Est_lct.compute (shared_of i) i.app in
+        let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+        List.for_all
+          (fun r ->
+            let a = Rtlb.Lower_bound.for_resource ~est ~lct i.app r in
+            let b = Rtlb.Lower_bound.for_resource_unpartitioned ~est ~lct i.app r in
+            a.Rtlb.Lower_bound.lb = b.Rtlb.Lower_bound.lb)
+          (Rtlb.App.resource_set i.app));
+  ]
+
+let suite =
+  [
+    ( "partition",
+      [
+        Alcotest.test_case "paper Step 2 partitions" `Quick paper_partitions;
+        Alcotest.test_case "paper Step 3 spans" `Quick paper_spans;
+        Alcotest.test_case "empty and singleton" `Quick empty_and_singleton;
+        Alcotest.test_case "validity on the example" `Quick validity_on_paper;
+        Alcotest.test_case "invalid partitions detected" `Quick invalid_detected;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,124 @@
+(* Unit and property tests for the exact rational arithmetic. *)
+
+open Helpers
+
+let r = Rat.make
+
+let check_rat msg expected actual =
+  Alcotest.(check string) msg (Rat.to_string expected) (Rat.to_string actual)
+
+let normalisation () =
+  check_rat "6/4 = 3/2" (r 3 2) (r 6 4);
+  check_rat "-6/4 = -3/2" (r (-3) 2) (r 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (r 0 7);
+  check_int "num" 3 (Rat.num (r 6 4));
+  check_int "den" 2 (Rat.den (r 6 4));
+  check_int "den positive" 2 (Rat.den (r (-6) 4))
+
+let arithmetic () =
+  check_rat "1/2 + 1/3" (r 5 6) (Rat.add (r 1 2) (r 1 3));
+  check_rat "1/2 - 1/3" (r 1 6) (Rat.sub (r 1 2) (r 1 3));
+  check_rat "2/3 * 9/4" (r 3 2) (Rat.mul (r 2 3) (r 9 4));
+  check_rat "1/2 / 1/4" (r 2 1) (Rat.div (r 1 2) (r 1 4));
+  check_rat "neg" (r (-1) 2) (Rat.neg (r 1 2));
+  check_rat "abs" (r 1 2) (Rat.abs (r (-1) 2));
+  check_rat "inv" (r 3 2) (Rat.inv (r 2 3))
+
+let comparisons () =
+  check_bool "1/2 < 2/3" true Rat.(r 1 2 < r 2 3);
+  check_bool "-1/2 > -2/3" true Rat.(r (-1) 2 > r (-2) 3);
+  check_bool "equal" true (Rat.equal (r 2 4) (r 1 2));
+  check_int "sign+" 1 (Rat.sign (r 1 3));
+  check_int "sign-" (-1) (Rat.sign (r (-1) 3));
+  check_int "sign0" 0 (Rat.sign Rat.zero);
+  check_rat "min" (r 1 3) (Rat.min (r 1 3) (r 1 2));
+  check_rat "max" (r 1 2) (Rat.max (r 1 3) (r 1 2))
+
+let rounding () =
+  check_int "floor 7/2" 3 (Rat.floor (r 7 2));
+  check_int "ceil 7/2" 4 (Rat.ceil (r 7 2));
+  check_int "floor -7/2" (-4) (Rat.floor (r (-7) 2));
+  check_int "ceil -7/2" (-3) (Rat.ceil (r (-7) 2));
+  check_int "floor int" 5 (Rat.floor (r 5 1));
+  check_int "ceil int" 5 (Rat.ceil (r 5 1));
+  check_bool "is_integer 4/2" true (Rat.is_integer (r 4 2));
+  check_bool "is_integer 1/2" false (Rat.is_integer (r 1 2));
+  check_int "to_int_exn" 2 (Rat.to_int_exn (r 4 2));
+  Alcotest.check_raises "to_int_exn fails"
+    (Invalid_argument "Rat.to_int_exn: not an integer") (fun () ->
+      ignore (Rat.to_int_exn (r 1 2)))
+
+let errors () =
+  Alcotest.check_raises "zero denominator" Rat.Division_by_zero (fun () ->
+      ignore (r 1 0));
+  Alcotest.check_raises "inverse of zero" Rat.Division_by_zero (fun () ->
+      ignore (Rat.inv Rat.zero));
+  Alcotest.check_raises "overflow detected" Rat.Overflow (fun () ->
+      ignore (Rat.mul (r max_int 1) (r max_int 1)))
+
+let pp_format () =
+  check_string "integer prints bare" "5" (Rat.to_string (r 10 2));
+  check_string "fraction prints as n/d" "3/2" (Rat.to_string (r 3 2));
+  check_string "negative" "-3/2" (Rat.to_string (r 3 (-2)))
+
+(* Properties over small fractions (kept small to stay far from
+   overflow). *)
+let arb_rat =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "%d/%d" a b)
+    QCheck.Gen.(pair (int_range (-1000) 1000) (int_range 1 1000))
+
+let arb_rat3 = QCheck.triple arb_rat arb_rat arb_rat
+
+let lift (a, b) = r a b
+
+let prop_tests =
+  [
+    qtest "add commutative" (QCheck.pair arb_rat arb_rat) (fun (x, y) ->
+        Rat.equal (Rat.add (lift x) (lift y)) (Rat.add (lift y) (lift x)));
+    qtest "mul commutative" (QCheck.pair arb_rat arb_rat) (fun (x, y) ->
+        Rat.equal (Rat.mul (lift x) (lift y)) (Rat.mul (lift y) (lift x)));
+    qtest "add associative" arb_rat3 (fun (x, y, z) ->
+        let x = lift x and y = lift y and z = lift z in
+        Rat.equal (Rat.add x (Rat.add y z)) (Rat.add (Rat.add x y) z));
+    qtest "distributive" arb_rat3 (fun (x, y, z) ->
+        let x = lift x and y = lift y and z = lift z in
+        Rat.equal
+          (Rat.mul x (Rat.add y z))
+          (Rat.add (Rat.mul x y) (Rat.mul x z)));
+    qtest "sub then add roundtrips" (QCheck.pair arb_rat arb_rat)
+      (fun (x, y) ->
+        let x = lift x and y = lift y in
+        Rat.equal x (Rat.add (Rat.sub x y) y));
+    qtest "compare consistent with to_float" (QCheck.pair arb_rat arb_rat)
+      (fun (x, y) ->
+        let x = lift x and y = lift y in
+        let c = Rat.compare x y in
+        let f = compare (Rat.to_float x) (Rat.to_float y) in
+        (* floats of small rationals are exact enough for the sign *)
+        c = 0 = (f = 0) && (c < 0) = (f < 0));
+    qtest "floor <= x <= ceil" arb_rat (fun x ->
+        let x = lift x in
+        Rat.(of_int (floor x) <= x) && Rat.(x <= of_int (ceil x)));
+    qtest "ceil - floor <= 1" arb_rat (fun x ->
+        let x = lift x in
+        Rat.ceil x - Rat.floor x <= 1);
+    qtest "normal form is canonical" (QCheck.pair arb_rat QCheck.small_nat)
+      (fun ((a, b), k) ->
+        let k = k + 1 in
+        Rat.equal (r a b) (r (a * k) (b * k)));
+  ]
+
+let suite =
+  [
+    ( "rat",
+      [
+        Alcotest.test_case "normalisation" `Quick normalisation;
+        Alcotest.test_case "arithmetic" `Quick arithmetic;
+        Alcotest.test_case "comparisons" `Quick comparisons;
+        Alcotest.test_case "rounding" `Quick rounding;
+        Alcotest.test_case "errors" `Quick errors;
+        Alcotest.test_case "printing" `Quick pp_format;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,223 @@
+(* Tests for the scheduling substrate: timelines, checker, list scheduler
+   and searches — and the headline soundness property tying schedules back
+   to the paper's bounds. *)
+
+open Helpers
+
+let timeline_basics () =
+  let t = Sched.Timeline.empty in
+  check_bool "empty free" true (Sched.Timeline.is_free t ~start:0 ~finish:100);
+  let t = Sched.Timeline.add t ~start:5 ~finish:10 in
+  let t = Sched.Timeline.add t ~start:20 ~finish:25 in
+  check_bool "busy" false (Sched.Timeline.is_free t ~start:7 ~finish:8);
+  check_bool "adjacent ok" true (Sched.Timeline.is_free t ~start:10 ~finish:20);
+  check_int "gap before" 0 (Sched.Timeline.earliest_gap t ~from:0 ~duration:5);
+  check_int "gap between" 10 (Sched.Timeline.earliest_gap t ~from:6 ~duration:5);
+  check_int "gap after" 25 (Sched.Timeline.earliest_gap t ~from:6 ~duration:11);
+  check_int "zero duration" 7 (Sched.Timeline.earliest_gap t ~from:7 ~duration:0);
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Timeline.add: overlapping interval") (fun () ->
+      ignore (Sched.Timeline.add t ~start:9 ~finish:11));
+  (* zero-length add occupies nothing *)
+  let t0 = Sched.Timeline.add t ~start:7 ~finish:7 in
+  check_bool "empty interval free" true (Sched.Timeline.busy_intervals t0 = Sched.Timeline.busy_intervals t)
+
+let paper = Rtlb.Paper_example.app
+
+let paper_platform =
+  Sched.Platform.shared ~procs:[ ("P1", 3); ("P2", 2) ] ~resources:[ ("r1", 2) ]
+
+let list_scheduler_on_example () =
+  match Sched.List_scheduler.run paper paper_platform with
+  | Error _ -> Alcotest.fail "expected feasible on the bound-sized platform"
+  | Ok schedule -> (
+      match Sched.Schedule.check paper paper_platform schedule with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es))
+
+let insufficient_platform_fails () =
+  (* One P1 cannot carry 45 units of P1 work before time 36. *)
+  let tiny =
+    Sched.Platform.shared ~procs:[ ("P1", 1); ("P2", 2) ] ~resources:[ ("r1", 2) ]
+  in
+  check_bool "infeasible" false (Sched.List_scheduler.feasible paper tiny)
+
+let missing_host_fails_cleanly () =
+  let no_p2 = Sched.Platform.shared ~procs:[ ("P1", 3) ] ~resources:[ ("r1", 2) ] in
+  match Sched.List_scheduler.run paper no_p2 with
+  | Error f -> check_int "no start" max_int f.Sched.List_scheduler.f_start
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let checker_catches_violations () =
+  let sched =
+    match Sched.List_scheduler.run paper paper_platform with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "setup"
+  in
+  (* Move task 0 to start before its release... it has release 0, so break
+     a precedence instead: start task 3 (T4, successor of T1) at 0. *)
+  let broken = Array.copy sched in
+  broken.(3) <- { broken.(3) with Sched.Schedule.e_start = 0 };
+  (match Sched.Schedule.check paper paper_platform broken with
+  | Ok () -> Alcotest.fail "checker missed a precedence violation"
+  | Error _ -> ());
+  (* Claim a host beyond the platform. *)
+  let broken = Array.copy sched in
+  broken.(0) <- { broken.(0) with Sched.Schedule.e_host = Sched.Schedule.On_proc ("P1", 99) };
+  (match Sched.Schedule.check paper paper_platform broken with
+  | Ok () -> Alcotest.fail "checker missed a bogus host"
+  | Error _ -> ());
+  (* Wrong processor type. *)
+  let broken = Array.copy sched in
+  broken.(0) <- { broken.(0) with Sched.Schedule.e_host = Sched.Schedule.On_proc ("P2", 0) };
+  match Sched.Schedule.check paper paper_platform broken with
+  | Ok () -> Alcotest.fail "checker missed a type mismatch"
+  | Error _ -> ()
+
+let dedicated_scheduling () =
+  let platform =
+    Sched.Platform.dedicated
+      (List.map
+         (fun (nt : Rtlb.System.node_type) ->
+           ( nt,
+             match nt.Rtlb.System.nt_name with
+             | "N1" -> 2
+             | "N2" -> 1
+             | _ -> 2 ))
+         (Rtlb.System.node_types Rtlb.Paper_example.dedicated))
+  in
+  match Sched.List_scheduler.run paper platform with
+  | Error _ -> Alcotest.fail "dedicated bound platform should schedule"
+  | Ok s -> (
+      match Sched.Schedule.check paper platform s with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es))
+
+let min_platform_on_example () =
+  match Sched.Search.min_shared_platform paper with
+  | None -> Alcotest.fail "search should find a platform"
+  | Some r ->
+      check_int "P1 units" 3 (Sched.Platform.units r.Sched.Search.platform "P1");
+      check_int "P2 units" 2 (Sched.Platform.units r.Sched.Search.platform "P2");
+      check_int "r1 units" 2 (Sched.Platform.units r.Sched.Search.platform "r1")
+
+let backtracking_on_example () =
+  match Sched.Search.backtracking_feasible paper paper_platform with
+  | None -> Alcotest.fail "backtracking should schedule the example"
+  | Some s -> (
+      match Sched.Schedule.check paper paper_platform s with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es))
+
+let priority_policies () =
+  let app = Rtlb.Paper_example.app in
+  let system = Rtlb.Paper_example.shared in
+  List.iter
+    (fun policy ->
+      let priority = Sched.Priorities.make policy system app in
+      (* every policy must produce a key for every task without error *)
+      for i = 0 to Rtlb.App.n_tasks app - 1 do
+        ignore (priority i)
+      done)
+    Sched.Priorities.all;
+  (* the LCT policy reproduces the Section 4 values *)
+  let lct = Sched.Priorities.make Sched.Priorities.Lct system app in
+  check_int "T9 key" 19 (lct 8);
+  check_int "T15 key" 36 (lct 14);
+  let slack = Sched.Priorities.make Sched.Priorities.Least_slack system app in
+  check_int "T11 slack key" 8 (slack 10);
+  let lwf = Sched.Priorities.make Sched.Priorities.Longest_work_first system app in
+  check_bool "LPT orders by work" true (lwf 4 < lwf 8)
+  (* T5 (C=9) before T9 (C=3) *)
+
+let lct_priority_works () =
+  let priority =
+    Sched.List_scheduler.lct_priority Rtlb.Paper_example.shared paper
+  in
+  check_bool "feasible with LCT priority" true
+    (Sched.List_scheduler.feasible ~priority paper paper_platform)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_tests =
+  [
+    qtest ~count:150 "schedules produced always pass the checker"
+      (arb_instance ~max_tasks:14 ()) (fun i ->
+        let platform = Sched.Platform.generous (shared_of i) i.app in
+        match Sched.List_scheduler.run i.app platform with
+        | Error _ -> true (* greedy may fail; feasibility isn't claimed *)
+        | Ok s -> Sched.Schedule.check i.app platform s = Ok ());
+    qtest ~count:100 "dedicated schedules always pass the checker"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let system = dedicated_of i in
+        let platform = Sched.Platform.generous system i.app in
+        match Sched.List_scheduler.run i.app platform with
+        | Error _ -> true
+        | Ok s -> Sched.Schedule.check i.app platform s = Ok ());
+    qtest ~count:60
+      "SOUNDNESS: platform below any LB_r is never schedulable"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        (* Take the LB-sized platform and remove one unit of some bounded
+           resource: the analysis says it cannot work, so the scheduler
+           (and the backtracking search) must agree. *)
+        let system = shared_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        let bounds = a.Rtlb.Analysis.bounds in
+        List.for_all
+          (fun (b : Rtlb.Lower_bound.bound) ->
+            if b.Rtlb.Lower_bound.lb = 0 then true
+            else begin
+              let shrunk =
+                List.map
+                  (fun (x : Rtlb.Lower_bound.bound) ->
+                    let lb =
+                      if
+                        String.equal x.Rtlb.Lower_bound.resource
+                          b.Rtlb.Lower_bound.resource
+                      then x.Rtlb.Lower_bound.lb - 1
+                      else
+                        (* generous elsewhere: the bound must bite alone *)
+                        Rtlb.App.n_tasks i.app
+                    in
+                    { x with Rtlb.Lower_bound.lb })
+                  bounds
+              in
+              let platform = Sched.Platform.of_bounds system i.app shrunk in
+              (not (Sched.List_scheduler.feasible i.app platform))
+              && Sched.Search.backtracking_feasible ~node_limit:20_000 i.app
+                   platform
+                 = None
+            end)
+          bounds);
+    qtest ~count:40 "backtracking finds whatever greedy finds"
+      (arb_instance ~max_tasks:9 ()) (fun i ->
+        let system = shared_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        let platform = Sched.Platform.of_bounds system i.app a.Rtlb.Analysis.bounds in
+        (not (Sched.List_scheduler.feasible i.app platform))
+        || Sched.Search.backtracking_feasible i.app platform <> None);
+  ]
+
+let suite =
+  [
+    ( "sched",
+      [
+        Alcotest.test_case "timeline basics" `Quick timeline_basics;
+        Alcotest.test_case "list scheduler on the example" `Quick
+          list_scheduler_on_example;
+        Alcotest.test_case "insufficient platform fails" `Quick
+          insufficient_platform_fails;
+        Alcotest.test_case "missing host type" `Quick missing_host_fails_cleanly;
+        Alcotest.test_case "checker catches violations" `Quick
+          checker_catches_violations;
+        Alcotest.test_case "dedicated platform scheduling" `Quick
+          dedicated_scheduling;
+        Alcotest.test_case "minimum platform search" `Quick min_platform_on_example;
+        Alcotest.test_case "backtracking search" `Quick backtracking_on_example;
+        Alcotest.test_case "LCT priority" `Quick lct_priority_works;
+        Alcotest.test_case "priority policies" `Quick priority_policies;
+      ]
+      @ prop_tests );
+  ]

@@ -1,0 +1,153 @@
+(* Tests for the online-dispatch simulator and the Graham-anomaly
+   behaviour it exposes. *)
+
+open Helpers
+
+let two_proc = Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[]
+
+let simple_app =
+  Rtlb.App.make
+    ~tasks:
+      [
+        Rtlb.Task.make ~id:0 ~compute:4 ~deadline:10 ~proc:"P" ();
+        Rtlb.Task.make ~id:1 ~compute:3 ~deadline:10 ~proc:"P" ();
+        Rtlb.Task.make ~id:2 ~compute:2 ~deadline:10 ~proc:"P" ();
+      ]
+    ~edges:[ (0, 2, 1) ]
+
+let dispatch_at_wcet () =
+  let o =
+    Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet simple_app)
+      simple_app two_proc
+  in
+  check_bool "finished" true o.Sched.Simulator.o_finished;
+  (* T1 [0,4] on p1; T3 co-locates with T1 (no message) -> [4,6] *)
+  check_int "makespan" 6 o.Sched.Simulator.o_makespan;
+  match o.Sched.Simulator.o_schedule with
+  | None -> Alcotest.fail "expected a schedule"
+  | Some s -> (
+      match Sched.Schedule.check simple_app two_proc s with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es))
+
+let early_finish_helps_here () =
+  let actual i = if i = 0 then 2 else Sched.Simulator.wcet simple_app i in
+  let o = Sched.Simulator.run_online ~actual simple_app two_proc in
+  check_bool "finished" true o.Sched.Simulator.o_finished;
+  (* T1 [0,2]; T3 co-located [2,4]; T2 [0,3] *)
+  check_int "shorter makespan" 4 o.Sched.Simulator.o_makespan
+
+let zero_duration_tasks () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:0 ~deadline:5 ~proc:"P" ();
+          Rtlb.Task.make ~id:1 ~compute:2 ~deadline:5 ~proc:"P" ();
+        ]
+      ~edges:[ (0, 1, 1) ]
+  in
+  let o =
+    Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet app) app
+      (Sched.Platform.shared ~procs:[ ("P", 1) ] ~resources:[])
+  in
+  check_bool "finished" true o.Sched.Simulator.o_finished;
+  (* the milestone occupies nothing; its successor co-locates: [0,2] *)
+  check_int "makespan" 2 o.Sched.Simulator.o_makespan
+
+let resource_contention () =
+  (* Two tasks share the single unit of r: they serialise. *)
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:3 ~deadline:10 ~proc:"P" ~resources:[ "r" ] ();
+          Rtlb.Task.make ~id:1 ~compute:3 ~deadline:10 ~proc:"P" ~resources:[ "r" ] ();
+        ]
+      ~edges:[]
+  in
+  let platform =
+    Sched.Platform.shared ~procs:[ ("P", 2) ] ~resources:[ ("r", 1) ]
+  in
+  let o = Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet app) app platform in
+  check_bool "finished" true o.Sched.Simulator.o_finished;
+  check_int "serialised" 6 o.Sched.Simulator.o_makespan
+
+let graham_anomaly () =
+  let app =
+    Rtlb.App.make
+      ~tasks:
+        [
+          Rtlb.Task.make ~id:0 ~compute:2 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:1 ~compute:2 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:2 ~compute:10 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:3 ~compute:10 ~deadline:30 ~proc:"P" ();
+          Rtlb.Task.make ~id:4 ~compute:3 ~release:2 ~deadline:5 ~proc:"P" ();
+        ]
+      ~edges:[ (0, 2, 0); (1, 3, 0) ]
+  in
+  let at_wcet =
+    Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet app) app two_proc
+  in
+  check_bool "meets at WCET" true at_wcet.Sched.Simulator.o_finished;
+  let fast i = if i <= 1 then 1 else Sched.Simulator.wcet app i in
+  let shorter = Sched.Simulator.run_online ~actual:fast app two_proc in
+  check_bool "anomaly: faster execution misses" false
+    shorter.Sched.Simulator.o_finished;
+  Alcotest.(check (option int)) "the latecomer misses" (Some 4)
+    shorter.Sched.Simulator.o_first_miss
+
+let invalid_actual_times () =
+  match
+    Sched.Simulator.run_online ~actual:(fun _ -> 99) simple_app two_proc
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let scaled_profile () =
+  check_int "100%" 4 (Sched.Simulator.scaled simple_app ~percent:100 0);
+  check_int "50% of 4" 2 (Sched.Simulator.scaled simple_app ~percent:50 0);
+  check_int "50% of 3 rounds up" 2 (Sched.Simulator.scaled simple_app ~percent:50 1);
+  check_int "1% floors at... ceil" 1 (Sched.Simulator.scaled simple_app ~percent:1 0)
+
+let prop_tests =
+  [
+    qtest ~count:100 "online WCET dispatch yields checker-valid schedules"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        let platform = Sched.Platform.generous (shared_of i) i.app in
+        let o =
+          Sched.Simulator.run_online ~actual:(Sched.Simulator.wcet i.app) i.app
+            platform
+        in
+        match o.Sched.Simulator.o_schedule with
+        | None -> false (* generous platform: dispatch never deadlocks *)
+        | Some s ->
+            (not o.Sched.Simulator.o_finished)
+            || Sched.Schedule.check i.app platform s = Ok ());
+    qtest ~count:100 "scaled profiles stay within WCET"
+      (arb_instance ~max_tasks:12 ()) (fun i ->
+        List.for_all
+          (fun percent ->
+            List.for_all
+              (fun t ->
+                let a = Sched.Simulator.scaled i.app ~percent t in
+                0 <= a && a <= Sched.Simulator.wcet i.app t)
+              (List.init (Rtlb.App.n_tasks i.app) Fun.id))
+          [ 0; 25; 50; 75; 100 ]);
+  ]
+
+let suite =
+  [
+    ( "simulator",
+      [
+        Alcotest.test_case "dispatch at WCET" `Quick dispatch_at_wcet;
+        Alcotest.test_case "early finish helps here" `Quick
+          early_finish_helps_here;
+        Alcotest.test_case "zero-duration tasks" `Quick zero_duration_tasks;
+        Alcotest.test_case "resource contention" `Quick resource_contention;
+        Alcotest.test_case "Graham anomaly" `Quick graham_anomaly;
+        Alcotest.test_case "invalid actual times" `Quick invalid_actual_times;
+        Alcotest.test_case "scaled profiles" `Quick scaled_profile;
+      ]
+      @ prop_tests );
+  ]

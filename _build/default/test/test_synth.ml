@@ -1,0 +1,87 @@
+(* Tests for the synthesis search and the admissibility of lower-bound
+   pruning (the paper's motivating application). *)
+
+open Helpers
+
+let paper = Rtlb.Paper_example.app
+let catalogue = Rtlb.Paper_example.dedicated
+
+let finds_the_paper_optimum () =
+  let s = Synth.search ~system:catalogue paper in
+  match s.Synth.found with
+  | None -> Alcotest.fail "expected a configuration"
+  | Some (platform, cost) ->
+      (* The Step 4 ILP bound is 40, and the (2,1,2) platform schedules
+         (verified elsewhere), so synthesis must land exactly on 40. *)
+      check_int "cost" 40 cost;
+      check_int "P1 units" 3 (Sched.Platform.units platform "P1");
+      check_int "r1 units" 2 (Sched.Platform.units platform "r1");
+      check_int "P2 units" 2 (Sched.Platform.units platform "P2")
+
+let pruning_changes_nothing () =
+  let a = Synth.search ~use_lower_bounds:true ~system:catalogue paper in
+  let b = Synth.search ~use_lower_bounds:false ~system:catalogue paper in
+  (match (a.Synth.found, b.Synth.found) with
+  | Some (_, ca), Some (_, cb) -> check_int "same optimum" ca cb
+  | _ -> Alcotest.fail "both should find a configuration");
+  check_bool "pruning saves scheduler calls" true
+    (a.Synth.sched_calls < b.Synth.sched_calls);
+  check_int "no pruning means no pruned configs" 0 b.Synth.pruned;
+  check_bool "pruned + called covers expanded (with LB)" true
+    (a.Synth.pruned + a.Synth.sched_calls = a.Synth.expanded)
+
+let infeasible_catalogue () =
+  (* No catalogue node can host P2 tasks: search must terminate empty. *)
+  let broken =
+    Rtlb.System.dedicated
+      [ Rtlb.System.node_type ~name:"only-p1" ~proc:"P1" ~provides:[ ("r1", 1) ] ~cost:2 () ]
+  in
+  let s = Synth.search ~max_expanded:500 ~system:broken paper in
+  check_bool "nothing found" true (s.Synth.found = None)
+
+let not_dedicated_rejected () =
+  match Synth.search ~system:Rtlb.Paper_example.shared paper with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let prop_tests =
+  [
+    qtest ~count:25 "pruned and unpruned searches agree"
+      (arb_instance ~max_tasks:8 ()) (fun i ->
+        let system = dedicated_of i in
+        let a = Synth.search ~use_lower_bounds:true ~max_expanded:4000 ~system i.app in
+        let b = Synth.search ~use_lower_bounds:false ~max_expanded:4000 ~system i.app in
+        match (a.Synth.found, b.Synth.found) with
+        | Some (_, ca), Some (_, cb) -> ca = cb && a.Synth.sched_calls <= b.Synth.sched_calls
+        | None, None -> true
+        | _ -> false);
+    qtest ~count:25 "synthesised configurations really schedule"
+      (arb_instance ~max_tasks:8 ()) (fun i ->
+        let system = dedicated_of i in
+        let s = Synth.search ~system i.app in
+        match s.Synth.found with
+        | None -> true
+        | Some (platform, _) -> Sched.List_scheduler.feasible i.app platform);
+    qtest ~count:25 "synthesised cost never beats the ILP bound"
+      (arb_instance ~max_tasks:8 ()) (fun i ->
+        let system = dedicated_of i in
+        let a = Rtlb.Analysis.run system i.app in
+        let s = Synth.search ~system i.app in
+        match (s.Synth.found, a.Rtlb.Analysis.cost) with
+        | Some (_, cost), Rtlb.Cost.Dedicated_cost d ->
+            cost >= d.Rtlb.Cost.d_cost
+        | None, _ -> true
+        | _, (Rtlb.Cost.Shared_cost _ | Rtlb.Cost.No_feasible_system _) -> false);
+  ]
+
+let suite =
+  [
+    ( "synth",
+      [
+        Alcotest.test_case "paper example optimum" `Quick finds_the_paper_optimum;
+        Alcotest.test_case "pruning is lossless" `Quick pruning_changes_nothing;
+        Alcotest.test_case "infeasible catalogue" `Quick infeasible_catalogue;
+        Alcotest.test_case "shared system rejected" `Quick not_dedicated_rejected;
+      ]
+      @ prop_tests );
+  ]
