@@ -825,6 +825,129 @@ let priorities () =
     Sched.Priorities.all;
   Rtfmt.Table.print t
 
+(* ------------------------------------------------------------------ *)
+(* E12: parallel scaling of the analysis engine                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain count requested via --jobs/RTLB_JOBS (bench/main.ml sets it);
+   0 means "nothing beyond the standard 1/2/4/8 curve". *)
+let jobs = ref 0
+
+let parallel_scaling () =
+  Bench_util.section
+    "E12: parallel scaling - Analysis.run across a domain pool";
+  Printf.printf
+    "The e6 layered workloads analysed on an Rtlb_par.Pool of 1/2/4/8\n\
+     domains (plus --jobs if given).  The parallel path is bit-identical\n\
+     to the sequential analysis (asserted per run); speedups are wall\n\
+     clock, best of %d, relative to the 1-domain pool.  Machine has %d\n\
+     recommended domain(s).  Results also land in BENCH_parallel.json.\n"
+    5
+    (Domain.recommended_domain_count ());
+  let domain_counts =
+    [ 1; 2; 4; 8 ] @ (if !jobs > 1 then [ !jobs ] else [])
+    |> List.sort_uniq compare
+  in
+  let best_of k f =
+    let rec go k best =
+      if k = 0 then best
+      else
+        let _, ms = Bench_util.time_ms f in
+        go (k - 1) (min best ms)
+    in
+    go k infinity
+  in
+  let bounds_equal (a : Rtlb.Analysis.t) (b : Rtlb.Analysis.t) =
+    a.Rtlb.Analysis.bounds = b.Rtlb.Analysis.bounds
+  in
+  let t =
+    Rtfmt.Table.create
+      ([ "tasks"; "seq ms" ]
+      @ List.concat_map
+          (fun d ->
+            [ Printf.sprintf "%dd ms" d; Printf.sprintf "%dd speedup" d ])
+          domain_counts
+      @ [ "identical" ])
+  in
+  let json_workloads =
+    List.map
+      (fun n ->
+        let config =
+          {
+            Workload.Gen.default with
+            Workload.Gen.n_tasks = n;
+            shape = Workload.Gen.Layered { layers = 5; density = 0.4 };
+            seed = 11;
+          }
+        in
+        let app = Workload.Gen.generate config in
+        let system = Workload.Gen.shared_system config in
+        let reference = Rtlb.Analysis.run system app in
+        let seq_ms = best_of 5 (fun () -> Rtlb.Analysis.run system app) in
+        let identical = ref true in
+        let curve =
+          List.map
+            (fun d ->
+              Rtlb_par.Pool.with_pool ~jobs:d (fun pool ->
+                  let a = Rtlb.Analysis.run ~pool system app in
+                  if not (bounds_equal a reference) then identical := false;
+                  let ms =
+                    best_of 5 (fun () -> Rtlb.Analysis.run ~pool system app)
+                  in
+                  (d, ms)))
+            domain_counts
+        in
+        let base_ms =
+          match curve with (_, ms) :: _ -> ms | [] -> seq_ms
+        in
+        let speedup ms = base_ms /. ms in
+        Rtfmt.Table.add_row t
+          ([ string_of_int n; Printf.sprintf "%.2f" seq_ms ]
+          @ List.concat_map
+              (fun (_, ms) ->
+                [
+                  Printf.sprintf "%.2f" ms;
+                  Printf.sprintf "%.2fx" (speedup ms);
+                ])
+              curve
+          @ [ (if !identical then "yes" else "NO") ]);
+        Rtfmt.Json.Obj
+          [
+            ("tasks", Rtfmt.Json.Int n);
+            ("seq_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" seq_ms));
+            ("identical", Rtfmt.Json.Bool !identical);
+            ( "curve",
+              Rtfmt.Json.List
+                (List.map
+                   (fun (d, ms) ->
+                     Rtfmt.Json.Obj
+                       [
+                         ("domains", Rtfmt.Json.Int d);
+                         ("ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" ms));
+                         ( "speedup",
+                           Rtfmt.Json.Str (Printf.sprintf "%.2f" (speedup ms))
+                         );
+                       ])
+                   curve) );
+          ])
+      [ 10; 20; 40; 80 ]
+  in
+  Rtfmt.Table.print t;
+  let json =
+    Rtfmt.Json.Obj
+      [
+        ("experiment", Rtfmt.Json.Str "e12-parallel-scaling");
+        ( "recommended_domains",
+          Rtfmt.Json.Int (Domain.recommended_domain_count ()) );
+        ("workloads", Rtfmt.Json.List json_workloads);
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Rtfmt.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n"
+
 let all () =
   tightness ();
   baselines ();
@@ -836,4 +959,5 @@ let all () =
   preemptive_exactness ();
   anomalies ();
   time_bounds ();
-  priorities ()
+  priorities ();
+  parallel_scaling ()

@@ -1,10 +1,14 @@
 (* Benchmark harness: regenerates every table and figure-derived artefact
    of the paper (sections T1, S8-2..4, F2/F3) and runs the
-   characterisation experiments E1..E6 from DESIGN.md.
+   characterisation experiments E1..E12 from DESIGN.md.
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- paper   -- only the paper reproduction
-     dune exec bench/main.exe -- e3 e5   -- selected experiments *)
+     dune exec bench/main.exe -- e3 e5   -- selected experiments
+     dune exec bench/main.exe -- --jobs 8 e12   -- extend the E12 curve
+
+   --jobs N (or the RTLB_JOBS environment variable) adds an N-domain
+   point to the E12 parallel-scaling curve. *)
 
 let sections =
   [
@@ -24,16 +28,42 @@ let sections =
     ("e9", Experiments.anomalies);
     ("e10", Experiments.time_bounds);
     ("e11", Experiments.priorities);
+    ("e12", Experiments.parallel_scaling);
   ]
 
+let experiment_names =
+  List.filter (fun n -> String.length n > 1 && n.[0] = 'e') (List.map fst sections)
+
 let () =
+  (match Sys.getenv_opt "RTLB_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Experiments.jobs := n
+      | _ -> ())
+  | None -> ());
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (( <> ) "--") args in
+  let rec parse_jobs acc = function
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            Experiments.jobs := j;
+            parse_jobs acc rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 1)
+    | "--jobs" :: [] ->
+        Printf.eprintf "--jobs expects a positive integer\n";
+        exit 1
+    | a :: rest -> parse_jobs (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = parse_jobs [] args in
   let wanted =
     match args with
     | [] -> List.map fst sections
     | [ "paper" ] -> [ "t1"; "step2"; "step3"; "step4"; "trace" ]
-    | [ "experiments" ] -> [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11" ]
+    | [ "experiments" ] -> experiment_names
     | names -> names
   in
   List.iter

@@ -15,6 +15,31 @@ let read_appfile path =
       Error (Printf.sprintf "%s:%d: %s" path line msg)
   | Sys_error m -> Error m
 
+(* --jobs N / RTLB_JOBS: domain count for the parallel analysis engine.
+   Default is sequential; the parallel path is bit-identical, so the
+   flag only changes wall time. *)
+let jobs_arg =
+  let doc =
+    "Run the analysis on $(docv) domains (defaults to the \
+     $(b,RTLB_JOBS) environment variable, or 1 = sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let with_jobs jobs f =
+  let jobs =
+    match jobs with
+    | Some n -> max 1 n
+    | None -> (
+        match Sys.getenv_opt "RTLB_JOBS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 1 -> n
+            | _ -> 1)
+        | None -> 1)
+  in
+  if jobs <= 1 then f None
+  else Rtlb_par.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 let system_arg =
   let doc =
     "Force the system model when the file does not declare one: $(b,uniform) \
@@ -46,14 +71,16 @@ let analyze_cmd =
       & info [ "full" ]
           ~doc:"Full tabular report with criticality and demand profiles.")
   in
-  let run path override json full =
+  let run path override json full jobs =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
         match resolve_system system override app with
         | Error e -> `Error (false, e)
         | Ok system ->
-            let analysis = Rtlb.Analysis.run system app in
+            let analysis =
+              with_jobs jobs (fun pool -> Rtlb.Analysis.run ?pool system app)
+            in
             if json then
               print_endline (Rtfmt.Json.to_string (Rtfmt.Json.of_analysis analysis))
             else if full then
@@ -74,7 +101,8 @@ let analyze_cmd =
   let doc = "Run the lower-bound analysis on an application file." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(ret (const run $ file_arg $ system_arg $ json_arg $ full_arg))
+    Term.(
+      ret (const run $ file_arg $ system_arg $ json_arg $ full_arg $ jobs_arg))
 
 (* ---- example ---------------------------------------------------- *)
 
@@ -282,21 +310,24 @@ let sensitivity_cmd =
       & opt (list float) [ 0.8; 0.9; 1.0; 1.25; 1.5; 2.0; 3.0 ]
       & info [ "factors" ] ~docv:"F,F,..." ~doc)
   in
-  let run path override factors =
+  let run path override factors jobs =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
         match resolve_system system override app with
         | Error e -> `Error (false, e)
         | Ok system ->
-            let samples = Rtlb.Sensitivity.deadline_sweep system app ~factors in
+            let samples =
+              with_jobs jobs (fun pool ->
+                  Rtlb.Sensitivity.deadline_sweep ?pool system app ~factors)
+            in
             print_string (Rtlb.Sensitivity.render samples);
             `Ok ())
   in
   let doc = "Sweep deadline tightness and report the bounds at each level." in
   Cmd.v
     (Cmd.info "sensitivity" ~doc)
-    Term.(ret (const run $ file_arg $ system_arg $ factors_arg))
+    Term.(ret (const run $ file_arg $ system_arg $ factors_arg $ jobs_arg))
 
 (* ---- timebound ----------------------------------------------------- *)
 
@@ -358,21 +389,23 @@ let timebound_cmd =
 (* ---- critical ------------------------------------------------------ *)
 
 let critical_cmd =
-  let run path override =
+  let run path override jobs =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
         match resolve_system system override app with
         | Error e -> `Error (false, e)
         | Ok system ->
-            let analysis = Rtlb.Analysis.run system app in
+            let analysis =
+              with_jobs jobs (fun pool -> Rtlb.Analysis.run ?pool system app)
+            in
             print_string (Rtlb.Slack.render app (Rtlb.Slack.analyse analysis));
             `Ok ())
   in
   let doc = "Criticality report: zero-slack tasks and bottleneck epochs." in
   Cmd.v
     (Cmd.info "critical" ~doc)
-    Term.(ret (const run $ file_arg $ system_arg))
+    Term.(ret (const run $ file_arg $ system_arg $ jobs_arg))
 
 (* ---- horn ---------------------------------------------------------- *)
 

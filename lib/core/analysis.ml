@@ -6,13 +6,13 @@ type t = {
   cost : Cost.outcome;
 }
 
-let run system app =
+let run ?pool system app =
   (match System.validate_for system app with
   | Ok () -> ()
   | Error e -> invalid_arg ("Analysis.run: " ^ e));
   let windows = Est_lct.compute system app in
   let est = windows.Est_lct.est and lct = windows.Est_lct.lct in
-  let bounds = Lower_bound.all ~est ~lct app in
+  let bounds = Lower_bound.all ?pool ~est ~lct app in
   let cost = Cost.compute system app bounds in
   { app; system; windows; bounds; cost }
 

@@ -10,8 +10,10 @@ type t = {
   cost : Cost.outcome;  (** Step 4. *)
 }
 
-val run : System.t -> App.t -> t
-(** Runs all four steps.
+val run : ?pool:Rtlb_par.Pool.t -> System.t -> App.t -> t
+(** Runs all four steps.  With [?pool], the Step 3 bound scans are
+    distributed across the pool's domains ({!Lower_bound.all}); the
+    result is bit-identical to the sequential run.
     @raise Invalid_argument when the system model cannot host some task
       (see {!System.validate_for}). *)
 

@@ -51,8 +51,17 @@ let peak_over_all_windows ~est ~lct app ~resource =
         in
         let best = ref None in
         for a = 0 to Array.length pts - 2 do
+          let t1 = pts.(a) in
+          let kernel =
+            Lower_bound.Theta_kernel.make ~resource ~est ~lct app tasks ~t1
+          in
           for b = a + 1 to Array.length pts - 1 do
-            let p = point ~est ~lct app ~resource tasks ~t1:pts.(a) ~t2:pts.(b) in
+            let t2 = pts.(b) in
+            let theta = Lower_bound.Theta_kernel.eval kernel ~t2 in
+            let p =
+              { d_t1 = t1; d_t2 = t2; d_theta = theta;
+                d_units = ceil_div theta (t2 - t1) }
+            in
             match !best with
             | Some bp when bp.d_units >= p.d_units -> ()
             | _ -> best := Some p

@@ -14,10 +14,13 @@ let scale_deadlines app ~factor =
       let floor_ = task.Task.release + task.Task.compute in
       Task.with_deadline task (max scaled floor_))
 
-let deadline_sweep system app ~factors =
-  List.map
+let deadline_sweep ?pool system app ~factors =
+  Rtlb_par.Pool.map_list ?pool
     (fun factor ->
       let scaled = scale_deadlines app ~factor in
+      (* Analysis.run is not handed the pool here: a factor's analysis
+         already runs inside a pool task, where a nested submit would
+         degrade to inline execution anyway. *)
       let analysis = Analysis.run system scaled in
       {
         s_factor = factor;

@@ -20,8 +20,11 @@ val scale_deadlines : App.t -> factor:float -> App.t
     [release + compute] so tasks stay well-formed. *)
 
 val deadline_sweep :
+  ?pool:Rtlb_par.Pool.t ->
   System.t -> App.t -> factors:float list -> sample list
-(** One analysis per factor, in the given order. *)
+(** One analysis per factor, in the given order.  With [?pool], factors
+    are analysed concurrently (one pool task each); the sample list is
+    identical to the sequential sweep. *)
 
 val render : sample list -> string
 (** Plain-text table of the sweep. *)

@@ -1,0 +1,210 @@
+(* Hand-rolled domain pool: a fixed worker set blocked on a condition
+   variable, a chunked index queue per job, and index-keyed result slots
+   so reductions are deterministic.  Only one job is active at a time;
+   concurrent submitters queue on [idle].
+
+   Invariant: [current = Some job] implies [job.next < job.total] — the
+   claimer that takes the last chunk (or drains a failed job) clears
+   [current] and wakes the next submitter, while the job itself is only
+   finished once [completed = total] (its last executing chunk wakes the
+   submitter through [job_done]). *)
+
+type job = {
+  mutable next : int;  (* next unclaimed index *)
+  total : int;
+  chunk : int;
+  body : int -> unit;
+  mutable completed : int;  (* indices executed or skipped *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  lock : Mutex.t;
+  has_work : Condition.t;  (* workers: a job arrived / shutting down *)
+  job_done : Condition.t;  (* submitter: my job completed *)
+  idle : Condition.t;  (* submitters: the single job slot freed *)
+  mutable current : job option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  n_domains : int;
+}
+
+(* True on worker domains, and on a submitter while it executes job
+   bodies: a submit from such a context would deadlock waiting for
+   workers already busy underneath it, so it runs inline instead. *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let size t = t.n_domains
+
+(* Must hold [t.lock].  Claims the next chunk of the current job, or
+   drains it after a failure; clears [current] (and wakes a queued
+   submitter) once the last chunk is claimed. *)
+let claim t =
+  match t.current with
+  | None -> None
+  | Some job ->
+      if job.failed <> None then begin
+        (* Skip the unclaimed remainder; count it as completed so the
+           submitter's wait terminates. *)
+        let skipped = job.total - job.next in
+        job.next <- job.total;
+        job.completed <- job.completed + skipped;
+        t.current <- None;
+        Condition.broadcast t.idle;
+        if job.completed >= job.total then Condition.broadcast t.job_done;
+        None
+      end
+      else begin
+        let lo = job.next in
+        let hi = min job.total (lo + job.chunk) in
+        job.next <- hi;
+        if hi >= job.total then begin
+          t.current <- None;
+          Condition.broadcast t.idle
+        end;
+        Some (job, lo, hi)
+      end
+
+(* Runs indices [lo, hi) with the lock released, recording the first
+   exception and the completion count. *)
+let exec_chunk t job lo hi =
+  (try
+     for i = lo to hi - 1 do
+       job.body i
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock t.lock;
+     if job.failed = None then job.failed <- Some (e, bt);
+     Mutex.unlock t.lock);
+  Mutex.lock t.lock;
+  job.completed <- job.completed + (hi - lo);
+  if job.completed >= job.total then Condition.broadcast t.job_done;
+  Mutex.unlock t.lock
+
+let rec worker_step t =
+  (* lock held on entry; released while executing *)
+  match claim t with
+  | Some (job, lo, hi) ->
+      Mutex.unlock t.lock;
+      exec_chunk t job lo hi;
+      Mutex.lock t.lock;
+      worker_step t
+  | None ->
+      if t.stopping then Mutex.unlock t.lock
+      else begin
+        Condition.wait t.has_work t.lock;
+        worker_step t
+      end
+
+let worker t () =
+  Domain.DLS.set inside_pool true;
+  Mutex.lock t.lock;
+  worker_step t
+
+let create ~jobs =
+  let jobs = max 1 (min jobs 64) in
+  let t =
+    {
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      job_done = Condition.create ();
+      idle = Condition.create ();
+      current = None;
+      stopping = false;
+      workers = [];
+      n_domains = jobs;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let default_jobs () =
+  match Sys.getenv_opt "RTLB_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n 64
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let with_pool ?jobs f =
+  let t = create ~jobs:(match jobs with Some j -> j | None -> default_jobs ()) in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_inline total body =
+  for i = 0 to total - 1 do
+    body i
+  done
+
+(* The submitter helps execute its own job; while it does, it counts as
+   inside the pool so nested submits run inline. *)
+let help t =
+  Domain.DLS.set inside_pool true;
+  Mutex.lock t.lock;
+  let rec go () =
+    match claim t with
+    | Some (job, lo, hi) ->
+        Mutex.unlock t.lock;
+        exec_chunk t job lo hi;
+        Mutex.lock t.lock;
+        go ()
+    | None -> Mutex.unlock t.lock
+  in
+  go ();
+  Domain.DLS.set inside_pool false
+
+let run t ~total body =
+  if total > 0 then
+    if t.n_domains <= 1 || Domain.DLS.get inside_pool then run_inline total body
+    else begin
+      (* ~4 chunks per domain balances stragglers against contention on
+         the claim counter. *)
+      let chunk = max 1 (1 + ((total - 1) / (4 * t.n_domains))) in
+      let job = { next = 0; total; chunk; body; completed = 0; failed = None } in
+      Mutex.lock t.lock;
+      while t.current <> None do
+        Condition.wait t.idle t.lock
+      done;
+      t.current <- Some job;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.lock;
+      help t;
+      Mutex.lock t.lock;
+      while job.completed < job.total do
+        Condition.wait t.job_done t.lock
+      done;
+      Mutex.unlock t.lock;
+      match job.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let map_array ?pool f input =
+  let n = Array.length input in
+  match pool with
+  | None -> Array.map f input
+  | Some t when t.n_domains <= 1 -> Array.map f input
+  | Some t ->
+      if n = 0 then [||]
+      else begin
+        let out = Array.make n None in
+        run t ~total:n (fun i -> out.(i) <- Some (f input.(i)));
+        Array.map
+          (function Some v -> v | None -> assert false (* every index ran *))
+          out
+      end
+
+let map_list ?pool f l =
+  match pool with
+  | None -> List.map f l
+  | Some t when t.n_domains <= 1 -> List.map f l
+  | Some _ -> Array.to_list (map_array ?pool f (Array.of_list l))

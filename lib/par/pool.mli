@@ -1,0 +1,59 @@
+(** A fixed-size domain pool with a chunked work queue and deterministic
+    reduction, built on nothing but the stdlib ([Domain], [Mutex],
+    [Condition]).
+
+    The pool exists to parallelise the embarrassingly-parallel fan-outs of
+    the analysis (per-resource, per-block bound scans; per-factor
+    sensitivity sweeps) while keeping the output {e bit-identical} to the
+    sequential path: work items are indexed, each worker claims chunks of
+    indices from a shared counter, results land in an array slot keyed by
+    index, and the caller reduces that array in index order.  Scheduling
+    nondeterminism can therefore never reorder a reduction.
+
+    Concurrency contract:
+
+    - [map_array]/[map_list]/[run] may be called from several domains at
+      once; jobs are serialised through the pool one at a time.
+    - A work-item body that itself calls back into the pool (a {e nested}
+      submit) is detected and run inline on the calling domain, so nesting
+      can never deadlock — it just loses its extra parallelism.
+    - The first exception raised by a body is captured with its backtrace
+      and re-raised in the submitter once the job has drained; remaining
+      unclaimed chunks of the failed job are skipped.  The pool stays
+      usable afterwards.
+    - [shutdown] must not race with an in-flight job (structure calls with
+      {!with_pool} and this cannot happen). *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool that executes jobs on [jobs] domains in total: the submitting
+    domain plus [jobs - 1] spawned workers (clamped to [1 .. 64]).
+    [create ~jobs:1] spawns nothing and runs everything inline. *)
+
+val size : t -> int
+(** Total parallelism, spawned workers plus the submitter. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains.  Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception).  [jobs] defaults to
+    {!default_jobs}[ ()]. *)
+
+val default_jobs : unit -> int
+(** The [RTLB_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val run : t -> total:int -> (int -> unit) -> unit
+(** [run pool ~total body] executes [body 0 .. body (total - 1)], in
+    chunks, across the pool (the submitter participates).  Returns when
+    every index has run; re-raises the first exception a body raised. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; the result is in input order regardless of
+    execution order.  Without [?pool] (or on a 1-domain pool) this is
+    exactly [Array.map]. *)
+
+val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], same ordering guarantee. *)

@@ -7,4 +7,5 @@ let () =
    @ Test_synth.suite @ Test_rtfmt.suite @ Test_extensions.suite
    @ Test_flow.suite @ Test_periodic.suite @ Test_json.suite
    @ Test_simulator.suite @ Test_slack.suite @ Test_makespan.suite
-   @ Test_mutate.suite @ Test_multiunit.suite @ Test_coverage.suite)
+   @ Test_mutate.suite @ Test_multiunit.suite @ Test_coverage.suite
+   @ Test_par.suite)

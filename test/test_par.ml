@@ -1,0 +1,317 @@
+(* Tests for the parallel analysis engine: the Rtlb_par.Pool domain pool
+   itself, the prefix-sum Theta kernel against the naive summation, and
+   the headline guarantee that Analysis.run ?pool is bit-identical to the
+   sequential analysis.
+
+   Pools here are sized from RTLB_JOBS (the CI matrix runs the suite
+   once with RTLB_JOBS=4) with a floor of 4 domains, so the parallel
+   machinery is exercised even on a single-core runner. *)
+
+open Helpers
+
+let test_jobs = max 4 (Rtlb_par.Pool.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pool_ordering () =
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      List.iter
+        (fun n ->
+          let input = Array.init n (fun i -> i) in
+          let got = Rtlb_par.Pool.map_array ~pool (fun i -> (i * i) + 1) input in
+          let want = Array.map (fun i -> (i * i) + 1) input in
+          check_bool
+            (Printf.sprintf "map_array of %d in input order" n)
+            true (got = want))
+        [ 0; 1; 2; 7; 64; 1000 ];
+      let got = Rtlb_par.Pool.map_list ~pool string_of_int [ 3; 1; 2 ] in
+      Alcotest.(check (list string)) "map_list order" [ "3"; "1"; "2" ] got)
+
+let pool_uneven_work () =
+  (* Work items of very different cost still land in their slots. *)
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let spin k =
+        let acc = ref 0 in
+        for i = 1 to k * 1000 do
+          acc := !acc + (i mod 7)
+        done;
+        !acc
+      in
+      let input = Array.init 50 (fun i -> if i mod 10 = 0 then 40 else 1) in
+      let got = Rtlb_par.Pool.map_array ~pool spin input in
+      let want = Array.map spin input in
+      check_bool "uneven chunks keep ordering" true (got = want))
+
+exception Boom of int
+
+let pool_exception_propagation () =
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      (try
+         ignore
+           (Rtlb_par.Pool.map_array ~pool
+              (fun i -> if i = 57 then raise (Boom i) else i)
+              (Array.init 200 (fun i -> i)));
+         Alcotest.fail "expected the body's exception to reach the submitter"
+       with Boom 57 -> ());
+      (* the pool survives a failed job *)
+      let got =
+        Rtlb_par.Pool.map_array ~pool (fun i -> i + 1) (Array.init 10 Fun.id)
+      in
+      check_bool "pool usable after exception" true
+        (got = Array.init 10 (fun i -> i + 1)))
+
+let pool_nested_submit () =
+  (* A body that submits to the same pool must not deadlock: nested
+     submits run inline on the calling domain. *)
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let got =
+        Rtlb_par.Pool.map_array ~pool
+          (fun i ->
+            let inner =
+              Rtlb_par.Pool.map_array ~pool
+                (fun j -> i + j)
+                (Array.init 5 Fun.id)
+            in
+            Array.fold_left ( + ) 0 inner)
+          (Array.init 20 Fun.id)
+      in
+      let want = Array.init 20 (fun i -> (5 * i) + 10) in
+      check_bool "nested submits complete with correct results" true
+        (got = want))
+
+let pool_sequential_degenerate () =
+  Rtlb_par.Pool.with_pool ~jobs:1 (fun pool ->
+      let got =
+        Rtlb_par.Pool.map_array ~pool (fun i -> i * 2) (Array.init 9 Fun.id)
+      in
+      check_bool "1-domain pool runs inline" true
+        (got = Array.init 9 (fun i -> i * 2));
+      check_int "size of 1-domain pool" 1 (Rtlb_par.Pool.size pool));
+  let got = Rtlb_par.Pool.map_list string_of_int [ 1; 2 ] in
+  Alcotest.(check (list string)) "no pool means List.map" [ "1"; "2" ] got
+
+(* ------------------------------------------------------------------ *)
+(* Theta kernel vs the naive summation                                 *)
+(* ------------------------------------------------------------------ *)
+
+let paper = Rtlb.Paper_example.app
+let paper_windows = Rtlb.Est_lct.compute Rtlb.Paper_example.shared paper
+
+let kernel_matches_naive_on_paper () =
+  let est = paper_windows.Rtlb.Est_lct.est
+  and lct = paper_windows.Rtlb.Est_lct.lct in
+  List.iter
+    (fun r ->
+      let tasks = Rtlb.App.tasks_using paper r in
+      let lo = List.fold_left (fun a i -> min a est.(i)) max_int tasks in
+      let hi = List.fold_left (fun a i -> max a lct.(i)) min_int tasks in
+      for t1 = lo to hi - 1 do
+        let kernel =
+          Rtlb.Lower_bound.Theta_kernel.make ~resource:r ~est ~lct paper tasks
+            ~t1
+        in
+        for t2 = t1 + 1 to hi do
+          check_int
+            (Printf.sprintf "Theta(%s, %d, %d)" r t1 t2)
+            (Rtlb.Lower_bound.theta ~resource:r ~est ~lct paper tasks ~t1 ~t2)
+            (Rtlb.Lower_bound.Theta_kernel.eval kernel ~t2)
+        done
+      done)
+    (Rtlb.App.resource_set paper)
+
+let kernel_empty_tasks () =
+  let est = paper_windows.Rtlb.Est_lct.est
+  and lct = paper_windows.Rtlb.Est_lct.lct in
+  (* empty ST_r: the kernel must evaluate to zero demand everywhere *)
+  let kernel =
+    Rtlb.Lower_bound.Theta_kernel.make ~resource:"bogus" ~est ~lct paper []
+      ~t1:0
+  in
+  List.iter
+    (fun t2 ->
+      check_int
+        (Printf.sprintf "empty ST_r Theta(0, %d) = 0" t2)
+        0
+        (Rtlb.Lower_bound.Theta_kernel.eval kernel ~t2))
+    [ 1; 5; 36; 1000 ]
+
+let kernel_zero_length_windows () =
+  (* A milestone task (C = 0) and a task whose window has zero length
+     (E = release, L = release + 0 slack with C = 0) contribute nothing;
+     an infeasible window (E + C > L) still has a well-defined Theorem 4
+     overlap, which the mu gate cuts short — the kernel must agree. *)
+  let tasks =
+    [
+      Rtlb.Task.make ~id:0 ~compute:0 ~release:5 ~deadline:5 ~proc:"P" ();
+      Rtlb.Task.make ~id:1 ~compute:4 ~release:2 ~deadline:6 ~proc:"P" ();
+      Rtlb.Task.make ~id:2 ~compute:3 ~release:0 ~deadline:10 ~proc:"P"
+        ~preemptive:true ();
+    ]
+  in
+  let app = Rtlb.App.make ~tasks ~edges:[] in
+  (* task 1's window is squeezed below its computation time (E=2, L=5,
+     C=4) — legal for the raw est/lct arrays even though the task model
+     would reject such a deadline *)
+  let est = [| 5; 2; 0 |] and lct = [| 5; 5; 10 |] in
+  let ids = [ 0; 1; 2 ] in
+  for t1 = 0 to 9 do
+    let kernel = Rtlb.Lower_bound.Theta_kernel.make ~est ~lct app ids ~t1 in
+    for t2 = t1 + 1 to 10 do
+      check_int
+        (Printf.sprintf "edge-case Theta(%d, %d)" t1 t2)
+        (Rtlb.Lower_bound.theta ~est ~lct app ids ~t1 ~t2)
+        (Rtlb.Lower_bound.Theta_kernel.eval kernel ~t2)
+    done
+  done
+
+let kernel_prop =
+  qtest ~count:300 "Theta kernel = naive theta on random instances"
+    (arb_instance ~max_tasks:14 ()) (fun i ->
+      let system = shared_of i in
+      let w = Rtlb.Est_lct.compute system i.app in
+      let est = w.Rtlb.Est_lct.est and lct = w.Rtlb.Est_lct.lct in
+      List.for_all
+        (fun r ->
+          let tasks = Rtlb.App.tasks_using i.app r in
+          let lo = List.fold_left (fun a t -> min a est.(t)) max_int tasks in
+          let hi = List.fold_left (fun a t -> max a lct.(t)) min_int tasks in
+          tasks = [] || hi <= lo
+          || List.for_all
+               (fun t1 ->
+                 let kernel =
+                   Rtlb.Lower_bound.Theta_kernel.make ~resource:r ~est ~lct
+                     i.app tasks ~t1
+                 in
+                 List.for_all
+                   (fun t2 ->
+                     t2 <= t1
+                     || Rtlb.Lower_bound.Theta_kernel.eval kernel ~t2
+                        = Rtlb.Lower_bound.theta ~resource:r ~est ~lct i.app
+                            tasks ~t1 ~t2)
+                   [ t1 + 1; t1 + 2; (t1 + hi + 1) / 2; hi - 1; hi; hi + 3 ])
+               [ lo; lo + 1; (lo + hi) / 2; hi - 1 ])
+        (Rtlb.App.resource_set i.app))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel analysis = sequential analysis                             *)
+(* ------------------------------------------------------------------ *)
+
+let bound_equal (a : Rtlb.Lower_bound.bound) (b : Rtlb.Lower_bound.bound) =
+  a.Rtlb.Lower_bound.resource = b.Rtlb.Lower_bound.resource
+  && a.Rtlb.Lower_bound.lb = b.Rtlb.Lower_bound.lb
+  && a.Rtlb.Lower_bound.witness = b.Rtlb.Lower_bound.witness
+  && a.Rtlb.Lower_bound.partition = b.Rtlb.Lower_bound.partition
+
+let analyses_identical (a : Rtlb.Analysis.t) (b : Rtlb.Analysis.t) =
+  List.length a.Rtlb.Analysis.bounds = List.length b.Rtlb.Analysis.bounds
+  && List.for_all2 bound_equal a.Rtlb.Analysis.bounds b.Rtlb.Analysis.bounds
+  && a.Rtlb.Analysis.windows.Rtlb.Est_lct.est
+     = b.Rtlb.Analysis.windows.Rtlb.Est_lct.est
+  && a.Rtlb.Analysis.windows.Rtlb.Est_lct.lct
+     = b.Rtlb.Analysis.windows.Rtlb.Est_lct.lct
+  && a.Rtlb.Analysis.cost = b.Rtlb.Analysis.cost
+
+(* Every generator shape, 10 seeds each: 100 applications. *)
+let all_shapes =
+  [
+    Workload.Gen.Layered { layers = 4; density = 0.4 };
+    Workload.Gen.Series_parallel;
+    Workload.Gen.Fork_join { width = 4 };
+    Workload.Gen.Out_tree;
+    Workload.Gen.In_tree;
+    Workload.Gen.Gauss { size = 4 };
+    Workload.Gen.Fft { points = 8 };
+    Workload.Gen.Stencil { rows = 3; cols = 4 };
+    Workload.Gen.Chain;
+    Workload.Gen.Independent;
+  ]
+
+let parallel_equals_sequential_all_shapes () =
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      List.iter
+        (fun shape ->
+          for seed = 1 to 10 do
+            let config =
+              {
+                Workload.Gen.default with
+                Workload.Gen.shape;
+                seed;
+                n_tasks = 12 + (seed mod 3);
+                ccr = (if seed mod 2 = 0 then 0.5 else 2.0);
+                laxity = (if seed mod 3 = 0 then 1.0 else 1.4);
+                resource_types = [ ("r1", 0.4) ];
+                preemptive_fraction = (if seed mod 4 = 0 then 0.5 else 0.0);
+              }
+            in
+            let app = Workload.Gen.generate config in
+            let system = Workload.Gen.shared_system config in
+            let seq = Rtlb.Analysis.run system app in
+            let par = Rtlb.Analysis.run ~pool system app in
+            check_bool
+              (Printf.sprintf "parallel = sequential (%s, seed %d)"
+                 (Workload.Gen.shape_name shape)
+                 seed)
+              true
+              (analyses_identical seq par)
+          done)
+        all_shapes)
+
+let parallel_prop =
+  qtest ~count:100 "Analysis.run ?pool bit-identical on random instances"
+    (arb_instance ~max_tasks:14 ()) (fun i ->
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let seq = Rtlb.Analysis.run (shared_of i) i.app in
+          let par = Rtlb.Analysis.run ~pool (shared_of i) i.app in
+          analyses_identical seq par))
+
+let parallel_sensitivity () =
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let factors = [ 0.8; 0.9; 1.0; 1.25; 1.5; 2.0 ] in
+      let seq =
+        Rtlb.Sensitivity.deadline_sweep Rtlb.Paper_example.shared paper ~factors
+      in
+      let par =
+        Rtlb.Sensitivity.deadline_sweep ~pool Rtlb.Paper_example.shared paper
+          ~factors
+      in
+      check_bool "parallel sweep = sequential sweep" true (seq = par))
+
+let parallel_paper_example () =
+  Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun system ->
+          let seq = Rtlb.Analysis.run system paper in
+          let par = Rtlb.Analysis.run ~pool system paper in
+          check_bool "paper example identical on a 4-domain pool" true
+            (analyses_identical seq par))
+        [ Rtlb.Paper_example.shared; Rtlb.Paper_example.dedicated ])
+
+let suite =
+  [
+    ( "par",
+      [
+        Alcotest.test_case "pool preserves input order" `Quick pool_ordering;
+        Alcotest.test_case "pool balances uneven work" `Quick pool_uneven_work;
+        Alcotest.test_case "pool propagates exceptions" `Quick
+          pool_exception_propagation;
+        Alcotest.test_case "pool nested submit is safe" `Quick
+          pool_nested_submit;
+        Alcotest.test_case "pool sequential degenerate" `Quick
+          pool_sequential_degenerate;
+        Alcotest.test_case "kernel = naive theta (paper, exhaustive)" `Quick
+          kernel_matches_naive_on_paper;
+        Alcotest.test_case "kernel on empty ST_r" `Quick kernel_empty_tasks;
+        Alcotest.test_case "kernel on zero-length/infeasible windows" `Quick
+          kernel_zero_length_windows;
+        Alcotest.test_case "parallel analysis, paper example" `Quick
+          parallel_paper_example;
+        Alcotest.test_case "parallel = sequential on 100 generated apps"
+          `Quick parallel_equals_sequential_all_shapes;
+        Alcotest.test_case "parallel sensitivity sweep" `Quick
+          parallel_sensitivity;
+        kernel_prop;
+        parallel_prop;
+      ] );
+  ]
