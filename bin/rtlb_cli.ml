@@ -2,6 +2,7 @@
 
    Subcommands:
      analyze   run the four-step analysis on an application file
+     check     validate an application file, one diagnostic per line
      example   reproduce the paper's Section 8 example
      schedule  run the validating list scheduler on a platform
      generate  emit a synthetic application in the appfile format
@@ -59,6 +60,23 @@ let resolve_system file_system override app =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
+(* --timeout SEC: wall-clock budget for the anytime analysis.  The scans
+   stop claiming work at the deadline; whatever bounds were reached are
+   reported, flagged as partial. *)
+let timeout_arg =
+  let doc =
+    "Give the bound scans at most $(docv) seconds of wall-clock time; \
+     results cut short by the budget are flagged as partial (and carry \
+     $(b,partial: true) in JSON output)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let deadline_of = function
+  | None -> None
+  | Some sec ->
+      let budget_ns = Int64.of_float (Float.max 0.0 sec *. 1e9) in
+      Some (Int64.add (Rtlb_par.Pool.now_ns ()) budget_ns)
+
 (* ---- analyze ---------------------------------------------------- *)
 
 let analyze_cmd =
@@ -71,15 +89,17 @@ let analyze_cmd =
       & info [ "full" ]
           ~doc:"Full tabular report with criticality and demand profiles.")
   in
-  let run path override json full jobs =
+  let run path override json full jobs timeout =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
         match resolve_system system override app with
         | Error e -> `Error (false, e)
         | Ok system ->
+            let deadline_ns = deadline_of timeout in
             let analysis =
-              with_jobs jobs (fun pool -> Rtlb.Analysis.run ?pool system app)
+              with_jobs jobs (fun pool ->
+                  Rtlb.Analysis.run ?pool ?deadline_ns system app)
             in
             if json then
               print_endline (Rtfmt.Json.to_string (Rtfmt.Json.of_analysis analysis))
@@ -102,7 +122,56 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      ret (const run $ file_arg $ system_arg $ json_arg $ full_arg $ jobs_arg))
+      ret
+        (const run $ file_arg $ system_arg $ json_arg $ full_arg $ jobs_arg
+       $ timeout_arg))
+
+(* ---- check ------------------------------------------------------ *)
+
+let check_cmd =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as errors (exit 2 on W2xx).")
+  in
+  let run path strict =
+    let diags =
+      match Rtfmt.Appfile.parse_spec_file path with
+      | spec -> Rtfmt.Appfile.check spec
+      | exception Rtfmt.Appfile.Parse_error (l, m) ->
+          [
+            {
+              Rtlb.Validate.d_code = "E100";
+              d_severity = Rtlb.Validate.Error;
+              d_subject = "application";
+              d_message = m;
+              d_line = (if l > 0 then Some l else None);
+            };
+          ]
+      | exception Sys_error m ->
+          [
+            {
+              Rtlb.Validate.d_code = "E100";
+              d_severity = Rtlb.Validate.Error;
+              d_subject = "application";
+              d_message = m;
+              d_line = None;
+            };
+          ]
+    in
+    List.iter
+      (fun d -> print_endline (Rtlb.Validate.to_string ~file:path d))
+      diags;
+    if Rtlb.Validate.has_errors diags || (strict && diags <> []) then exit 2;
+    `Ok ()
+  in
+  let doc =
+    "Validate an application file: every diagnostic, one per line \
+     ($(b,FILE:LINE: CODE subject: message)).  Exit 0 when clean (or \
+     warnings only), 2 when errors are found.  Codes are stable; see \
+     docs/DIAGNOSTICS.md."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ file_arg $ strict_arg))
 
 (* ---- example ---------------------------------------------------- *)
 
@@ -121,16 +190,31 @@ let example_cmd =
 
 let schedule_cmd =
   let counts_conv =
+    let parse_kv kv =
+      match String.split_on_char '=' kv with
+      | [ k; v ] when k <> "" -> (
+          match int_of_string_opt v with
+          | Some n -> Ok (k, n)
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "in %S: %S is not an integer (expected NAME=COUNT)" kv v)))
+      | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "bad token %S: expected NAME=COUNT pairs, e.g. P1=3,r1=2" kv))
+    in
     let parse s =
-      try
-        Ok
-          (String.split_on_char ',' s
-          |> List.filter (( <> ) "")
-          |> List.map (fun kv ->
-                 match String.split_on_char '=' kv with
-                 | [ k; v ] -> (k, int_of_string v)
-                 | _ -> failwith kv))
-      with _ -> Error (`Msg (Printf.sprintf "bad counts %S" s))
+      String.split_on_char ',' s
+      |> List.filter (( <> ) "")
+      |> List.fold_left
+           (fun acc kv ->
+             Result.bind acc (fun l ->
+                 Result.map (fun p -> p :: l) (parse_kv kv)))
+           (Ok [])
+      |> Result.map List.rev
     in
     let print ppf l =
       Format.fprintf ppf "%s"
@@ -310,16 +394,18 @@ let sensitivity_cmd =
       & opt (list float) [ 0.8; 0.9; 1.0; 1.25; 1.5; 2.0; 3.0 ]
       & info [ "factors" ] ~docv:"F,F,..." ~doc)
   in
-  let run path override factors jobs =
+  let run path override factors jobs timeout =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
         match resolve_system system override app with
         | Error e -> `Error (false, e)
         | Ok system ->
+            let deadline_ns = deadline_of timeout in
             let samples =
               with_jobs jobs (fun pool ->
-                  Rtlb.Sensitivity.deadline_sweep ?pool system app ~factors)
+                  Rtlb.Sensitivity.deadline_sweep ?pool ?deadline_ns system app
+                    ~factors)
             in
             print_string (Rtlb.Sensitivity.render samples);
             `Ok ())
@@ -327,7 +413,10 @@ let sensitivity_cmd =
   let doc = "Sweep deadline tightness and report the bounds at each level." in
   Cmd.v
     (Cmd.info "sensitivity" ~doc)
-    Term.(ret (const run $ file_arg $ system_arg $ factors_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ system_arg $ factors_arg $ jobs_arg
+       $ timeout_arg))
 
 (* ---- timebound ----------------------------------------------------- *)
 
@@ -454,7 +543,7 @@ let () =
   let info = Cmd.info "rtlb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
           [
-            analyze_cmd; example_cmd; schedule_cmd; generate_cmd; dot_cmd;
-            profile_cmd; sensitivity_cmd; timebound_cmd; horn_cmd;
+            analyze_cmd; check_cmd; example_cmd; schedule_cmd; generate_cmd;
+            dot_cmd; profile_cmd; sensitivity_cmd; timebound_cmd; horn_cmd;
             critical_cmd;
           ]))

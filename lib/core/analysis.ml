@@ -4,17 +4,26 @@ type t = {
   windows : Est_lct.t;
   bounds : Lower_bound.bound list;
   cost : Cost.outcome;
+  completeness : Lower_bound.completeness;
 }
 
-let run ?pool system app =
+let run ?pool ?deadline_ns system app =
   (match System.validate_for system app with
   | Ok () -> ()
   | Error e -> invalid_arg ("Analysis.run: " ^ e));
   let windows = Est_lct.compute system app in
   let est = windows.Est_lct.est and lct = windows.Est_lct.lct in
-  let bounds = Lower_bound.all ?pool ~est ~lct app in
+  let bounds, completeness =
+    Lower_bound.all_within ?pool ?deadline_ns ~est ~lct app
+  in
   let cost = Cost.compute system app bounds in
-  { app; system; windows; bounds; cost }
+  { app; system; windows; bounds; cost; completeness }
+
+let is_partial t =
+  match t.completeness with `Partial _ -> true | `Complete -> false
+
+let coverage t =
+  match t.completeness with `Partial f -> f | `Complete -> 1.0
 
 let bound_for t r =
   match
@@ -49,6 +58,13 @@ let pp ppf t =
         t.windows.Est_lct.lct.(i))
     (App.tasks t.app);
   fprintf ppf "@,@,-- bounds --";
+  (match t.completeness with
+  | `Complete -> ()
+  | `Partial f ->
+      fprintf ppf
+        "@,PARTIAL: time budget exhausted after %.1f%% of the interval \
+         scans; bounds are valid but may be below the exhaustive values"
+        (100.0 *. f));
   let names i = (App.task t.app i).Task.name in
   List.iter
     (fun (b : Lower_bound.bound) ->

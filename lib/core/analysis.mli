@@ -8,14 +8,28 @@ type t = {
       (** Steps 2 and 3: per-resource partitions and bounds, in [RES]
           order. *)
   cost : Cost.outcome;  (** Step 4. *)
+  completeness : Lower_bound.completeness;
+      (** [`Complete] unless a [?deadline_ns] budget expired mid-scan, in
+          which case the bounds (and the cost derived from them) are
+          best-so-far: still valid lower bounds, possibly below the
+          exhaustive values. *)
 }
 
-val run : ?pool:Rtlb_par.Pool.t -> System.t -> App.t -> t
+val run : ?pool:Rtlb_par.Pool.t -> ?deadline_ns:int64 -> System.t -> App.t -> t
 (** Runs all four steps.  With [?pool], the Step 3 bound scans are
     distributed across the pool's domains ({!Lower_bound.all}); the
-    result is bit-identical to the sequential run.
+    result is bit-identical to the sequential run.  With [?deadline_ns]
+    ({!Rtlb_par.Pool.now_ns} base) the Step 3 scans stop claiming work
+    at the deadline and the result is tagged [`Partial] with its
+    coverage fraction — bit-identical to the full result whenever the
+    budget is not hit.
     @raise Invalid_argument when the system model cannot host some task
-      (see {!System.validate_for}). *)
+      (see {!System.validate_for}); run {!Validate.check} first to get
+      diagnostics instead of an exception. *)
+
+val is_partial : t -> bool
+val coverage : t -> float
+(** Fraction of interval scans that ran ([1.0] when complete). *)
 
 val bound_for : t -> string -> int
 (** [LB_r] by resource name.  @raise Not_found for a resource outside
@@ -31,4 +45,5 @@ val is_infeasible : t -> bool
     time). *)
 
 val pp : Format.formatter -> t -> unit
-(** Multi-line report: windows, partitions, bounds and cost. *)
+(** Multi-line report: windows, partitions, bounds and cost; partial
+    results are flagged. *)

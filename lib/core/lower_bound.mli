@@ -97,4 +97,23 @@ val all :
     partition order — the output (bounds, witnesses and partitions) is
     bit-identical to the sequential path. *)
 
+type completeness =
+  [ `Complete
+  | `Partial of float
+    (** Fraction of candidate-interval scans that ran before the budget
+        expired, in [\[0, 1)]. *) ]
+
+val all_within :
+  ?policy:point_policy ->
+  ?pool:Rtlb_par.Pool.t ->
+  ?deadline_ns:int64 ->
+  est:int array -> lct:int array -> App.t -> bound list * completeness
+(** Anytime variant of {!all}: the candidate-interval scans stop
+    claiming work once [deadline_ns] ({!Rtlb_par.Pool.now_ns} base)
+    passes, and the bounds reflect the best interval found so far —
+    each still a valid lower bound with a real witness, possibly below
+    the exhaustive value.  Whenever the budget is not hit the result is
+    [`Complete] and bit-identical to {!all} (which is this function
+    without a deadline). *)
+
 val pp_bound : Format.formatter -> bound -> unit

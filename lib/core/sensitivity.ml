@@ -3,6 +3,7 @@ type sample = {
   s_feasible : bool;
   s_bounds : (string * int) list;
   s_shared_cost : int option;
+  s_partial : bool;
 }
 
 let scale_deadlines app ~factor =
@@ -14,14 +15,16 @@ let scale_deadlines app ~factor =
       let floor_ = task.Task.release + task.Task.compute in
       Task.with_deadline task (max scaled floor_))
 
-let deadline_sweep ?pool system app ~factors =
+let deadline_sweep ?pool ?deadline_ns system app ~factors =
   Rtlb_par.Pool.map_list ?pool
     (fun factor ->
       let scaled = scale_deadlines app ~factor in
       (* Analysis.run is not handed the pool here: a factor's analysis
          already runs inside a pool task, where a nested submit would
-         degrade to inline execution anyway. *)
-      let analysis = Analysis.run system scaled in
+         degrade to inline execution anyway.  The deadline is global to
+         the sweep, so once the budget is gone the remaining factors
+         return immediately with trivial (but valid) partial bounds. *)
+      let analysis = Analysis.run ?deadline_ns system scaled in
       {
         s_factor = factor;
         s_feasible = not (Analysis.is_infeasible analysis);
@@ -35,6 +38,7 @@ let deadline_sweep ?pool system app ~factors =
           | Cost.Shared_cost { s_cost; _ } -> Some s_cost
           | Cost.Dedicated_cost d -> Some d.Cost.d_cost
           | Cost.No_feasible_system _ -> None);
+        s_partial = Analysis.is_partial analysis;
       })
     factors
 
@@ -58,6 +62,7 @@ let render samples =
           Buffer.add_string buf
             (Printf.sprintf "  %*d" (String.length r + 3) lb))
         s.s_bounds;
+      if s.s_partial then Buffer.add_string buf "  (partial)";
       Buffer.add_char buf '\n')
     samples;
   Buffer.contents buf

@@ -13,6 +13,9 @@ type sample = {
   s_feasible : bool;  (** Task windows all large enough. *)
   s_bounds : (string * int) list;  (** [LB_r] per resource, RES order. *)
   s_shared_cost : int option;  (** Cost bound when the system is shared. *)
+  s_partial : bool;
+      (** The analysis behind this sample hit the time budget; its bounds
+          are valid but possibly below the exhaustive values. *)
 }
 
 val scale_deadlines : App.t -> factor:float -> App.t
@@ -21,10 +24,13 @@ val scale_deadlines : App.t -> factor:float -> App.t
 
 val deadline_sweep :
   ?pool:Rtlb_par.Pool.t ->
+  ?deadline_ns:int64 ->
   System.t -> App.t -> factors:float list -> sample list
 (** One analysis per factor, in the given order.  With [?pool], factors
     are analysed concurrently (one pool task each); the sample list is
-    identical to the sequential sweep. *)
+    identical to the sequential sweep.  With [?deadline_ns]
+    ({!Rtlb_par.Pool.now_ns} base), each factor's analysis stops scanning
+    at the deadline; affected samples carry [s_partial = true]. *)
 
 val render : sample list -> string
 (** Plain-text table of the sweep. *)

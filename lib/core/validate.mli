@@ -1,0 +1,100 @@
+(** Exhaustive validation of applications and system models, producing
+    structured diagnostics instead of the first [Invalid_argument] /
+    [Failure] / [Dag.Cycle] a constructor happens to raise.
+
+    The paper's analysis rests on well-formedness assumptions it never
+    states as checks: the precedence relation is acyclic (Section 2.1),
+    every task window can hold its computation (Section 3, the Theorem 1
+    precondition [E_i + C_i <= L_i]), and every referenced processor or
+    resource exists in the system model.  The feasibility-test literature
+    (Bonifaci et al.; Kermia) treats this as a first-class analysis step;
+    this module is that step.  Unlike the smart constructors — which
+    fail fast and therefore report only the first problem, with no
+    location — validation visits {e everything} and returns a list.
+
+    Diagnostic codes are stable (golden tests and downstream tooling key
+    on them; see [docs/DIAGNOSTICS.md]):
+
+    - [E100] file does not parse / application cannot be built
+    - [E101] precedence cycle (including self-loops)
+    - [E102] infeasible window: task-level ([rel + C > D]) or after the
+      EST/LCT propagation ([E + C > L])
+    - [E103] dangling reference: edge endpoint not declared, or a
+      processor/resource the system model does not provide
+    - [E104] invalid quantity: negative compute/release/deadline/message,
+      non-positive period, offset outside [\[0, period)], zero resource
+      units, empty name
+    - [E105] duplicate task name or duplicate edge
+    - [E106] mixed periodic and one-shot tasks
+    - [W201] zero-compute task
+    - [W202] resource in the system model used by no task
+    - [W203] zero-slack task after EST/LCT (no scheduling freedom) *)
+
+type severity = Error | Warning
+
+type diag = {
+  d_code : string;  (** Stable code, ["E101"] ... ["W203"]. *)
+  d_severity : severity;
+  d_subject : string;  (** Offending task/edge/resource, or ["application"]. *)
+  d_message : string;
+  d_line : int option;  (** 1-based source line when validated from a file. *)
+}
+
+(** Pre-construction view of a task: what an application file declares,
+    before [Task.make]/[App.make] get a chance to reject it.  Produced by
+    [Rtfmt.Appfile.parse_spec] (with source lines) or {!spec_of_app}. *)
+type task_spec = {
+  ts_name : string;
+  ts_compute : int;
+  ts_release : int;  (** Offset when [ts_period] is set. *)
+  ts_deadline : int;  (** Relative to the period when [ts_period] is set. *)
+  ts_proc : string;
+  ts_demands : (string * int) list;  (** Units per resource. *)
+  ts_preemptive : bool;
+  ts_period : int option;
+  ts_line : int option;
+}
+
+type edge_spec = {
+  es_src : string;
+  es_dst : string;
+  es_message : int;
+  es_line : int option;
+}
+
+val spec_of_app : App.t -> task_spec list * edge_spec list
+(** A constructed application re-expressed as specs (no source lines) —
+    the bridge that lets {!check_spec} run over [App.t] values and lets
+    tests corrupt valid applications into invalid specs. *)
+
+val check_spec :
+  system:System.t option -> tasks:task_spec list -> edges:edge_spec list -> diag list
+(** Every spec-level check ([E101]-[E106], [W201], [W202]), exhaustively:
+    one diagnostic per offence, sorted by source line.  An empty result
+    (or warnings only) means [Task.make] + [App.make] (or
+    [Periodic.ptask] + [unroll]) will accept the input. *)
+
+val check_windows :
+  ?line_of:(string -> int option) -> system:System.t -> App.t -> diag list
+(** The post-construction phase: runs the Section 4 EST/LCT propagation
+    and reports [E102] for every task whose window cannot hold its
+    computation under any assignment, and [W203] for zero-slack tasks.
+    [line_of] maps a task name back to a source line.  Assumes the system
+    can host every task (run {!check_spec} first); if it cannot, returns
+    the [E103]s instead of raising. *)
+
+val check : ?system:System.t -> App.t -> diag list
+(** {!check_spec} on {!spec_of_app}, then — when that found no errors —
+    {!check_windows}.  [system] defaults to a uniform shared model over
+    the application's own resource set (which makes the system-reference
+    checks vacuous but keeps the window checks meaningful). *)
+
+val errors : diag list -> diag list
+val has_errors : diag list -> bool
+
+val to_string : ?file:string -> diag -> string
+(** One stable line per diagnostic, compiler style:
+    ["FILE:LINE: CODE subject: message"] (the [FILE:LINE:] prefix
+    shrinks to what is known). *)
+
+val pp_diag : Format.formatter -> diag -> unit

@@ -4,17 +4,49 @@
    concurrent submitters queue on [idle].
 
    Invariant: [current = Some job] implies [job.next < job.total] — the
-   claimer that takes the last chunk (or drains a failed job) clears
-   [current] and wakes the next submitter, while the job itself is only
-   finished once [completed = total] (its last executing chunk wakes the
-   submitter through [job_done]). *)
+   claimer that takes the last chunk (or drains a failed/expired job)
+   clears [current] and wakes the next submitter, while the job itself is
+   only finished once [completed = total] (its last executing chunk wakes
+   the submitter through [job_done]).
+
+   Cooperative cancellation: a job may carry a wall-clock deadline.  The
+   deadline is checked at every chunk claim — never mid-chunk — so a
+   chunk that started before the budget ran out always completes, and the
+   set of executed indices is a prefix of the claim order.  Skipped
+   indices are counted in [skipped] so the submitter can tell a partial
+   job from a complete one. *)
+
+module For_testing = struct
+  (* Fault-injection hooks, all triggered from tests only.  [inject] runs
+     before every work-item body (worker domains and the inline path
+     alike) and may raise or delay; [fail_spawns] makes the next N
+     [Domain.spawn] attempts in [create] fail, exercising the
+     shrink-on-spawn-failure path.  Both are set from the test domain
+     before the pool is created or the job submitted, so the
+     [Domain.spawn] / [Mutex.lock] edges order the writes. *)
+  let inject : (int -> unit) option ref = ref None
+  let fail_spawns = ref 0
+
+  let reset () =
+    inject := None;
+    fail_spawns := 0
+end
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let expired deadline_ns =
+  match deadline_ns with
+  | None -> false
+  | Some d -> Int64.compare (now_ns ()) d >= 0
 
 type job = {
   mutable next : int;  (* next unclaimed index *)
   total : int;
   chunk : int;
   body : int -> unit;
+  deadline_ns : int64 option;
   mutable completed : int;  (* indices executed or skipped *)
+  mutable skipped : int;  (* indices abandoned by failure or budget expiry *)
   mutable failed : (exn * Printexc.raw_backtrace) option;
 }
 
@@ -26,7 +58,7 @@ type t = {
   mutable current : job option;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
-  n_domains : int;
+  mutable n_domains : int;  (* actual parallelism after spawn shrink *)
 }
 
 (* True on worker domains, and on a submitter while it executes job
@@ -37,18 +69,19 @@ let inside_pool = Domain.DLS.new_key (fun () -> false)
 let size t = t.n_domains
 
 (* Must hold [t.lock].  Claims the next chunk of the current job, or
-   drains it after a failure; clears [current] (and wakes a queued
-   submitter) once the last chunk is claimed. *)
+   drains it after a failure or past its deadline; clears [current] (and
+   wakes a queued submitter) once the last chunk is claimed. *)
 let claim t =
   match t.current with
   | None -> None
   | Some job ->
-      if job.failed <> None then begin
+      if job.failed <> None || expired job.deadline_ns then begin
         (* Skip the unclaimed remainder; count it as completed so the
-           submitter's wait terminates. *)
+           submitter's wait terminates, and as skipped so it can tell. *)
         let skipped = job.total - job.next in
         job.next <- job.total;
         job.completed <- job.completed + skipped;
+        job.skipped <- job.skipped + skipped;
         t.current <- None;
         Condition.broadcast t.idle;
         if job.completed >= job.total then Condition.broadcast t.job_done;
@@ -70,6 +103,7 @@ let claim t =
 let exec_chunk t job lo hi =
   (try
      for i = lo to hi - 1 do
+       (match !For_testing.inject with Some f -> f i | None -> ());
        job.body i
      done
    with e ->
@@ -102,6 +136,13 @@ let worker t () =
   Mutex.lock t.lock;
   worker_step t
 
+let spawn_worker t =
+  if !For_testing.fail_spawns > 0 then begin
+    For_testing.fail_spawns := !For_testing.fail_spawns - 1;
+    failwith "Pool: injected Domain.spawn failure"
+  end;
+  Domain.spawn (worker t)
+
 let create ~jobs =
   let jobs = max 1 (min jobs 64) in
   let t =
@@ -116,7 +157,18 @@ let create ~jobs =
       n_domains = jobs;
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  (* Domain.spawn can fail (per-process domain limit, resource
+     exhaustion).  Keep whatever workers we actually got — worst case a
+     1-domain pool that runs everything inline — instead of raising and
+     taking the analysis down with us. *)
+  let spawned = ref [] in
+  for _ = 2 to jobs do
+    match spawn_worker t with
+    | d -> spawned := d :: !spawned
+    | exception _ -> ()
+  done;
+  t.workers <- !spawned;
+  t.n_domains <- 1 + List.length !spawned;
   t
 
 let shutdown t =
@@ -140,10 +192,21 @@ let with_pool ?jobs f =
   let t = create ~jobs:(match jobs with Some j -> j | None -> default_jobs ()) in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run_inline total body =
-  for i = 0 to total - 1 do
-    body i
-  done
+exception Budget_exhausted
+
+let run_inline ?deadline_ns total body =
+  let partial = ref false in
+  (try
+     for i = 0 to total - 1 do
+       if expired deadline_ns then begin
+         partial := true;
+         raise Budget_exhausted
+       end;
+       (match !For_testing.inject with Some f -> f i | None -> ());
+       body i
+     done
+   with Budget_exhausted when !partial -> ());
+  if !partial then `Partial else `Done
 
 (* The submitter helps execute its own job; while it does, it counts as
    inside the pool so nested submits run inline. *)
@@ -162,31 +225,44 @@ let help t =
   go ();
   Domain.DLS.set inside_pool false
 
-let run t ~total body =
-  if total > 0 then
-    if t.n_domains <= 1 || Domain.DLS.get inside_pool then run_inline total body
-    else begin
-      (* ~4 chunks per domain balances stragglers against contention on
-         the claim counter. *)
-      let chunk = max 1 (1 + ((total - 1) / (4 * t.n_domains))) in
-      let job = { next = 0; total; chunk; body; completed = 0; failed = None } in
-      Mutex.lock t.lock;
-      while t.current <> None do
-        Condition.wait t.idle t.lock
-      done;
-      t.current <- Some job;
-      Condition.broadcast t.has_work;
-      Mutex.unlock t.lock;
-      help t;
-      Mutex.lock t.lock;
-      while job.completed < job.total do
-        Condition.wait t.job_done t.lock
-      done;
-      Mutex.unlock t.lock;
-      match job.failed with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
-    end
+let run ?deadline_ns t ~total body =
+  if total <= 0 then `Done
+  else if t.n_domains <= 1 || Domain.DLS.get inside_pool then
+    run_inline ?deadline_ns total body
+  else begin
+    (* ~4 chunks per domain balances stragglers against contention on
+       the claim counter. *)
+    let chunk = max 1 (1 + ((total - 1) / (4 * t.n_domains))) in
+    let job =
+      {
+        next = 0;
+        total;
+        chunk;
+        body;
+        deadline_ns;
+        completed = 0;
+        skipped = 0;
+        failed = None;
+      }
+    in
+    Mutex.lock t.lock;
+    while t.current <> None do
+      Condition.wait t.idle t.lock
+    done;
+    t.current <- Some job;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.lock;
+    help t;
+    Mutex.lock t.lock;
+    while job.completed < job.total do
+      Condition.wait t.job_done t.lock
+    done;
+    let skipped = job.skipped in
+    Mutex.unlock t.lock;
+    match job.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> if skipped > 0 then `Partial else `Done
+  end
 
 let map_array ?pool f input =
   let n = Array.length input in
@@ -197,11 +273,24 @@ let map_array ?pool f input =
       if n = 0 then [||]
       else begin
         let out = Array.make n None in
-        run t ~total:n (fun i -> out.(i) <- Some (f input.(i)));
+        (match run t ~total:n (fun i -> out.(i) <- Some (f input.(i))) with
+        | `Done -> ()
+        | `Partial -> assert false (* no deadline, nothing can be skipped *));
         Array.map
           (function Some v -> v | None -> assert false (* every index ran *))
           out
       end
+
+let map_array_partial ?pool ?deadline_ns f input =
+  let n = Array.length input in
+  let out = Array.make n None in
+  let body i = out.(i) <- Some (f input.(i)) in
+  let status =
+    match pool with
+    | Some t -> run ?deadline_ns t ~total:n body
+    | None -> run_inline ?deadline_ns n body
+  in
+  (out, status)
 
 let map_list ?pool f l =
   match pool with

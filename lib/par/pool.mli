@@ -1,6 +1,6 @@
 (** A fixed-size domain pool with a chunked work queue and deterministic
     reduction, built on nothing but the stdlib ([Domain], [Mutex],
-    [Condition]).
+    [Condition]) plus [Unix.gettimeofday] for time budgets.
 
     The pool exists to parallelise the embarrassingly-parallel fan-outs of
     the analysis (per-resource, per-block bound scans; per-factor
@@ -21,18 +21,29 @@
       and re-raised in the submitter once the job has drained; remaining
       unclaimed chunks of the failed job are skipped.  The pool stays
       usable afterwards.
+    - Cooperative cancellation: a job submitted with [?deadline_ns] stops
+      claiming work once the deadline passes.  The check happens at chunk
+      claims only, so in-flight chunks always complete and the executed
+      indices form a prefix of the claim order; the submitter is told the
+      job was [`Partial].
     - [shutdown] must not race with an in-flight job (structure calls with
       {!with_pool} and this cannot happen). *)
 
 type t
 
 val create : jobs:int -> t
-(** A pool that executes jobs on [jobs] domains in total: the submitting
-    domain plus [jobs - 1] spawned workers (clamped to [1 .. 64]).
-    [create ~jobs:1] spawns nothing and runs everything inline. *)
+(** A pool that executes jobs on at most [jobs] domains in total: the
+    submitting domain plus up to [jobs - 1] spawned workers (clamped to
+    [1 .. 64]).  [create ~jobs:1] spawns nothing and runs everything
+    inline.  A [Domain.spawn] failure (domain limit, resource
+    exhaustion) is not fatal: the pool degrades to the workers it
+    actually got — in the worst case a sequential 1-domain pool — and
+    {!size} reports the achieved parallelism. *)
 
 val size : t -> int
-(** Total parallelism, spawned workers plus the submitter. *)
+(** Total parallelism actually available: successfully spawned workers
+    plus the submitter.  May be less than the [jobs] passed to {!create}
+    when worker spawning failed. *)
 
 val shutdown : t -> unit
 (** Stops and joins the worker domains.  Idempotent. *)
@@ -45,15 +56,47 @@ val default_jobs : unit -> int
 (** The [RTLB_JOBS] environment variable when set to a positive integer,
     otherwise [Domain.recommended_domain_count ()]. *)
 
-val run : t -> total:int -> (int -> unit) -> unit
+val now_ns : unit -> int64
+(** Wall-clock nanoseconds, the time base of every [?deadline_ns] below:
+    pass [Int64.add (now_ns ()) budget_ns]. *)
+
+val run : ?deadline_ns:int64 -> t -> total:int -> (int -> unit) -> [ `Done | `Partial ]
 (** [run pool ~total body] executes [body 0 .. body (total - 1)], in
     chunks, across the pool (the submitter participates).  Returns when
-    every index has run; re-raises the first exception a body raised. *)
+    every index has run or been abandoned; re-raises the first exception
+    a body raised.  [`Partial] means the deadline expired and at least
+    one index was skipped (never happens without [?deadline_ns]). *)
 
 val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; the result is in input order regardless of
     execution order.  Without [?pool] (or on a 1-domain pool) this is
     exactly [Array.map]. *)
 
+val map_array_partial :
+  ?pool:t ->
+  ?deadline_ns:int64 ->
+  ('a -> 'b) ->
+  'a array ->
+  'b option array * [ `Done | `Partial ]
+(** Budgeted parallel map: slots whose work item was abandoned at the
+    deadline hold [None].  With [`Done] every slot is [Some].  Executed
+    slots hold exactly what {!map_array} would have computed. *)
+
 val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel [List.map], same ordering guarantee. *)
+(** Parallel [List.map], same ordering guarantee as {!map_array}. *)
+
+(** Test-only fault injection.  Not for production use: the hooks are
+    global, unsynchronised refs that tests set before creating a pool or
+    submitting a job and clear with [reset] afterwards. *)
+module For_testing : sig
+  val inject : (int -> unit) option ref
+  (** Called with the work-item index before every body execution, on
+      worker domains and the inline path alike; may raise (exception
+      propagation paths) or sleep (budget-expiry paths). *)
+
+  val fail_spawns : int ref
+  (** The next [n] [Domain.spawn] attempts inside {!create} fail,
+      exercising the shrink-on-spawn-failure path. *)
+
+  val reset : unit -> unit
+end

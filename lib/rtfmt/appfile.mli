@@ -21,10 +21,44 @@ exception Parse_error of int * string
 
 val parse : string -> t
 (** Parse the full text of an application file.
-    @raise Parse_error on malformed input. *)
+    @raise Parse_error on malformed input — including semantic problems
+      (duplicate task names, edges between undeclared tasks, self loops,
+      duplicate edges, precedence cycles), each located at the offending
+      source line.  Never raises [Dag.Cycle] or [Invalid_argument]. *)
 
 val parse_file : string -> t
 (** @raise Parse_error and [Sys_error]. *)
+
+(** {1 Diagnostic (spec) parsing}
+
+    [parse] fails fast: the first problem aborts with an exception.  The
+    spec path instead tokenizes the file into {!Rtlb.Validate.task_spec} /
+    {!Rtlb.Validate.edge_spec} declarations — keeping source lines and
+    tolerating semantic errors — so {!check} can report {e every} problem
+    at once. *)
+
+type spec = {
+  spec_tasks : Rtlb.Validate.task_spec list;
+  spec_edges : Rtlb.Validate.edge_spec list;
+  spec_system : Rtlb.System.t option;
+  spec_source : string;  (** The original text, for the window phase. *)
+}
+
+val parse_spec : string -> spec
+(** Tokenize without constructing the application.
+    @raise Parse_error only on syntax-level problems (unknown directive,
+      malformed [key=value], non-integer fields, missing required keys). *)
+
+val parse_spec_file : string -> spec
+(** @raise Parse_error and [Sys_error]. *)
+
+val check : spec -> Rtlb.Validate.diag list
+(** {!Rtlb.Validate.check_spec} over the declarations; when that finds no
+    errors, the application is built and {!Rtlb.Validate.check_windows}
+    appends the EST/LCT-phase diagnostics (with source lines; unrolled
+    periodic jobs [t@k] report the line of the declaring task).  Anything
+    the strict parse still rejects becomes an [E100] diagnostic — this
+    function never raises on any input [parse_spec] accepts. *)
 
 val to_string : ?system:Rtlb.System.t -> Rtlb.App.t -> string
 (** Render an application (and optionally a system) in the same format;

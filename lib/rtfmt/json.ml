@@ -334,17 +334,29 @@ let of_analysis (a : Rtlb.Analysis.t) =
           ]
   in
   Obj
-    [
-      ("tasks", Int (Rtlb.App.n_tasks a.Rtlb.Analysis.app));
-      ("windows", windows);
-      ("bounds", bounds);
-      ("cost", cost);
-      ( "feasible_windows",
-        Bool
-          (match
-             Rtlb.Est_lct.feasible_windows a.Rtlb.Analysis.app
-               a.Rtlb.Analysis.windows
-           with
-          | Ok () -> true
-          | Error _ -> false) );
-    ]
+    ([
+       ("tasks", Int (Rtlb.App.n_tasks a.Rtlb.Analysis.app));
+       ("windows", windows);
+       ("bounds", bounds);
+       ("cost", cost);
+       ( "feasible_windows",
+         Bool
+           (match
+              Rtlb.Est_lct.feasible_windows a.Rtlb.Analysis.app
+                a.Rtlb.Analysis.windows
+            with
+           | Ok () -> true
+           | Error _ -> false) );
+       ("partial", Bool (Rtlb.Analysis.is_partial a));
+     ]
+    @
+    (* Coverage only when partial: its value is timing-dependent, and
+       omitting it keeps complete outputs byte-deterministic. *)
+    if Rtlb.Analysis.is_partial a then
+      [
+        ( "coverage_percent",
+          Int
+            (int_of_float
+               (Float.round (100.0 *. Rtlb.Analysis.coverage a))) );
+      ]
+    else [])

@@ -1,0 +1,7 @@
+# precedence cycle: a -> b -> c -> a (E101)
+task a compute=1 deadline=10 proc=P
+task b compute=1 deadline=10 proc=P
+task c compute=1 deadline=10 proc=P
+edge a b 0
+edge b c 0
+edge c a 0

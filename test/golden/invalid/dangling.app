@@ -1,0 +1,4 @@
+# edge to an undeclared task, and a processor the system lacks (E103)
+task a compute=1 deadline=10 proc=P2
+edge a ghost 0
+shared P1=5

@@ -1,0 +1,6 @@
+# duplicate task name and duplicate edge (E105)
+task a compute=1 deadline=10 proc=P
+task b compute=1 deadline=10 proc=P
+task a compute=2 deadline=10 proc=P
+edge a b 0
+edge a b 3

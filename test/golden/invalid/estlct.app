@@ -1,0 +1,5 @@
+# task-level windows fine; the Section 4 EST/LCT propagation squeezes
+# both endpoints of the edge below their computation times (E102)
+task a compute=5 deadline=20 proc=P
+task b compute=5 deadline=9 proc=P
+edge a b 0

@@ -1,0 +1,3 @@
+# periodic and one-shot tasks in the same file (E106)
+task fast period=5 compute=1 proc=P
+task once compute=1 deadline=10 proc=P

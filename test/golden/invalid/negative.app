@@ -1,0 +1,4 @@
+# negative compute and negative message size (E104)
+task a compute=-1 deadline=10 proc=P
+task b compute=1 deadline=10 proc=P
+edge a b -4

@@ -1,0 +1,3 @@
+# not an appfile directive at all (E100)
+task a compute=1 deadline=10 proc=P
+frobnicate the widgets

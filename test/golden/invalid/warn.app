@@ -1,0 +1,5 @@
+# warnings only: milestone task and an unused priced resource — exit 0
+task start compute=0 deadline=10 proc=P
+task work compute=4 deadline=10 proc=P
+edge start work 0
+shared P=2 r9=3

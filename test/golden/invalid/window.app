@@ -1,0 +1,3 @@
+# declared window smaller than the computation time (E102)
+task a compute=7 release=2 deadline=8 proc=P
+task b compute=1 deadline=10 proc=P

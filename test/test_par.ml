@@ -278,6 +278,167 @@ let parallel_sensitivity () =
       in
       check_bool "parallel sweep = sequential sweep" true (seq = par))
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection and graceful degradation                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_injection f =
+  Rtlb_par.Pool.For_testing.reset ();
+  Fun.protect ~finally:Rtlb_par.Pool.For_testing.reset f
+
+let pool_spawn_failure_shrinks () =
+  with_injection (fun () ->
+      Rtlb_par.Pool.For_testing.fail_spawns := 2;
+      Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
+          check_int "pool kept the workers it got" 2 (Rtlb_par.Pool.size pool);
+          let got =
+            Rtlb_par.Pool.map_array ~pool (fun i -> i * 3)
+              (Array.init 100 Fun.id)
+          in
+          check_bool "shrunk pool still correct" true
+            (got = Array.init 100 (fun i -> i * 3))))
+
+let pool_spawn_all_fail () =
+  with_injection (fun () ->
+      Rtlb_par.Pool.For_testing.fail_spawns := 64;
+      Rtlb_par.Pool.with_pool ~jobs:8 (fun pool ->
+          check_int "all spawns failed: sequential pool" 1
+            (Rtlb_par.Pool.size pool);
+          let got =
+            Rtlb_par.Pool.map_array ~pool (fun i -> i + 7)
+              (Array.init 20 Fun.id)
+          in
+          check_bool "sequential fallback correct" true
+            (got = Array.init 20 (fun i -> i + 7))))
+
+let pool_inject_raise () =
+  with_injection (fun () ->
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          Rtlb_par.Pool.For_testing.inject :=
+            Some (fun i -> if i = 57 then raise (Boom i));
+          (try
+             ignore
+               (Rtlb_par.Pool.map_array ~pool Fun.id (Array.init 200 Fun.id));
+             Alcotest.fail "expected the injected exception to propagate"
+           with Boom 57 -> ());
+          Rtlb_par.Pool.For_testing.inject := None;
+          let got =
+            Rtlb_par.Pool.map_array ~pool (fun i -> i + 1)
+              (Array.init 10 Fun.id)
+          in
+          check_bool "pool survives an injected worker fault" true
+            (got = Array.init 10 (fun i -> i + 1))))
+
+let pool_inject_delay () =
+  with_injection (fun () ->
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          Rtlb_par.Pool.For_testing.inject :=
+            Some
+              (fun _ ->
+                for k = 0 to 5_000 do
+                  ignore (Sys.opaque_identity k)
+                done);
+          let got =
+            Rtlb_par.Pool.map_array ~pool (fun i -> i * i)
+              (Array.init 64 Fun.id)
+          in
+          check_bool "slowed workers still produce correct results" true
+            (got = Array.init 64 (fun i -> i * i))))
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let far_deadline () =
+  Int64.add (Rtlb_par.Pool.now_ns ()) 60_000_000_000L (* now + 60 s *)
+
+let deadline_expired_is_partial () =
+  let input = Array.init 50 Fun.id in
+  let check_path label pool =
+    let out, status =
+      Rtlb_par.Pool.map_array_partial ?pool
+        ~deadline_ns:(Rtlb_par.Pool.now_ns ())
+        (fun i -> i)
+        input
+    in
+    check_bool (label ^ ": expired budget reports `Partial") true
+      (status = `Partial);
+    check_bool (label ^ ": nothing executed") true
+      (Array.for_all (( = ) None) out)
+  in
+  check_path "inline" None;
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      check_path "pooled" (Some pool));
+  let _, status =
+    Rtlb_par.Pool.map_array_partial ~deadline_ns:(Rtlb_par.Pool.now_ns ())
+      Fun.id [||]
+  in
+  check_bool "empty input is `Done even past the deadline" true
+    (status = `Done)
+
+let generous_deadline_is_done () =
+  let input = Array.init 200 Fun.id in
+  let want = Array.map (fun i -> Some (i * 2)) input in
+  let check_path label pool =
+    let out, status =
+      Rtlb_par.Pool.map_array_partial ?pool ~deadline_ns:(far_deadline ())
+        (fun i -> i * 2)
+        input
+    in
+    check_bool (label ^ ": generous budget completes") true (status = `Done);
+    check_bool (label ^ ": results identical to map_array") true (out = want)
+  in
+  check_path "inline" None;
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      check_path "pooled" (Some pool))
+
+let analysis_budget_expired () =
+  let run ?pool () =
+    Rtlb.Analysis.run ?pool ~deadline_ns:(Rtlb_par.Pool.now_ns ())
+      Rtlb.Paper_example.shared paper
+  in
+  let check_analysis label (a : Rtlb.Analysis.t) =
+    check_bool (label ^ ": partial") true (Rtlb.Analysis.is_partial a);
+    check_bool (label ^ ": coverage 0") true (Rtlb.Analysis.coverage a = 0.0);
+    List.iter
+      (fun (b : Rtlb.Lower_bound.bound) ->
+        check_int
+          (Printf.sprintf "%s: LB_%s trivial" label b.Rtlb.Lower_bound.resource)
+          0 b.Rtlb.Lower_bound.lb;
+        check_bool (label ^ ": no fabricated witness") true
+          (b.Rtlb.Lower_bound.witness = None))
+      a.Rtlb.Analysis.bounds
+  in
+  check_analysis "sequential" (run ());
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      check_analysis "pooled" (run ~pool ()))
+
+let analysis_budget_generous_bit_identical () =
+  let baseline = Rtlb.Analysis.run Rtlb.Paper_example.shared paper in
+  let seq =
+    Rtlb.Analysis.run ~deadline_ns:(far_deadline ()) Rtlb.Paper_example.shared
+      paper
+  in
+  check_bool "generous budget is `Complete" false (Rtlb.Analysis.is_partial seq);
+  check_bool "generous budget bit-identical (sequential)" true
+    (analyses_identical baseline seq);
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let par =
+        Rtlb.Analysis.run ~pool ~deadline_ns:(far_deadline ())
+          Rtlb.Paper_example.shared paper
+      in
+      check_bool "generous budget bit-identical (pooled)" true
+        (analyses_identical baseline par))
+
+let sensitivity_budget_expired () =
+  let samples =
+    Rtlb.Sensitivity.deadline_sweep
+      ~deadline_ns:(Rtlb_par.Pool.now_ns ())
+      Rtlb.Paper_example.shared paper ~factors:[ 1.0; 2.0 ]
+  in
+  check_bool "every sample flagged partial" true
+    (List.for_all (fun s -> s.Rtlb.Sensitivity.s_partial) samples)
+
 let parallel_paper_example () =
   Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
       List.iter
@@ -300,6 +461,24 @@ let suite =
           pool_nested_submit;
         Alcotest.test_case "pool sequential degenerate" `Quick
           pool_sequential_degenerate;
+        Alcotest.test_case "pool shrinks on spawn failure" `Quick
+          pool_spawn_failure_shrinks;
+        Alcotest.test_case "pool degrades to sequential when no spawn works"
+          `Quick pool_spawn_all_fail;
+        Alcotest.test_case "pool propagates injected worker faults" `Quick
+          pool_inject_raise;
+        Alcotest.test_case "pool correct under injected delays" `Quick
+          pool_inject_delay;
+        Alcotest.test_case "expired deadline yields `Partial" `Quick
+          deadline_expired_is_partial;
+        Alcotest.test_case "generous deadline yields `Done, identical" `Quick
+          generous_deadline_is_done;
+        Alcotest.test_case "anytime analysis: expired budget" `Quick
+          analysis_budget_expired;
+        Alcotest.test_case "anytime analysis: generous budget bit-identical"
+          `Quick analysis_budget_generous_bit_identical;
+        Alcotest.test_case "anytime sensitivity flags partial samples" `Quick
+          sensitivity_budget_expired;
         Alcotest.test_case "kernel = naive theta (paper, exhaustive)" `Quick
           kernel_matches_naive_on_paper;
         Alcotest.test_case "kernel on empty ST_r" `Quick kernel_empty_tasks;

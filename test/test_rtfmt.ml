@@ -88,9 +88,9 @@ let parse_errors () =
   expect_error ~line:1 "bogus directive\n";
   expect_error ~line:2 "task A compute=1 deadline=5 proc=P\nedge A missing 3\n";
   expect_error ~line:1 "edge A B\n";
-  expect_error ~line:0 "task A compute=9 deadline=5 proc=P\n";
-  (* infeasible task reported via task check *)
-  expect_error ~line:0
+  expect_error ~line:1 "task A compute=9 deadline=5 proc=P\n";
+  (* infeasible task reported via task check, at the task's own line *)
+  expect_error ~line:2
     "task A compute=1 deadline=5 proc=P\n\
      task A compute=1 deadline=5 proc=P\n"
 
