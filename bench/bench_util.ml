@@ -7,11 +7,13 @@ let section title =
 
 let subsection title = Printf.printf "\n-- %s --\n" title
 
+(* Monotonic (Rtlb_obs.Clock), not gettimeofday: wall-clock steps must
+   not distort benchmark timings. *)
 let time_ms f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
-  (result, (t1 -. t0) *. 1000.0)
+  let t1 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e6)
 
 (* Run a list of (name, thunk) micro-benchmarks under bechamel and return
    [(name, ns_per_run)] in input order. *)

@@ -869,6 +869,10 @@ let parallel_scaling () =
           domain_counts
       @ [ "identical" ])
   in
+  (* Per-phase breakdown of one traced sequential run: where inside
+     Analysis.run the time goes (spans from the observability layer). *)
+  let phase_names = [ "est_lct"; "lower_bounds"; "plan"; "reduce"; "cost" ] in
+  let phases_t = Rtfmt.Table.create ("tasks" :: List.map (fun p -> p ^ " ms") phase_names) in
   let json_workloads =
     List.map
       (fun n ->
@@ -884,6 +888,15 @@ let parallel_scaling () =
         let system = Workload.Gen.shared_system config in
         let reference = Rtlb.Analysis.run system app in
         let seq_ms = best_of 5 (fun () -> Rtlb.Analysis.run system app) in
+        let tracer = Rtlb_obs.Tracer.make () in
+        let _ = Rtlb.Analysis.run ~tracer system app in
+        let stats = Rtlb_obs.Stats.of_tracer tracer in
+        let phase_ms p =
+          Int64.to_float (Rtlb_obs.Stats.span_total_ns stats p) /. 1e6
+        in
+        Rtfmt.Table.add_row phases_t
+          (string_of_int n
+          :: List.map (fun p -> Printf.sprintf "%.3f" (phase_ms p)) phase_names);
         let identical = ref true in
         let curve =
           List.map
@@ -916,6 +929,12 @@ let parallel_scaling () =
             ("tasks", Rtfmt.Json.Int n);
             ("seq_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" seq_ms));
             ("identical", Rtfmt.Json.Bool !identical);
+            ( "phases",
+              Rtfmt.Json.Obj
+                (List.map
+                   (fun p ->
+                     (p, Rtfmt.Json.Str (Printf.sprintf "%.3f" (phase_ms p))))
+                   phase_names) );
             ( "curve",
               Rtfmt.Json.List
                 (List.map
@@ -933,6 +952,9 @@ let parallel_scaling () =
       [ 10; 20; 40; 80 ]
   in
   Rtfmt.Table.print t;
+  Bench_util.subsection
+    "per-phase breakdown of one traced sequential run (span totals)";
+  Rtfmt.Table.print phases_t;
   let json =
     Rtfmt.Json.Obj
       [

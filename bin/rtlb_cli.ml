@@ -77,6 +77,48 @@ let deadline_of = function
       let budget_ns = Int64.of_float (Float.max 0.0 sec *. 1e9) in
       Some (Int64.add (Rtlb_par.Pool.now_ns ()) budget_ns)
 
+(* ---- observability ---------------------------------------------- *)
+
+(* --trace FILE / --stats build one tracer shared by the whole run.
+   RTLB_FAKE_CLOCK=1 swaps in the deterministic fake clock — a test
+   hook (the golden trace output is byte-stable under it), documented
+   in docs/OBSERVABILITY.md. *)
+let trace_arg =
+  let doc =
+    "Write the run as Chrome trace_event JSON to $(docv) (open in \
+     chrome://tracing or ui.perfetto.dev); $(b,-) writes to stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observability summary (span totals, analysis \
+           counters, per-worker chunk accounting); with $(b,--json), a \
+           $(b,stats) object is appended to the JSON output instead.")
+
+let tracer_for ~trace ~stats =
+  if trace = None && not stats then None
+  else
+    let clock =
+      match Sys.getenv_opt "RTLB_FAKE_CLOCK" with
+      | None | Some "" | Some "0" -> Rtlb_obs.Clock.monotonic
+      | Some _ -> Rtlb_obs.Clock.fake ()
+    in
+    Some (Rtlb_obs.Tracer.make ~clock ())
+
+let write_trace trace tracer =
+  match (trace, tracer) with
+  | None, _ | _, None -> ()
+  | Some "-", Some tr -> print_string (Rtlb_obs.Trace_event.to_string tr)
+  | Some file, Some tr ->
+      let oc = open_out file in
+      output_string oc (Rtlb_obs.Trace_event.to_string tr);
+      close_out oc;
+      Printf.printf "wrote trace to %s\n" file
+
 (* ---- analyze ---------------------------------------------------- *)
 
 let analyze_cmd =
@@ -89,7 +131,7 @@ let analyze_cmd =
       & info [ "full" ]
           ~doc:"Full tabular report with criticality and demand profiles.")
   in
-  let run path override json full jobs timeout =
+  let run path override json full jobs timeout trace stats =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
@@ -97,25 +139,40 @@ let analyze_cmd =
         | Error e -> `Error (false, e)
         | Ok system ->
             let deadline_ns = deadline_of timeout in
+            let tracer = tracer_for ~trace ~stats in
             let analysis =
               with_jobs jobs (fun pool ->
-                  Rtlb.Analysis.run ?pool ?deadline_ns system app)
+                  Rtlb.Analysis.run ?pool ?deadline_ns ?tracer system app)
             in
+            let summary = Option.map Rtlb_obs.Stats.of_tracer tracer in
             if json then
-              print_endline (Rtfmt.Json.to_string (Rtfmt.Json.of_analysis analysis))
-            else if full then
-              print_string
-                (Rtfmt.Report.render
-                   ~demand_windows:(max 1 (Rtlb.App.horizon app / 8))
-                   analysis)
+              print_endline
+                (Rtfmt.Json.to_string
+                   (Rtfmt.Json.of_analysis
+                      ?stats:(if stats then summary else None)
+                      analysis))
             else begin
-              Format.printf "%a@." Rtlb.Analysis.pp analysis;
-              match Rtlb.Est_lct.feasible_windows app
-                      analysis.Rtlb.Analysis.windows with
-              | Ok () -> ()
-              | Error e ->
-                  Format.printf "NOTE: application infeasible on this model: %s@." e
+              if full then
+                print_string
+                  (Rtfmt.Report.render
+                     ~demand_windows:(max 1 (Rtlb.App.horizon app / 8))
+                     analysis)
+              else begin
+                Format.printf "%a@." Rtlb.Analysis.pp analysis;
+                match Rtlb.Est_lct.feasible_windows app
+                        analysis.Rtlb.Analysis.windows with
+                | Ok () -> ()
+                | Error e ->
+                    Format.printf
+                      "NOTE: application infeasible on this model: %s@." e
+              end;
+              match (stats, summary) with
+              | true, Some s ->
+                  print_newline ();
+                  print_string (Rtfmt.Stats_render.render s)
+              | _ -> ()
             end;
+            write_trace trace tracer;
             `Ok ())
   in
   let doc = "Run the lower-bound analysis on an application file." in
@@ -124,7 +181,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ file_arg $ system_arg $ json_arg $ full_arg $ jobs_arg
-       $ timeout_arg))
+       $ timeout_arg $ trace_arg $ stats_arg))
 
 (* ---- check ------------------------------------------------------ *)
 

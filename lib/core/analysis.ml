@@ -7,17 +7,26 @@ type t = {
   completeness : Lower_bound.completeness;
 }
 
-let run ?pool ?deadline_ns system app =
-  (match System.validate_for system app with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Analysis.run: " ^ e));
-  let windows = Est_lct.compute system app in
-  let est = windows.Est_lct.est and lct = windows.Est_lct.lct in
-  let bounds, completeness =
-    Lower_bound.all_within ?pool ?deadline_ns ~est ~lct app
-  in
-  let cost = Cost.compute system app bounds in
-  { app; system; windows; bounds; cost; completeness }
+let run ?pool ?deadline_ns ?tracer system app =
+  let tr = Option.value tracer ~default:Rtlb_obs.Tracer.null in
+  Rtlb_obs.Tracer.with_span tr "analyze" (fun () ->
+      (match System.validate_for system app with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Analysis.run: " ^ e));
+      let windows =
+        Rtlb_obs.Tracer.with_span tr "est_lct" (fun () ->
+            Est_lct.compute system app)
+      in
+      let est = windows.Est_lct.est and lct = windows.Est_lct.lct in
+      let bounds, completeness =
+        Rtlb_obs.Tracer.with_span tr "lower_bounds" (fun () ->
+            Lower_bound.all_within ?pool ?deadline_ns ?tracer ~est ~lct app)
+      in
+      let cost =
+        Rtlb_obs.Tracer.with_span tr "cost" (fun () ->
+            Cost.compute system app bounds)
+      in
+      { app; system; windows; bounds; cost; completeness })
 
 let is_partial t =
   match t.completeness with `Partial _ -> true | `Complete -> false

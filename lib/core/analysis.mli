@@ -15,7 +15,11 @@ type t = {
           exhaustive values. *)
 }
 
-val run : ?pool:Rtlb_par.Pool.t -> ?deadline_ns:int64 -> System.t -> App.t -> t
+val run :
+  ?pool:Rtlb_par.Pool.t ->
+  ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
+  System.t -> App.t -> t
 (** Runs all four steps.  With [?pool], the Step 3 bound scans are
     distributed across the pool's domains ({!Lower_bound.all}); the
     result is bit-identical to the sequential run.  With [?deadline_ns]
@@ -23,6 +27,13 @@ val run : ?pool:Rtlb_par.Pool.t -> ?deadline_ns:int64 -> System.t -> App.t -> t
     at the deadline and the result is tagged [`Partial] with its
     coverage fraction — bit-identical to the full result whenever the
     budget is not hit.
+
+    With [?tracer] ({!Rtlb_obs.Tracer}) the run is instrumented: an
+    ["analyze"] root span with ["est_lct"] / ["lower_bounds"] / ["cost"]
+    phase children, the scan-level spans and counters of
+    {!Lower_bound.all_within}, and per-worker chunk accounting from the
+    pool.  The default is the zero-cost no-op tracer, and a traced run
+    returns bit-identical results — tracing is observation only.
     @raise Invalid_argument when the system model cannot host some task
       (see {!System.validate_for}); run {!Validate.check} first to get
       diagnostics instead of an exception. *)

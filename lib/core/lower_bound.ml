@@ -253,8 +253,20 @@ let scan_plan ?policy ~est ~lct app =
   in
   (pointed, work)
 
-let all_within ?policy ?pool ?deadline_ns ~est ~lct app =
-  let pointed, work = scan_plan ?policy ~est ~lct app in
+let all_within ?policy ?pool ?deadline_ns ?tracer ~est ~lct app =
+  let tr = Option.value tracer ~default:Rtlb_obs.Tracer.null in
+  let pointed, work =
+    Rtlb_obs.Tracer.with_span tr "plan" (fun () ->
+        scan_plan ?policy ~est ~lct app)
+  in
+  (* Counters are write-only telemetry: planned intervals counted here,
+     executed evaluations counted inside the work-item body, so the two
+     agree exactly when no deadline cut the scan short. *)
+  if Rtlb_obs.Tracer.enabled tr then
+    Rtlb_obs.Tracer.add tr Rtlb_obs.Tracer.Candidate_intervals
+      (Array.fold_left
+         (fun acc (_, _, pts, a) -> acc + (Array.length pts - 1 - a))
+         0 work);
   (* Results come back slotted by index and are folded in exactly the
      sequential order — merge_scans is associative and tie-breaks on the
      earlier item, so bounds, witnesses and partitions are bit-identical
@@ -262,8 +274,16 @@ let all_within ?policy ?pool ?deadline_ns ~est ~lct app =
      the deadline fold as `no improvement', leaving the best bound found
      so far: still a valid lower bound, every witness still real. *)
   let scanned, _status =
-    Rtlb_par.Pool.map_array_partial ?pool ?deadline_ns
-      (fun (r, block, pts, a) -> scan_from ~resource:r ~est ~lct app block pts a)
+    Rtlb_par.Pool.map_array_partial ?pool ?deadline_ns ~tracer:tr
+      (fun (r, block, pts, a) ->
+        let scan = scan_from ~resource:r ~est ~lct app block pts a in
+        if Rtlb_obs.Tracer.enabled tr then begin
+          Rtlb_obs.Tracer.add tr Rtlb_obs.Tracer.Tasks_scanned
+            (List.length block);
+          Rtlb_obs.Tracer.add tr Rtlb_obs.Tracer.Theta_evals
+            (Array.length pts - 1 - a)
+        end;
+        scan)
       work
   in
   let items (_, _, blocks) =
@@ -273,21 +293,22 @@ let all_within ?policy ?pool ?deadline_ns ~est ~lct app =
   in
   let next = ref 0 and executed = ref 0 in
   let bounds =
-    List.map
-      (fun ((r, partition, _) as unit) ->
-        let count = items unit in
-        let acc = ref (0, None) in
-        for i = !next to !next + count - 1 do
-          match scanned.(i) with
-          | Some scan ->
-              incr executed;
-              acc := merge_scans !acc scan
-          | None -> ()
-        done;
-        next := !next + count;
-        let lb, witness = !acc in
-        { resource = r; lb; witness; partition })
-      pointed
+    Rtlb_obs.Tracer.with_span tr "reduce" (fun () ->
+        List.map
+          (fun ((r, partition, _) as unit) ->
+            let count = items unit in
+            let acc = ref (0, None) in
+            for i = !next to !next + count - 1 do
+              match scanned.(i) with
+              | Some scan ->
+                  incr executed;
+                  acc := merge_scans !acc scan
+              | None -> ()
+            done;
+            next := !next + count;
+            let lb, witness = !acc in
+            { resource = r; lb; witness; partition })
+          pointed)
   in
   let total = Array.length work in
   let completeness =
@@ -296,8 +317,8 @@ let all_within ?policy ?pool ?deadline_ns ~est ~lct app =
   in
   (bounds, completeness)
 
-let all ?policy ?pool ~est ~lct app =
-  fst (all_within ?policy ?pool ~est ~lct app)
+let all ?policy ?pool ?tracer ~est ~lct app =
+  fst (all_within ?policy ?pool ?tracer ~est ~lct app)
 
 let pp_bound ppf b =
   Format.fprintf ppf "LB_%s = %d" b.resource b.lb;

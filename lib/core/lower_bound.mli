@@ -90,12 +90,18 @@ val for_resource_unpartitioned :
 val all :
   ?policy:point_policy ->
   ?pool:Rtlb_par.Pool.t ->
+  ?tracer:Rtlb_obs.Tracer.t ->
   est:int array -> lct:int array -> App.t -> bound list
 (** One bound per element of the application's [RES], in [RES] order.
     With [?pool], every (resource, partition block) scan is fanned out
     across the pool's domains and the per-resource results are merged in
     partition order — the output (bounds, witnesses and partitions) is
-    bit-identical to the sequential path. *)
+    bit-identical to the sequential path.
+
+    With [?tracer], the scan is instrumented: ["plan"] and ["reduce"]
+    spans, per-chunk worker spans via the pool, and the
+    [Tasks_scanned] / [Candidate_intervals] / [Theta_evals] counters
+    (see {!Rtlb_obs.Tracer}).  Tracing does not change the result. *)
 
 type completeness =
   [ `Complete
@@ -107,6 +113,7 @@ val all_within :
   ?policy:point_policy ->
   ?pool:Rtlb_par.Pool.t ->
   ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
   est:int array -> lct:int array -> App.t -> bound list * completeness
 (** Anytime variant of {!all}: the candidate-interval scans stop
     claiming work once [deadline_ns] ({!Rtlb_par.Pool.now_ns} base)

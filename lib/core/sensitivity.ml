@@ -15,7 +15,8 @@ let scale_deadlines app ~factor =
       let floor_ = task.Task.release + task.Task.compute in
       Task.with_deadline task (max scaled floor_))
 
-let deadline_sweep ?pool ?deadline_ns system app ~factors =
+let deadline_sweep ?pool ?deadline_ns ?tracer system app ~factors =
+  let tr = Option.value tracer ~default:Rtlb_obs.Tracer.null in
   Rtlb_par.Pool.map_list ?pool
     (fun factor ->
       let scaled = scale_deadlines app ~factor in
@@ -24,7 +25,14 @@ let deadline_sweep ?pool ?deadline_ns system app ~factors =
          degrade to inline execution anyway.  The deadline is global to
          the sweep, so once the budget is gone the remaining factors
          return immediately with trivial (but valid) partial bounds. *)
-      let analysis = Analysis.run ?deadline_ns system scaled in
+      let analyse () = Analysis.run ?deadline_ns ?tracer system scaled in
+      let analysis =
+        if Rtlb_obs.Tracer.enabled tr then
+          Rtlb_obs.Tracer.with_span tr
+            (Printf.sprintf "factor %g" factor)
+            analyse
+        else analyse ()
+      in
       {
         s_factor = factor;
         s_feasible = not (Analysis.is_infeasible analysis);

@@ -25,12 +25,16 @@ val scale_deadlines : App.t -> factor:float -> App.t
 val deadline_sweep :
   ?pool:Rtlb_par.Pool.t ->
   ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
   System.t -> App.t -> factors:float list -> sample list
 (** One analysis per factor, in the given order.  With [?pool], factors
     are analysed concurrently (one pool task each); the sample list is
     identical to the sequential sweep.  With [?deadline_ns]
     ({!Rtlb_par.Pool.now_ns} base), each factor's analysis stops scanning
-    at the deadline; affected samples carry [s_partial = true]. *)
+    at the deadline; affected samples carry [s_partial = true].  With
+    [?tracer], each factor's analysis runs inside a ["factor F"] span
+    (on whichever domain analysed it) with the usual per-phase children;
+    results are unchanged. *)
 
 val render : sample list -> string
 (** Plain-text table of the sweep. *)

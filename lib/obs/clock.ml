@@ -1,0 +1,20 @@
+external monotonic_ns : unit -> int64 = "rtlb_obs_monotonic_ns"
+
+type fake = { lock : Mutex.t; mutable now : int64; step : int64 }
+type t = Monotonic | Fake of fake
+
+let monotonic = Monotonic
+
+let fake ?(start = 0L) ?(step = 1_000L) () =
+  Fake { lock = Mutex.create (); now = start; step }
+
+let now_ns = function
+  | Monotonic -> monotonic_ns ()
+  | Fake f ->
+      Mutex.lock f.lock;
+      let v = f.now in
+      f.now <- Int64.add f.now f.step;
+      Mutex.unlock f.lock;
+      v
+
+let is_fake = function Fake _ -> true | Monotonic -> false

@@ -1,0 +1,29 @@
+(** Injectable monotonic time source.
+
+    Everything in the observability layer (span timestamps, stats
+    durations) and every time budget in the analysis engine
+    ([?deadline_ns]) reads time through a [Clock.t].  Production code
+    uses {!monotonic} — [clock_gettime(CLOCK_MONOTONIC)] via a C stub —
+    which cannot jump when NTP steps the wall clock.  Tests inject
+    {!fake}, a deterministic counter, so golden trace outputs are
+    byte-stable. *)
+
+type t
+
+val monotonic : t
+(** The OS monotonic clock.  The epoch is unspecified (boot time on
+    Linux); only differences and comparisons against values from the
+    same clock are meaningful. *)
+
+val fake : ?start:int64 -> ?step:int64 -> unit -> t
+(** A deterministic clock for tests: the first read returns [start]
+    (default [0L]) and every read advances it by [step] (default
+    [1_000L] ns, i.e. one microsecond per observation).  Reads are
+    serialised by a mutex, so a fake clock shared across domains still
+    hands out distinct, increasing timestamps — though the interleaving
+    is only deterministic single-domain. *)
+
+val now_ns : t -> int64
+(** Current time in nanoseconds. *)
+
+val is_fake : t -> bool

@@ -1,0 +1,19 @@
+/* Monotonic clock stub for Rtlb_obs.Clock.
+
+   CLOCK_MONOTONIC is immune to NTP steps and settimeofday, which is
+   the whole point: the analysis deadlines and trace timestamps must
+   never jump backwards or leap forward.  (gettimeofday, which the
+   domain pool used before this stub existed, is wall-clock time and
+   does both.) */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value rtlb_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                         + (int64_t)ts.tv_nsec);
+}

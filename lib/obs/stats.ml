@@ -1,0 +1,40 @@
+type span_line = { sl_name : string; sl_count : int; sl_total_ns : int64 }
+
+type t = {
+  spans : span_line list;
+  counters : (string * int) list;
+  workers : (int * int * int) list;
+}
+
+let of_tracer tracer =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Tracer.event) ->
+      let count, total =
+        Option.value
+          (Hashtbl.find_opt by_name ev.Tracer.ev_name)
+          ~default:(0, 0L)
+      in
+      Hashtbl.replace by_name ev.Tracer.ev_name
+        (count + 1, Int64.add total ev.Tracer.ev_dur_ns))
+    (Tracer.events tracer);
+  let spans =
+    Hashtbl.fold
+      (fun name (count, total) acc ->
+        { sl_name = name; sl_count = count; sl_total_ns = total } :: acc)
+      by_name []
+    |> List.sort (fun a b -> String.compare a.sl_name b.sl_name)
+  in
+  {
+    spans;
+    counters =
+      List.map
+        (fun c -> (Tracer.counter_name c, Tracer.counter tracer c))
+        Tracer.all_counters;
+    workers = Tracer.worker_stats tracer;
+  }
+
+let span_total_ns t name =
+  match List.find_opt (fun l -> String.equal l.sl_name name) t.spans with
+  | Some l -> l.sl_total_ns
+  | None -> 0L

@@ -1,0 +1,26 @@
+(** In-memory summary sink: aggregate a tracer's spans, counters and
+    per-worker chunk table into plain data that reports (CLI `--stats`,
+    bench breakdowns, JSON output) can render.
+
+    All orderings are deterministic — span lines sorted by name,
+    counters in glossary order, workers by tid — so a summary of a
+    fake-clock run is byte-stable. *)
+
+type span_line = {
+  sl_name : string;
+  sl_count : int;  (** Spans recorded under this name. *)
+  sl_total_ns : int64;  (** Sum of their durations. *)
+}
+
+type t = {
+  spans : span_line list;  (** Sorted by name. *)
+  counters : (string * int) list;
+      (** Every counter of the glossary, {!Tracer.all_counters} order. *)
+  workers : (int * int * int) list;
+      (** Per-worker [(tid, chunks_claimed, items_executed)]. *)
+}
+
+val of_tracer : Tracer.t -> t
+
+val span_total_ns : t -> string -> int64
+(** Total duration recorded under a span name ([0L] when absent). *)

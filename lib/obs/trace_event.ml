@@ -1,0 +1,88 @@
+(* The writer emits JSON by hand: this library sits below Rtfmt, so it
+   cannot reuse Rtfmt.Json — and the trace_event subset is tiny (string
+   and integer fields only, one event object per line). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome expects ts/dur in microseconds. *)
+let us ns = Int64.to_int (Int64.div ns 1_000L)
+
+let to_string ?(process_name = "rtlb") tracer =
+  let events =
+    List.sort
+      (fun (a : Tracer.event) (b : Tracer.event) ->
+        compare
+          (a.Tracer.ev_ts_ns, a.Tracer.ev_tid, a.Tracer.ev_name)
+          (b.Tracer.ev_ts_ns, b.Tracer.ev_tid, b.Tracer.ev_name))
+      (Tracer.events tracer)
+  in
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun (e : Tracer.event) -> e.Tracer.ev_tid) events
+      @ List.map (fun (tid, _, _) -> tid) (Tracer.worker_stats tracer))
+  in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf "    ";
+    Buffer.add_string buf line
+  in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n";
+  emit
+    (Printf.sprintf
+       "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"ts\": 0, \"name\": \
+        \"process_name\", \"args\": {\"name\": \"%s\"}}"
+       (escape process_name));
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"ts\": 0, \"name\": \
+            \"thread_name\", \"args\": {\"name\": \"domain %d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun (e : Tracer.event) ->
+      emit
+        (Printf.sprintf
+           "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %d, \"dur\": \
+            %d, \"cat\": \"rtlb\", \"name\": \"%s\"}"
+           e.Tracer.ev_tid
+           (us e.Tracer.ev_ts_ns)
+           (us e.Tracer.ev_dur_ns)
+           (escape e.Tracer.ev_name)))
+    events;
+  (* Final counter snapshot, stamped at the end of the last span. *)
+  let end_ts =
+    List.fold_left
+      (fun acc (e : Tracer.event) ->
+        max acc (us (Int64.add e.Tracer.ev_ts_ns e.Tracer.ev_dur_ns)))
+      0 events
+  in
+  emit
+    (Printf.sprintf
+       "{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": %d, \"name\": \
+        \"counters\", \"args\": {%s}}"
+       end_ts
+       (String.concat ", "
+          (List.map
+             (fun c ->
+               Printf.sprintf "\"%s\": %d" (Tracer.counter_name c)
+                 (Tracer.counter tracer c))
+             Tracer.all_counters)));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

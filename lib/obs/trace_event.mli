@@ -1,0 +1,15 @@
+(** Chrome [trace_event] JSON sink.
+
+    {!to_string} serialises a tracer into the JSON object format that
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto} load
+    directly: a ["traceEvents"] array of metadata ([ph = "M"]: process
+    and thread names), complete spans ([ph = "X"] with [ts]/[dur] in
+    microseconds) and a final counter snapshot ([ph = "C"]).  Every
+    event carries the [ph]/[ts]/[pid]/[tid] fields the viewers require.
+
+    The emitted text is plain integer JSON — parseable by
+    [Rtfmt.Json.parse] — and events are sorted by (start, tid, name),
+    so a fake-clock trace is byte-deterministic. *)
+
+val to_string : ?process_name:string -> Tracer.t -> string
+(** [process_name] defaults to ["rtlb"]. *)

@@ -1,0 +1,137 @@
+type counter =
+  | Tasks_scanned
+  | Candidate_intervals
+  | Theta_evals
+  | Chunks_claimed
+  | Deadline_cancels
+
+let n_counters = 5
+
+let counter_index = function
+  | Tasks_scanned -> 0
+  | Candidate_intervals -> 1
+  | Theta_evals -> 2
+  | Chunks_claimed -> 3
+  | Deadline_cancels -> 4
+
+let counter_name = function
+  | Tasks_scanned -> "tasks_scanned"
+  | Candidate_intervals -> "candidate_intervals"
+  | Theta_evals -> "theta_evals"
+  | Chunks_claimed -> "chunks_claimed"
+  | Deadline_cancels -> "deadline_cancellations"
+
+let all_counters =
+  [
+    Tasks_scanned; Candidate_intervals; Theta_evals; Chunks_claimed;
+    Deadline_cancels;
+  ]
+
+type event = {
+  ev_name : string;
+  ev_tid : int;
+  ev_ts_ns : int64;
+  ev_dur_ns : int64;
+}
+
+type worker_stat = { mutable ws_chunks : int; mutable ws_items : int }
+
+type t = {
+  enabled : bool;
+  t_clock : Clock.t;
+  lock : Mutex.t;
+  mutable events_rev : event list;
+  counters : int Atomic.t array;
+  workers : (int, worker_stat) Hashtbl.t;
+}
+
+(* The single disabled tracer.  Its arrays are empty: every accessor
+   below branches on [enabled] before touching them. *)
+let null =
+  {
+    enabled = false;
+    t_clock = Clock.monotonic;
+    lock = Mutex.create ();
+    events_rev = [];
+    counters = [||];
+    workers = Hashtbl.create 1;
+  }
+
+let make ?(clock = Clock.monotonic) () =
+  {
+    enabled = true;
+    t_clock = clock;
+    lock = Mutex.create ();
+    events_rev = [];
+    counters = Array.init n_counters (fun _ -> Atomic.make 0);
+    workers = Hashtbl.create 8;
+  }
+
+let enabled t = t.enabled
+let clock t = t.t_clock
+let tid () = (Domain.self () :> int)
+
+let add t c n =
+  if t.enabled && n <> 0 then
+    ignore (Atomic.fetch_and_add t.counters.(counter_index c) n)
+
+let counter t c =
+  if t.enabled then Atomic.get t.counters.(counter_index c) else 0
+
+let record_chunk t ~items =
+  if t.enabled then begin
+    ignore (Atomic.fetch_and_add t.counters.(counter_index Chunks_claimed) 1);
+    let id = tid () in
+    Mutex.lock t.lock;
+    let ws =
+      match Hashtbl.find_opt t.workers id with
+      | Some ws -> ws
+      | None ->
+          let ws = { ws_chunks = 0; ws_items = 0 } in
+          Hashtbl.add t.workers id ws;
+          ws
+    in
+    ws.ws_chunks <- ws.ws_chunks + 1;
+    ws.ws_items <- ws.ws_items + items;
+    Mutex.unlock t.lock
+  end
+
+let with_span t name f =
+  if not t.enabled then f ()
+  else begin
+    let id = tid () in
+    let t0 = Clock.now_ns t.t_clock in
+    let finish () =
+      let t1 = Clock.now_ns t.t_clock in
+      let ev =
+        { ev_name = name; ev_tid = id; ev_ts_ns = t0;
+          ev_dur_ns = Int64.sub t1 t0 }
+      in
+      Mutex.lock t.lock;
+      t.events_rev <- ev :: t.events_rev;
+      Mutex.unlock t.lock
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let events t =
+  Mutex.lock t.lock;
+  let evs = List.rev t.events_rev in
+  Mutex.unlock t.lock;
+  evs
+
+let worker_stats t =
+  Mutex.lock t.lock;
+  let rows =
+    Hashtbl.fold
+      (fun id ws acc -> (id, ws.ws_chunks, ws.ws_items) :: acc)
+      t.workers []
+  in
+  Mutex.unlock t.lock;
+  List.sort compare rows

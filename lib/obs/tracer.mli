@@ -1,0 +1,99 @@
+(** Span-based tracer and analysis counters.
+
+    A [Tracer.t] collects two kinds of telemetry from an analysis run:
+
+    - {e spans} — named, timed intervals opened with {!with_span},
+      keyed by the domain ([tid]) they ran on.  Spans on one domain are
+      well-nested by construction ([with_span] is lexically scoped and
+      exception-safe), so a trace renders as a flame graph; and
+
+    - {e counters} — monotonic integers ({!counter} lists the glossary)
+      bumped with {!add}, plus a per-worker table of chunk claims fed by
+      the domain pool ({!record_chunk}).
+
+    Instrumented code receives the tracer as an optional argument
+    defaulting to {!null}, whose operations reduce to a single branch
+    and allocate nothing — the hot path is unchanged when tracing is
+    off, and a traced run produces bit-identical analysis results
+    (counters and spans are write-only telemetry).
+
+    Thread-safety: counters are atomics; the event list and the
+    per-worker table are mutex-protected; a single tracer may be shared
+    by every domain of a pool run. *)
+
+(** Counter glossary (see docs/OBSERVABILITY.md for the invariants):
+
+    - [Tasks_scanned]: sum over executed candidate-interval scans of the
+      number of tasks in the scanned partition block.
+    - [Candidate_intervals]: number of [(t1, t2)] candidate interval
+      pairs the scan plan contains, counted when the plan is built.
+    - [Theta_evals]: number of Theta-kernel evaluations actually
+      executed — equals [Candidate_intervals] exactly when no deadline
+      cut the scan short.
+    - [Chunks_claimed]: work-queue chunks claimed (pool workers and the
+      inline path alike).
+    - [Deadline_cancels]: jobs abandoned because a [?deadline_ns]
+      budget expired. *)
+type counter =
+  | Tasks_scanned
+  | Candidate_intervals
+  | Theta_evals
+  | Chunks_claimed
+  | Deadline_cancels
+
+val counter_name : counter -> string
+(** Stable snake_case name, used by stats tables and JSON output. *)
+
+val all_counters : counter list
+(** Every counter, in glossary order. *)
+
+(** One recorded span: a Chrome trace_event "complete" event. *)
+type event = {
+  ev_name : string;
+  ev_tid : int;  (** Domain id the span ran on. *)
+  ev_ts_ns : int64;  (** Start, {!Clock} time base. *)
+  ev_dur_ns : int64;
+}
+
+type t
+
+val null : t
+(** The disabled tracer: every operation is a no-op costing one branch,
+    and [with_span null name f] is exactly [f ()].  This is the default
+    everywhere a [?tracer] is accepted. *)
+
+val make : ?clock:Clock.t -> unit -> t
+(** A live tracer.  [clock] defaults to {!Clock.monotonic}; golden
+    tests pass {!Clock.fake}. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}.  Instrumentation uses this to skip
+    computing counter increments when tracing is off. *)
+
+val clock : t -> Clock.t
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span.  The span is recorded
+    when [f] returns {e or raises} (the exception is re-raised), so
+    span trees are always well-nested per domain. *)
+
+val add : t -> counter -> int -> unit
+(** Bump a counter.  No-op on {!null} or when the increment is 0. *)
+
+val record_chunk : t -> items:int -> unit
+(** Called by the domain pool after executing one claimed chunk:
+    increments [Chunks_claimed] and credits the calling domain with
+    [items] executed work-item bodies in the per-worker table.  [items]
+    counts bodies that ran to completion, so per-worker totals stay
+    consistent under fault injection and deadline cancellation. *)
+
+val tid : unit -> int
+(** The calling domain's id, as used for [ev_tid]. *)
+
+val events : t -> event list
+(** Recorded spans, in completion order.  Empty for {!null}. *)
+
+val counter : t -> counter -> int
+
+val worker_stats : t -> (int * int * int) list
+(** Per-worker [(tid, chunks_claimed, items_executed)], sorted by tid. *)

@@ -32,7 +32,9 @@ module For_testing = struct
     fail_spawns := 0
 end
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic, not gettimeofday: an NTP step of the wall clock must not
+   fire (or starve) an analysis deadline. *)
+let now_ns () = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic
 
 let expired deadline_ns =
   match deadline_ns with
@@ -48,6 +50,7 @@ type job = {
   mutable completed : int;  (* indices executed or skipped *)
   mutable skipped : int;  (* indices abandoned by failure or budget expiry *)
   mutable failed : (exn * Printexc.raw_backtrace) option;
+  tracer : Rtlb_obs.Tracer.t;  (* Tracer.null when the job is untraced *)
 }
 
 type t = {
@@ -78,6 +81,8 @@ let claim t =
       if job.failed <> None || expired job.deadline_ns then begin
         (* Skip the unclaimed remainder; count it as completed so the
            submitter's wait terminates, and as skipped so it can tell. *)
+        if job.failed = None then
+          Rtlb_obs.Tracer.add job.tracer Rtlb_obs.Tracer.Deadline_cancels 1;
         let skipped = job.total - job.next in
         job.next <- job.total;
         job.completed <- job.completed + skipped;
@@ -99,18 +104,26 @@ let claim t =
       end
 
 (* Runs indices [lo, hi) with the lock released, recording the first
-   exception and the completion count. *)
+   exception and the completion count.  When the job is traced, the
+   chunk runs inside a per-worker span and credits the executing domain
+   with the bodies that ran to completion — an aborted body (injected
+   fault, exception) is not counted, so per-worker item totals always
+   equal the number of executed bodies. *)
 let exec_chunk t job lo hi =
-  (try
-     for i = lo to hi - 1 do
-       (match !For_testing.inject with Some f -> f i | None -> ());
-       job.body i
-     done
-   with e ->
-     let bt = Printexc.get_raw_backtrace () in
-     Mutex.lock t.lock;
-     if job.failed = None then job.failed <- Some (e, bt);
-     Mutex.unlock t.lock);
+  let ran = ref 0 in
+  Rtlb_obs.Tracer.with_span job.tracer "chunk" (fun () ->
+      try
+        for i = lo to hi - 1 do
+          (match !For_testing.inject with Some f -> f i | None -> ());
+          job.body i;
+          incr ran
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.lock;
+        if job.failed = None then job.failed <- Some (e, bt);
+        Mutex.unlock t.lock);
+  Rtlb_obs.Tracer.record_chunk job.tracer ~items:!ran;
   Mutex.lock t.lock;
   job.completed <- job.completed + (hi - lo);
   if job.completed >= job.total then Condition.broadcast t.job_done;
@@ -194,18 +207,30 @@ let with_pool ?jobs f =
 
 exception Budget_exhausted
 
-let run_inline ?deadline_ns total body =
+let run_inline ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) total body =
   let partial = ref false in
+  let ran = ref 0 in
+  let record () =
+    if Rtlb_obs.Tracer.enabled tracer && total > 0 then
+      Rtlb_obs.Tracer.record_chunk tracer ~items:!ran
+  in
   (try
      for i = 0 to total - 1 do
        if expired deadline_ns then begin
          partial := true;
+         Rtlb_obs.Tracer.add tracer Rtlb_obs.Tracer.Deadline_cancels 1;
          raise Budget_exhausted
        end;
        (match !For_testing.inject with Some f -> f i | None -> ());
-       body i
+       body i;
+       incr ran
      done
-   with Budget_exhausted when !partial -> ());
+   with
+  | Budget_exhausted when !partial -> ()
+  | e ->
+      record ();
+      raise e);
+  record ();
   if !partial then `Partial else `Done
 
 (* The submitter helps execute its own job; while it does, it counts as
@@ -225,10 +250,10 @@ let help t =
   go ();
   Domain.DLS.set inside_pool false
 
-let run ?deadline_ns t ~total body =
+let run ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) t ~total body =
   if total <= 0 then `Done
   else if t.n_domains <= 1 || Domain.DLS.get inside_pool then
-    run_inline ?deadline_ns total body
+    run_inline ?deadline_ns ~tracer total body
   else begin
     (* ~4 chunks per domain balances stragglers against contention on
        the claim counter. *)
@@ -243,6 +268,7 @@ let run ?deadline_ns t ~total body =
         completed = 0;
         skipped = 0;
         failed = None;
+        tracer;
       }
     in
     Mutex.lock t.lock;
@@ -281,14 +307,14 @@ let map_array ?pool f input =
           out
       end
 
-let map_array_partial ?pool ?deadline_ns f input =
+let map_array_partial ?pool ?deadline_ns ?tracer f input =
   let n = Array.length input in
   let out = Array.make n None in
   let body i = out.(i) <- Some (f input.(i)) in
   let status =
     match pool with
-    | Some t -> run ?deadline_ns t ~total:n body
-    | None -> run_inline ?deadline_ns n body
+    | Some t -> run ?deadline_ns ?tracer t ~total:n body
+    | None -> run_inline ?deadline_ns ?tracer n body
   in
   (out, status)
 

@@ -1,6 +1,7 @@
 (** A fixed-size domain pool with a chunked work queue and deterministic
     reduction, built on nothing but the stdlib ([Domain], [Mutex],
-    [Condition]) plus [Unix.gettimeofday] for time budgets.
+    [Condition]) plus the [Rtlb_obs.Clock] monotonic clock for time
+    budgets.
 
     The pool exists to parallelise the embarrassingly-parallel fan-outs of
     the analysis (per-resource, per-block bound scans; per-factor
@@ -57,15 +58,26 @@ val default_jobs : unit -> int
     otherwise [Domain.recommended_domain_count ()]. *)
 
 val now_ns : unit -> int64
-(** Wall-clock nanoseconds, the time base of every [?deadline_ns] below:
-    pass [Int64.add (now_ns ()) budget_ns]. *)
+(** Monotonic nanoseconds ({!Rtlb_obs.Clock.monotonic}), the time base
+    of every [?deadline_ns] below: pass
+    [Int64.add (now_ns ()) budget_ns].  Monotonic, not wall-clock, so
+    an NTP step can neither fire nor starve a budget. *)
 
-val run : ?deadline_ns:int64 -> t -> total:int -> (int -> unit) -> [ `Done | `Partial ]
+val run :
+  ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
+  t -> total:int -> (int -> unit) -> [ `Done | `Partial ]
 (** [run pool ~total body] executes [body 0 .. body (total - 1)], in
     chunks, across the pool (the submitter participates).  Returns when
     every index has run or been abandoned; re-raises the first exception
     a body raised.  [`Partial] means the deadline expired and at least
-    one index was skipped (never happens without [?deadline_ns]). *)
+    one index was skipped (never happens without [?deadline_ns]).
+
+    With [?tracer], every executed chunk is recorded as a per-worker
+    ["chunk"] span and credited to the executing domain in the tracer's
+    worker table ([Chunks_claimed] counter, items = bodies that ran to
+    completion); a deadline expiry bumps [Deadline_cancels] once.
+    Tracing never changes scheduling or results. *)
 
 val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; the result is in input order regardless of
@@ -75,12 +87,15 @@ val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 val map_array_partial :
   ?pool:t ->
   ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
   ('a -> 'b) ->
   'a array ->
   'b option array * [ `Done | `Partial ]
 (** Budgeted parallel map: slots whose work item was abandoned at the
     deadline hold [None].  With [`Done] every slot is [Some].  Executed
-    slots hold exactly what {!map_array} would have computed. *)
+    slots hold exactly what {!map_array} would have computed.
+    [?tracer] instruments the run as in {!run} (the inline path counts
+    as one chunk on the calling domain). *)
 
 val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map], same ordering guarantee as {!map_array}. *)

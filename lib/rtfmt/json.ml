@@ -264,7 +264,38 @@ let of_schedule app schedule =
                       e.Sched.Schedule.e_resource_units) );
              ]))
 
-let of_analysis (a : Rtlb.Analysis.t) =
+let of_stats (s : Rtlb_obs.Stats.t) =
+  Obj
+    [
+      ( "spans",
+        List
+          (List.map
+             (fun (l : Rtlb_obs.Stats.span_line) ->
+               Obj
+                 [
+                   ("name", Str l.Rtlb_obs.Stats.sl_name);
+                   ("count", Int l.Rtlb_obs.Stats.sl_count);
+                   ( "total_ns",
+                     Int (Int64.to_int l.Rtlb_obs.Stats.sl_total_ns) );
+                 ])
+             s.Rtlb_obs.Stats.spans) );
+      ( "counters",
+        Obj
+          (List.map (fun (n, v) -> (n, Int v)) s.Rtlb_obs.Stats.counters) );
+      ( "workers",
+        List
+          (List.map
+             (fun (tid, chunks, items) ->
+               Obj
+                 [
+                   ("tid", Int tid);
+                   ("chunks", Int chunks);
+                   ("items", Int items);
+                 ])
+             s.Rtlb_obs.Stats.workers) );
+    ]
+
+let of_analysis ?stats (a : Rtlb.Analysis.t) =
   let windows =
     List
       (Array.to_list (Rtlb.App.tasks a.Rtlb.Analysis.app)
@@ -352,11 +383,14 @@ let of_analysis (a : Rtlb.Analysis.t) =
     @
     (* Coverage only when partial: its value is timing-dependent, and
        omitting it keeps complete outputs byte-deterministic. *)
-    if Rtlb.Analysis.is_partial a then
-      [
-        ( "coverage_percent",
-          Int
-            (int_of_float
-               (Float.round (100.0 *. Rtlb.Analysis.coverage a))) );
-      ]
-    else [])
+    (if Rtlb.Analysis.is_partial a then
+       [
+         ( "coverage_percent",
+           Int
+             (int_of_float
+                (Float.round (100.0 *. Rtlb.Analysis.coverage a))) );
+       ]
+     else [])
+    @
+    (* Observability summary, only when the caller traced the run. *)
+    match stats with None -> [] | Some s -> [ ("stats", of_stats s) ])

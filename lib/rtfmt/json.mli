@@ -26,9 +26,15 @@ val parse : string -> t
 val member : string -> t -> t
 (** Object field access.  @raise Not_found when absent or not an object. *)
 
-val of_analysis : Rtlb.Analysis.t -> t
+val of_stats : Rtlb_obs.Stats.t -> t
+(** Observability summary: span totals, counter glossary values and
+    per-worker chunk accounting, as nested objects. *)
+
+val of_analysis : ?stats:Rtlb_obs.Stats.t -> Rtlb.Analysis.t -> t
 (** Structured rendering of a full four-step analysis: task windows,
     per-resource bounds with witnesses and partitions, and the cost
-    outcome. *)
+    outcome.  With [?stats] (a traced run's summary), a trailing
+    ["stats"] object is appended — omitted otherwise, so untraced
+    output is byte-identical to earlier versions. *)
 
 val of_schedule : Rtlb.App.t -> Sched.Schedule.t -> t

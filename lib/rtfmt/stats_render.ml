@@ -1,0 +1,46 @@
+let us_of_ns ns = Int64.to_int (Int64.div ns 1_000L)
+
+let spans_table (s : Rtlb_obs.Stats.t) =
+  let t = Table.create [ "span"; "count"; "total us" ] in
+  List.iter
+    (fun (l : Rtlb_obs.Stats.span_line) ->
+      Table.add_row t
+        [
+          l.Rtlb_obs.Stats.sl_name;
+          string_of_int l.Rtlb_obs.Stats.sl_count;
+          string_of_int (us_of_ns l.Rtlb_obs.Stats.sl_total_ns);
+        ])
+    s.Rtlb_obs.Stats.spans;
+  t
+
+let counters_table (s : Rtlb_obs.Stats.t) =
+  let t = Table.create [ "counter"; "value" ] in
+  List.iter
+    (fun (name, v) -> Table.add_row t [ name; string_of_int v ])
+    s.Rtlb_obs.Stats.counters;
+  t
+
+let workers_table (s : Rtlb_obs.Stats.t) =
+  let t = Table.create [ "worker"; "chunks"; "items" ] in
+  List.iter
+    (fun (tid, chunks, items) ->
+      Table.add_row t
+        [
+          Printf.sprintf "domain %d" tid;
+          string_of_int chunks;
+          string_of_int items;
+        ])
+    s.Rtlb_obs.Stats.workers;
+  t
+
+let render (s : Rtlb_obs.Stats.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "-- spans --\n";
+  Buffer.add_string buf (Table.render (spans_table s));
+  Buffer.add_string buf "\n-- counters --\n";
+  Buffer.add_string buf (Table.render (counters_table s));
+  if s.Rtlb_obs.Stats.workers <> [] then begin
+    Buffer.add_string buf "\n-- workers --\n";
+    Buffer.add_string buf (Table.render (workers_table s))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Plain-text rendering of an {!Rtlb_obs.Stats} summary (the CLI's
+    `--stats` table and the benchmark per-phase breakdowns). *)
+
+val spans_table : Rtlb_obs.Stats.t -> Table.t
+(** One row per span name: count, total microseconds. *)
+
+val counters_table : Rtlb_obs.Stats.t -> Table.t
+(** One row per glossary counter. *)
+
+val workers_table : Rtlb_obs.Stats.t -> Table.t
+(** One row per worker domain: chunks claimed, work items executed. *)
+
+val render : Rtlb_obs.Stats.t -> string
+(** The full `--stats` block: spans, counters and (when any chunk ran)
+    the per-worker table, each under a small heading.  Deterministic for
+    a fake-clock run. *)

@@ -346,6 +346,111 @@ let pool_inject_delay () =
             (got = Array.init 64 (fun i -> i * i))))
 
 (* ------------------------------------------------------------------ *)
+(* Worker-utilization accounting under faults                          *)
+(*                                                                     *)
+(* The tracer's per-worker chunk table must stay consistent with what  *)
+(* actually executed, whatever goes wrong: the per-worker item totals  *)
+(* count exactly the bodies that ran to completion (= the [Some] slots *)
+(* of map_array_partial), and [Chunks_claimed] equals the sum of the   *)
+(* per-worker chunk counts.  No chunk is lost or double-counted.       *)
+(* ------------------------------------------------------------------ *)
+
+let worker_sums tracer =
+  List.fold_left
+    (fun (chunks, items) (_, c, i) -> (chunks + c, items + i))
+    (0, 0)
+    (Rtlb_obs.Tracer.worker_stats tracer)
+
+let check_chunk_accounting label tracer ~executed =
+  let chunks, items = worker_sums tracer in
+  check_int (label ^ ": worker items = executed bodies") executed items;
+  check_int
+    (label ^ ": Chunks_claimed = sum of worker chunks")
+    (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Chunks_claimed)
+    chunks
+
+let some_count out = Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 out
+
+let traced_counters_under_spawn_failure () =
+  with_injection (fun () ->
+      Rtlb_par.Pool.For_testing.fail_spawns := 64;
+      Rtlb_par.Pool.with_pool ~jobs:8 (fun pool ->
+          let tracer = Rtlb_obs.Tracer.make () in
+          let out, status =
+            Rtlb_par.Pool.map_array_partial ~pool ~tracer
+              (fun i -> i * 2)
+              (Array.init 100 Fun.id)
+          in
+          check_bool "degraded pool completes" true (status = `Done);
+          check_int "every body ran" 100 (some_count out);
+          check_chunk_accounting "spawn failure" tracer ~executed:100;
+          check_int "no cancellations" 0
+            (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Deadline_cancels)))
+
+let traced_counters_under_worker_raise () =
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let tracer = Rtlb_obs.Tracer.make () in
+      let out = Array.make 200 false in
+      (try
+         ignore
+           (Rtlb_par.Pool.run ~tracer pool ~total:200 (fun i ->
+                if i = 57 then raise (Boom i);
+                out.(i) <- true));
+         Alcotest.fail "expected the body's exception to propagate"
+       with Boom 57 -> ());
+      let executed =
+        Array.fold_left (fun a ran -> if ran then a + 1 else a) 0 out
+      in
+      (* the raising body itself is not credited as an executed item *)
+      check_chunk_accounting "worker raise" tracer ~executed;
+      check_bool "failed job does not count as a deadline cancel" true
+        (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Deadline_cancels = 0))
+
+let traced_counters_expired_budget () =
+  let input = Array.init 50 Fun.id in
+  let check_path label pool =
+    let tracer = Rtlb_obs.Tracer.make () in
+    let out, status =
+      Rtlb_par.Pool.map_array_partial ?pool ~tracer
+        ~deadline_ns:(Rtlb_par.Pool.now_ns ())
+        Fun.id input
+    in
+    check_bool (label ^ ": expired budget is `Partial") true
+      (status = `Partial);
+    check_chunk_accounting label tracer ~executed:(some_count out);
+    check_int (label ^ ": exactly one cancellation") 1
+      (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Deadline_cancels)
+  in
+  check_path "inline" None;
+  Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+      check_path "pooled" (Some pool))
+
+let traced_counters_midrun_deadline () =
+  (* Delay every body so a short budget expires mid-run: however many
+     chunks the race lets through, the accounting must balance. *)
+  with_injection (fun () ->
+      Rtlb_par.Pool.For_testing.inject :=
+        Some
+          (fun _ ->
+            for k = 0 to 20_000 do
+              ignore (Sys.opaque_identity k)
+            done);
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let tracer = Rtlb_obs.Tracer.make () in
+          let out, status =
+            Rtlb_par.Pool.map_array_partial ~pool ~tracer
+              ~deadline_ns:(Int64.add (Rtlb_par.Pool.now_ns ()) 2_000_000L)
+              Fun.id
+              (Array.init 512 Fun.id)
+          in
+          check_chunk_accounting "mid-run deadline" tracer
+            ~executed:(some_count out);
+          if status = `Partial then
+            check_bool "partial run recorded a cancellation" true
+              (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Deadline_cancels
+              >= 1)))
+
+(* ------------------------------------------------------------------ *)
 (* Cooperative cancellation                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +574,14 @@ let suite =
           pool_inject_raise;
         Alcotest.test_case "pool correct under injected delays" `Quick
           pool_inject_delay;
+        Alcotest.test_case "traced chunk accounting under spawn failure"
+          `Quick traced_counters_under_spawn_failure;
+        Alcotest.test_case "traced chunk accounting under a worker raise"
+          `Quick traced_counters_under_worker_raise;
+        Alcotest.test_case "traced chunk accounting: expired budget" `Quick
+          traced_counters_expired_budget;
+        Alcotest.test_case "traced chunk accounting: mid-run deadline" `Quick
+          traced_counters_midrun_deadline;
         Alcotest.test_case "expired deadline yields `Partial" `Quick
           deadline_expired_is_partial;
         Alcotest.test_case "generous deadline yields `Done, identical" `Quick
