@@ -970,6 +970,153 @@ let parallel_scaling () =
   close_out oc;
   Printf.printf "wrote BENCH_parallel.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E13: incremental cache - sweeps and what-if queries                 *)
+(* ------------------------------------------------------------------ *)
+
+let incremental_sweep () =
+  Bench_util.section "E13: incremental cache - deadline sweeps and what-ifs";
+  Printf.printf
+    "A fine-grained deadline sweep (16 factors probing the margin below\n\
+     the operating point) and a 16-edit what-if series, each answered\n\
+     cold (full Analysis.run per query) and through the Incremental\n\
+     cache.  Results are asserted identical sample by sample; times are\n\
+     wall clock, best of %d.\n"
+    3;
+  let best_of k f =
+    let rec go k best =
+      if k = 0 then best
+      else
+        let _, ms = Bench_util.time_ms f in
+        go (k - 1) (min best ms)
+    in
+    go k infinity
+  in
+  let config =
+    {
+      Workload.Gen.default with
+      Workload.Gen.n_tasks = 80;
+      shape = Workload.Gen.Layered { layers = 5; density = 0.4 };
+      seed = 11;
+    }
+  in
+  let app = Workload.Gen.generate config in
+  let system = Workload.Gen.shared_system config in
+  let base_deadline = (Rtlb.App.task app 0).Rtlb.Task.deadline in
+  let factors =
+    List.init 16 (fun k -> 1.0 -. (0.002 *. float_of_int (15 - k)))
+  in
+  let distinct_deadlines =
+    List.map
+      (fun f ->
+        let scaled = Rtlb.Sensitivity.scale_deadlines app ~factor:f in
+        (Rtlb.App.task scaled 0).Rtlb.Task.deadline)
+      factors
+    |> List.sort_uniq compare
+  in
+  Printf.printf
+    "\nworkload: %d tasks, common deadline %d; the 16 factors quantise\n\
+     to %d distinct scaled deadline(s), so most sweep queries are\n\
+     answered from cached block scans.\n"
+    (Rtlb.App.n_tasks app) base_deadline
+    (List.length distinct_deadlines);
+  let reference = Rtlb.Sensitivity.deadline_sweep_cold system app ~factors in
+  let incremental = Rtlb.Sensitivity.deadline_sweep system app ~factors in
+  let sweep_identical = reference = incremental in
+  let cold_ms =
+    best_of 3 (fun () ->
+        ignore (Rtlb.Sensitivity.deadline_sweep_cold system app ~factors))
+  in
+  let incr_ms =
+    best_of 3 (fun () ->
+        ignore (Rtlb.Sensitivity.deadline_sweep system app ~factors))
+  in
+  let sweep_speedup = cold_ms /. incr_ms in
+  (* What-if series: 16 single-task deadline relaxations against one
+     warm handle, versus a cold run per question. *)
+  let edits k =
+    let task = (7 * k) mod Rtlb.App.n_tasks app in
+    [
+      Rtlb.Incremental.Set_deadline
+        { task; deadline = (Rtlb.App.task app task).Rtlb.Task.deadline + 1 + k };
+    ]
+  in
+  let handle = Rtlb.Incremental.create system app in
+  let whatif_identical =
+    List.for_all
+      (fun k ->
+        let a = Rtlb.Incremental.edit handle (edits k) in
+        let b = Rtlb.Analysis.run system (Rtlb.Incremental.apply app (edits k)) in
+        a.Rtlb.Analysis.bounds = b.Rtlb.Analysis.bounds
+        && a.Rtlb.Analysis.cost = b.Rtlb.Analysis.cost)
+      (List.init 16 Fun.id)
+  in
+  let whatif_cold_ms =
+    best_of 3 (fun () ->
+        List.iter
+          (fun k ->
+            ignore
+              (Rtlb.Analysis.run system (Rtlb.Incremental.apply app (edits k))))
+          (List.init 16 Fun.id))
+  in
+  let whatif_incr_ms =
+    best_of 3 (fun () ->
+        List.iter
+          (fun k -> ignore (Rtlb.Incremental.edit handle (edits k)))
+          (List.init 16 Fun.id))
+  in
+  let whatif_speedup = whatif_cold_ms /. whatif_incr_ms in
+  let t =
+    Rtfmt.Table.create
+      [ "series"; "cold ms"; "incremental ms"; "speedup"; "identical" ]
+  in
+  let row name cold incr speedup identical =
+    Rtfmt.Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.2f" cold;
+        Printf.sprintf "%.2f" incr;
+        Printf.sprintf "%.2fx" speedup;
+        (if identical then "yes" else "NO");
+      ]
+  in
+  row "16-factor sweep" cold_ms incr_ms sweep_speedup sweep_identical;
+  row "16 what-if edits" whatif_cold_ms whatif_incr_ms whatif_speedup
+    whatif_identical;
+  Rtfmt.Table.print t;
+  let json =
+    Rtfmt.Json.Obj
+      [
+        ("experiment", Rtfmt.Json.Str "e13-incremental-cache");
+        ("tasks", Rtfmt.Json.Int (Rtlb.App.n_tasks app));
+        ("factors", Rtfmt.Json.Int (List.length factors));
+        ( "distinct_scaled_deadlines",
+          Rtfmt.Json.Int (List.length distinct_deadlines) );
+        ( "sweep",
+          Rtfmt.Json.Obj
+            [
+              ("cold_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" cold_ms));
+              ("incremental_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" incr_ms));
+              ("speedup", Rtfmt.Json.Str (Printf.sprintf "%.2f" sweep_speedup));
+              ("identical", Rtfmt.Json.Bool sweep_identical);
+            ] );
+        ( "whatif",
+          Rtfmt.Json.Obj
+            [
+              ("cold_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" whatif_cold_ms));
+              ( "incremental_ms",
+                Rtfmt.Json.Str (Printf.sprintf "%.3f" whatif_incr_ms) );
+              ("speedup", Rtfmt.Json.Str (Printf.sprintf "%.2f" whatif_speedup));
+              ("identical", Rtfmt.Json.Bool whatif_identical);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc (Rtfmt.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_incremental.json\n"
+
 let all () =
   tightness ();
   baselines ();
@@ -982,4 +1129,5 @@ let all () =
   anomalies ();
   time_bounds ();
   priorities ();
-  parallel_scaling ()
+  parallel_scaling ();
+  incremental_sweep ()

@@ -29,6 +29,7 @@ let sections =
     ("e10", Experiments.time_bounds);
     ("e11", Experiments.priorities);
     ("e12", Experiments.parallel_scaling);
+    ("e13", Experiments.incremental_sweep);
   ]
 
 let experiment_names =

@@ -475,6 +475,123 @@ let sensitivity_cmd =
         (const run $ file_arg $ system_arg $ factors_arg $ jobs_arg
        $ timeout_arg))
 
+(* ---- whatif -------------------------------------------------------- *)
+
+let whatif_cmd =
+  let task_arg =
+    let doc = "Task id to edit (0-based vertex index)." in
+    Arg.(required & opt (some int) None & info [ "task"; "t" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "New deadline for the task." in
+    Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"D" ~doc)
+  in
+  let release_arg =
+    let doc = "New release time for the task." in
+    Arg.(value & opt (some int) None & info [ "release" ] ~docv:"R" ~doc)
+  in
+  let compute_arg =
+    let doc = "New computation time for the task." in
+    Arg.(value & opt (some int) None & info [ "compute" ] ~docv:"C" ~doc)
+  in
+  let cost_line = function
+    | Rtlb.Cost.Shared_cost { s_cost; _ } -> Printf.sprintf "cost >= %d" s_cost
+    | Rtlb.Cost.Dedicated_cost d ->
+        Printf.sprintf "cost >= %d" d.Rtlb.Cost.d_cost
+    | Rtlb.Cost.No_feasible_system r ->
+        Printf.sprintf "no feasible system (%s)" r
+  in
+  let run path override task deadline release compute jobs timeout =
+    match read_appfile path with
+    | Error e -> `Error (false, e)
+    | Ok { Rtfmt.Appfile.app; system } -> (
+        match resolve_system system override app with
+        | Error e -> `Error (false, e)
+        | Ok system -> (
+            let edits =
+              List.filter_map
+                (fun e -> e)
+                [
+                  Option.map
+                    (fun release ->
+                      Rtlb.Incremental.Set_release { task; release })
+                    release;
+                  Option.map
+                    (fun deadline ->
+                      Rtlb.Incremental.Set_deadline { task; deadline })
+                    deadline;
+                  Option.map
+                    (fun compute ->
+                      Rtlb.Incremental.Set_compute { task; compute })
+                    compute;
+                ]
+            in
+            if edits = [] then
+              `Error
+                (true, "one of --deadline, --release or --compute is required")
+            else
+              let deadline_ns = deadline_of timeout in
+              let tracer = Rtlb_obs.Tracer.make () in
+              match
+                with_jobs jobs (fun pool ->
+                    let handle =
+                      Rtlb.Incremental.create ?pool ?deadline_ns system app
+                    in
+                    ( handle,
+                      Rtlb.Incremental.edit ?pool ?deadline_ns ~tracer handle
+                        edits ))
+              with
+              | exception Invalid_argument e -> `Error (false, e)
+              | handle, edited ->
+                  let base = Rtlb.Incremental.base handle in
+                  let name = (Rtlb.App.task app task).Rtlb.Task.name in
+                  Printf.printf "what-if: task %d (%s)%s%s%s\n" task name
+                    (match release with
+                    | Some r -> Printf.sprintf " release=%d" r
+                    | None -> "")
+                    (match deadline with
+                    | Some d -> Printf.sprintf " deadline=%d" d
+                    | None -> "")
+                    (match compute with
+                    | Some c -> Printf.sprintf " compute=%d" c
+                    | None -> "");
+                  Printf.printf "%-10s %8s %8s\n" "resource" "LB" "LB'";
+                  List.iter2
+                    (fun (b : Rtlb.Lower_bound.bound)
+                         (b' : Rtlb.Lower_bound.bound) ->
+                      Printf.printf "%-10s %8d %8d%s\n" b.Rtlb.Lower_bound.resource
+                        b.Rtlb.Lower_bound.lb b'.Rtlb.Lower_bound.lb
+                        (if b'.Rtlb.Lower_bound.lb <> b.Rtlb.Lower_bound.lb
+                         then
+                           Printf.sprintf "  (%+d)"
+                             (b'.Rtlb.Lower_bound.lb - b.Rtlb.Lower_bound.lb)
+                         else ""))
+                    base.Rtlb.Analysis.bounds edited.Rtlb.Analysis.bounds;
+                  Printf.printf "%s -> %s\n"
+                    (cost_line base.Rtlb.Analysis.cost)
+                    (cost_line edited.Rtlb.Analysis.cost);
+                  if Rtlb.Analysis.is_partial edited then
+                    print_endline "(partial: time budget expired)";
+                  Printf.printf
+                    "incremental: %d task window(s) recomputed, %d block \
+                     scan(s) reused\n"
+                    (Rtlb_obs.Tracer.counter tracer
+                       Rtlb_obs.Tracer.Cone_tasks)
+                    (Rtlb_obs.Tracer.counter tracer
+                       Rtlb_obs.Tracer.Cache_hits);
+                  `Ok ()))
+  in
+  let doc =
+    "Re-analyse one task edit against a cached base analysis (what-if \
+     query)."
+  in
+  Cmd.v
+    (Cmd.info "whatif" ~doc)
+    Term.(
+      ret
+        (const run $ file_arg $ system_arg $ task_arg $ deadline_arg
+       $ release_arg $ compute_arg $ jobs_arg $ timeout_arg))
+
 (* ---- timebound ----------------------------------------------------- *)
 
 let timebound_cmd =
@@ -601,6 +718,6 @@ let () =
   exit (Cmd.eval (Cmd.group info
           [
             analyze_cmd; check_cmd; example_cmd; schedule_cmd; generate_cmd;
-            dot_cmd; profile_cmd; sensitivity_cmd; timebound_cmd; horn_cmd;
-            critical_cmd;
+            dot_cmd; profile_cmd; sensitivity_cmd; whatif_cmd; timebound_cmd;
+            horn_cmd; critical_cmd;
           ]))

@@ -74,6 +74,39 @@ val candidate_points :
     [\[lo, hi\]], with [lo] and [hi] included.  [policy] defaults to
     [`Endpoints]; [`Enriched] requires [compute]. *)
 
+(** {2 Scan toolkit}
+
+    The three primitives below are the unit operations of the
+    candidate-interval scan, exposed so the {!Incremental} engine can
+    rebuild exactly the per-block slices of the plan that an edit
+    dirtied while folding cached results for the rest.  Folding
+    {!scan_from} results for every left endpoint of every block with
+    {!merge_scans}, block by block in partition order, reproduces
+    {!all} bit-identically. *)
+
+val merge_scans :
+  int * witness option -> int * witness option -> int * witness option
+(** Keep the better of two scan results; ties keep the {e first}
+    argument, exactly like the sequential loops.  Associative, so
+    per-interval results may be folded per block and then per resource
+    without changing the winning witness. *)
+
+val block_points :
+  ?policy:point_policy ->
+  est:int array -> lct:int array -> App.t -> int list -> lo:int -> hi:int ->
+  int array
+(** The candidate points of one partition block, as the sorted scan
+    array ({!candidate_points} with the app's compute vector). *)
+
+val scan_from :
+  ?resource:string ->
+  est:int array -> lct:int array -> App.t -> int list -> int array -> int ->
+  int * witness option
+(** [scan_from ~est ~lct app block pts a]: the densest interval starting
+    at [pts.(a)] — one {!Theta_kernel} for the fixed left endpoint, one
+    O(log n) evaluation per right endpoint.  This is the unit of
+    parallel work in {!all_within}. *)
+
 val for_resource :
   ?policy:point_policy ->
   est:int array -> lct:int array -> App.t -> string -> bound

@@ -29,10 +29,31 @@ let ptask ~name ~period ?(offset = 0) ~compute ?deadline ~proc
   }
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
-let lcm a b = a / gcd a b * b
+
+(* Overflow-checked: for positive [a], [b] the product [q * b] wrapped iff
+   dividing it back does not recover [q] (or the sign flipped).  Coprime
+   5-digit periods already push [fold lcm] past [max_int] after a handful
+   of tasks, and a silently wrapped hyperperiod used to send [unroll]
+   into "empty horizon" errors or absurd job counts. *)
+let lcm a b =
+  let q = a / gcd a b in
+  let l = q * b in
+  if l <= 0 || l / b <> q then
+    invalid_arg
+      (Printf.sprintf "Periodic.lcm: lcm of %d and %d overflows int" a b)
+  else l
 
 let hyperperiod tasks =
-  List.fold_left (fun acc t -> lcm acc t.pt_period) 1 tasks
+  List.fold_left
+    (fun acc t ->
+      try lcm acc t.pt_period
+      with Invalid_argument _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Periodic.hyperperiod: overflow folding period %d of %s into \
+              accumulated lcm %d; pass an explicit ~horizon instead"
+             t.pt_period t.pt_name acc))
+    1 tasks
 
 let utilisation tasks =
   List.fold_left

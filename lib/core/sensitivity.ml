@@ -7,15 +7,38 @@ type sample = {
 }
 
 let scale_deadlines app ~factor =
-  if factor <= 0.0 then invalid_arg "Sensitivity.scale_deadlines: factor <= 0";
+  if Float.is_nan factor || factor <= 0.0 then
+    invalid_arg "Sensitivity.scale_deadlines: factor <= 0";
+  (* Scale in exact rational arithmetic.  The obvious
+     [ceil (factor *. float deadline)] inherits the binary representation
+     error of the factor: 0.1 *. 30.0 is 3.0000000000000004, which ceils
+     to 4 — a deadline a third looser than asked for.  [Rat.approx]
+     recovers the rational the factor literal denotes (1/10), and the
+     integer ceil of [num * D / den] is then exact. *)
+  let ratio = Rat.approx factor in
   App.map_tasks app ~f:(fun task ->
-      let scaled =
-        int_of_float (ceil (factor *. float_of_int task.Task.deadline))
-      in
+      let scaled = Rat.ceil (Rat.mul ratio (Rat.of_int task.Task.deadline)) in
       let floor_ = task.Task.release + task.Task.compute in
       Task.with_deadline task (max scaled floor_))
 
-let deadline_sweep ?pool ?deadline_ns ?tracer system app ~factors =
+let sample_of factor analysis =
+  {
+    s_factor = factor;
+    s_feasible = not (Analysis.is_infeasible analysis);
+    s_bounds =
+      List.map
+        (fun (b : Lower_bound.bound) ->
+          (b.Lower_bound.resource, b.Lower_bound.lb))
+        analysis.Analysis.bounds;
+    s_shared_cost =
+      (match analysis.Analysis.cost with
+      | Cost.Shared_cost { s_cost; _ } -> Some s_cost
+      | Cost.Dedicated_cost d -> Some d.Cost.d_cost
+      | Cost.No_feasible_system _ -> None);
+    s_partial = Analysis.is_partial analysis;
+  }
+
+let deadline_sweep_cold ?pool ?deadline_ns ?tracer system app ~factors =
   let tr = Option.value tracer ~default:Rtlb_obs.Tracer.null in
   Rtlb_par.Pool.map_list ?pool
     (fun factor ->
@@ -33,21 +56,37 @@ let deadline_sweep ?pool ?deadline_ns ?tracer system app ~factors =
             analyse
         else analyse ()
       in
-      {
-        s_factor = factor;
-        s_feasible = not (Analysis.is_infeasible analysis);
-        s_bounds =
-          List.map
-            (fun (b : Lower_bound.bound) ->
-              (b.Lower_bound.resource, b.Lower_bound.lb))
-            analysis.Analysis.bounds;
-        s_shared_cost =
-          (match analysis.Analysis.cost with
-          | Cost.Shared_cost { s_cost; _ } -> Some s_cost
-          | Cost.Dedicated_cost d -> Some d.Cost.d_cost
-          | Cost.No_feasible_system _ -> None);
-        s_partial = Analysis.is_partial analysis;
-      })
+      sample_of factor analysis)
+    factors
+
+let deadline_sweep ?pool ?deadline_ns ?tracer system app ~factors =
+  let tr = Option.value tracer ~default:Rtlb_obs.Tracer.null in
+  (* The factors of a sweep differ from the base application in deadlines
+     only, so each one is an incremental query: the EST arrays and merge
+     traces are computed once, the LCT pass re-runs over the dirty
+     ancestor cones, and blocks whose windows a factor leaves unchanged
+     (common near 1.0, where the ceil quantises small perturbations away)
+     are served from the cache.  The handle is built without the tracer —
+     the observable sweep trace stays one ["factor F"] span per factor,
+     each containing exactly one ["analyze"], as in the cold sweep; the
+     pool now parallelises within each query instead of across factors.
+     Samples are bit-identical to {!deadline_sweep_cold} whenever no
+     budget expires (qcheck-asserted). *)
+  let handle = Incremental.create ?pool ?deadline_ns system app in
+  List.map
+    (fun factor ->
+      let scaled = scale_deadlines app ~factor in
+      let analyse () =
+        Incremental.query ?pool ?deadline_ns ?tracer handle scaled
+      in
+      let analysis =
+        if Rtlb_obs.Tracer.enabled tr then
+          Rtlb_obs.Tracer.with_span tr
+            (Printf.sprintf "factor %g" factor)
+            analyse
+        else analyse ()
+      in
+      sample_of factor analysis)
     factors
 
 let render samples =

@@ -20,21 +20,40 @@ type sample = {
 
 val scale_deadlines : App.t -> factor:float -> App.t
 (** Every deadline multiplied by [factor] (rounded up), floored at
-    [release + compute] so tasks stay well-formed. *)
+    [release + compute] so tasks stay well-formed.  The multiplication is
+    exact: the factor is first recovered as a rational
+    ({!Rat.approx}), so [factor:0.1] on a deadline of [30] yields [3],
+    not the [4] that float ceiling produces from [3.0000000000000004].
+    @raise Invalid_argument when [factor <= 0] or NaN.
+    @raise Rat.Overflow when [factor * deadline] exceeds [int] range. *)
 
 val deadline_sweep :
   ?pool:Rtlb_par.Pool.t ->
   ?deadline_ns:int64 ->
   ?tracer:Rtlb_obs.Tracer.t ->
   System.t -> App.t -> factors:float list -> sample list
-(** One analysis per factor, in the given order.  With [?pool], factors
-    are analysed concurrently (one pool task each); the sample list is
-    identical to the sequential sweep.  With [?deadline_ns]
-    ({!Rtlb_par.Pool.now_ns} base), each factor's analysis stops scanning
-    at the deadline; affected samples carry [s_partial = true].  With
-    [?tracer], each factor's analysis runs inside a ["factor F"] span
-    (on whichever domain analysed it) with the usual per-phase children;
-    results are unchanged. *)
+(** One analysis per factor, in the given order, served by an
+    {!Incremental} handle: the EST pass runs once for the whole sweep,
+    each factor re-runs only the LCT ancestor cones of the deadlines it
+    actually moved, and unchanged partition blocks reuse cached scan
+    results.  Samples are bit-identical to {!deadline_sweep_cold}
+    whenever no budget expires.  With [?pool], each factor's scan fans
+    out across the pool's domains.  With [?deadline_ns]
+    ({!Rtlb_par.Pool.now_ns} base), scans stop claiming work at the
+    deadline; affected samples carry [s_partial = true].  With
+    [?tracer], each factor's query runs inside a ["factor F"] span with
+    the usual per-phase children plus the [Cache_hits] / [Cone_tasks]
+    counters; results are unchanged. *)
+
+val deadline_sweep_cold :
+  ?pool:Rtlb_par.Pool.t ->
+  ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
+  System.t -> App.t -> factors:float list -> sample list
+(** The pre-cache sweep: one independent {!Analysis.run} per factor
+    (with [?pool], one pool task each).  Kept as the reference the
+    incremental sweep is property-tested against, and for the
+    [e13] benchmark's baseline. *)
 
 val render : sample list -> string
 (** Plain-text table of the sweep. *)

@@ -57,6 +57,18 @@ let with_deadline t deadline =
     invalid_arg "Task.with_deadline: deadline too tight";
   { t with deadline }
 
+let with_release t release =
+  if release < 0 then invalid_arg "Task.with_release: negative release time";
+  if release + t.compute > t.deadline then
+    invalid_arg "Task.with_release: release too late for the deadline";
+  { t with release }
+
+let with_compute t compute =
+  if compute < 0 then invalid_arg "Task.with_compute: negative computation time";
+  if t.release + compute > t.deadline then
+    invalid_arg "Task.with_compute: computation does not fit the window";
+  { t with compute }
+
 let equal a b =
   a.id = b.id && String.equal a.name b.name && a.compute = b.compute
   && a.release = b.release && a.deadline = b.deadline

@@ -62,5 +62,14 @@ val with_deadline : t -> int -> t
 (** Same task with the deadline replaced.
     @raise Invalid_argument when the new deadline is too tight. *)
 
+val with_release : t -> int -> t
+(** Same task with the release time replaced.
+    @raise Invalid_argument when negative or [release + compute] exceeds
+      the deadline. *)
+
+val with_compute : t -> int -> t
+(** Same task with the computation time replaced.
+    @raise Invalid_argument when negative or the window cannot hold it. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -4,8 +4,10 @@ type counter =
   | Theta_evals
   | Chunks_claimed
   | Deadline_cancels
+  | Cache_hits
+  | Cone_tasks
 
-let n_counters = 5
+let n_counters = 7
 
 let counter_index = function
   | Tasks_scanned -> 0
@@ -13,6 +15,8 @@ let counter_index = function
   | Theta_evals -> 2
   | Chunks_claimed -> 3
   | Deadline_cancels -> 4
+  | Cache_hits -> 5
+  | Cone_tasks -> 6
 
 let counter_name = function
   | Tasks_scanned -> "tasks_scanned"
@@ -20,11 +24,13 @@ let counter_name = function
   | Theta_evals -> "theta_evals"
   | Chunks_claimed -> "chunks_claimed"
   | Deadline_cancels -> "deadline_cancellations"
+  | Cache_hits -> "cache_hits"
+  | Cone_tasks -> "cone_tasks"
 
 let all_counters =
   [
     Tasks_scanned; Candidate_intervals; Theta_evals; Chunks_claimed;
-    Deadline_cancels;
+    Deadline_cancels; Cache_hits; Cone_tasks;
   ]
 
 type event = {

@@ -33,13 +33,21 @@
     - [Chunks_claimed]: work-queue chunks claimed (pool workers and the
       inline path alike).
     - [Deadline_cancels]: jobs abandoned because a [?deadline_ns]
-      budget expired. *)
+      budget expired.
+    - [Cache_hits]: partition-block scan results served from an
+      incremental-analysis cache instead of being rescanned (blocks of
+      wholesale-reused resources included) — see [Rtlb.Incremental].
+    - [Cone_tasks]: per-direction EST/LCT recomputations an incremental
+      query performed (a task recomputed in both directions counts
+      twice); [0] on cold runs. *)
 type counter =
   | Tasks_scanned
   | Candidate_intervals
   | Theta_evals
   | Chunks_claimed
   | Deadline_cancels
+  | Cache_hits
+  | Cone_tasks
 
 val counter_name : counter -> string
 (** Stable snake_case name, used by stats tables and JSON output. *)

@@ -88,6 +88,36 @@ let ceil t =
 
 let to_float t = float_of_int t.n /. float_of_int t.d
 
+(* Best rational approximation by continued-fraction convergents.  The
+   convergent sequence is cut off once it reproduces the float to within
+   a relative 1e-9 or the denominator cap is hit, so [approx 0.1] is
+   [1/10] — the rational the user meant — rather than the exact dyadic
+   expansion 3602879701896397/2^55 of the nearest double, whose ceil/floor
+   behaviour is precisely the bug this function exists to avoid. *)
+let approx ?(max_den = 1_000_000) x0 =
+  if not (Float.is_finite x0) then invalid_arg "Rat.approx: not finite";
+  if max_den < 1 then invalid_arg "Rat.approx: max_den < 1";
+  if Float.abs x0 >= 1e15 then raise Overflow;
+  let negative = x0 < 0.0 in
+  let target = Float.abs x0 in
+  let tol = 1e-9 *. Float.max 1.0 target in
+  let rec go h0 k0 h1 k1 x =
+    (* [h1/k1] is the current convergent, [h0/k0] the previous one. *)
+    if Float.abs (target -. (float_of_int h1 /. float_of_int k1)) <= tol then
+      (h1, k1)
+    else
+      let frac = x -. Float.floor x in
+      if frac <= 1e-12 then (h1, k1)
+      else
+        let x' = 1.0 /. frac in
+        let a = int_of_float (Float.floor x') in
+        let h2 = Stdlib.((a * h1) + h0) and k2 = Stdlib.((a * k1) + k0) in
+        if a <= 0 || k2 > max_den || k2 < k1 || h2 < h1 then (h1, k1)
+        else go h1 k1 h2 k2 x'
+  in
+  let h, k = go 1 0 (int_of_float (Float.floor target)) 1 target in
+  make (if negative then Stdlib.( ~- ) h else h) k
+
 let to_int_exn t =
   if t.d = 1 then t.n else invalid_arg "Rat.to_int_exn: not an integer"
 

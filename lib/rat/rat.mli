@@ -62,6 +62,19 @@ val is_integer : t -> bool
 val floor : t -> int
 val ceil : t -> int
 val to_float : t -> float
+
+val approx : ?max_den:int -> float -> t
+(** [approx x] is the simplest rational reproducing the float [x] to a
+    relative [1e-9], found by walking continued-fraction convergents
+    ([max_den], default one million, caps the denominator).  [approx 0.1]
+    is [1/10] and [approx 1.37] is [137/100]: this recovers the rational
+    the literal {e meant}, where converting the nearest double exactly
+    would drag in the dyadic representation error — the root cause of
+    ceil/floor off-by-ones such as [ceil (0.1 *. 30.) = 4].  Sensitivity
+    scaling goes through this.
+    @raise Invalid_argument on NaN or infinities.
+    @raise Overflow when [abs x >= 1e15]. *)
+
 val to_int_exn : t -> int
 (** @raise Invalid_argument if the value is not an integer. *)
 

@@ -111,8 +111,41 @@ let literal c word value =
   end
   else fail (Printf.sprintf "bad literal at %d" c.pos)
 
+(* UTF-8 encoding of a Unicode scalar value (the \uXXXX decoder below
+   combines surrogate pairs first, so supplementary planes land here as
+   code points up to U+10FFFF). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let is_hex_digit = function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false
+
 let parse_string_body c =
   let buf = Buffer.create 16 in
+  (* The four hex digits after a [\u] already consumed by the caller. *)
+  let hex4 () =
+    if c.pos + 4 > String.length c.text then fail "bad \\u escape";
+    let hex = String.sub c.text c.pos 4 in
+    if not (String.for_all is_hex_digit hex) then fail "bad \\u escape";
+    c.pos <- c.pos + 4;
+    int_of_string ("0x" ^ hex)
+  in
   let rec go () =
     match peek c with
     | None -> fail "unterminated string"
@@ -127,13 +160,29 @@ let parse_string_body c =
         | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
         | Some 'u' ->
             advance c;
-            if c.pos + 4 > String.length c.text then fail "bad \\u escape";
-            let hex = String.sub c.text c.pos 4 in
-            c.pos <- c.pos + 4;
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
-            | Some _ -> Buffer.add_string buf "?"
-            | None -> fail "bad \\u escape");
+            let code = hex4 () in
+            let code =
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: RFC 8259 requires an escaped low
+                   surrogate right behind it. *)
+                if
+                  c.pos + 2 <= String.length c.text
+                  && c.text.[c.pos] = '\\'
+                  && c.text.[c.pos + 1] = 'u'
+                then begin
+                  c.pos <- c.pos + 2;
+                  let low = hex4 () in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    fail "lone high surrogate in \\u escape"
+                  else 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                end
+                else fail "lone high surrogate in \\u escape"
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail "lone low surrogate in \\u escape"
+              else code
+            in
+            add_utf8 buf code;
             go ()
         | _ -> fail "bad escape")
     | Some ch ->

@@ -8,4 +8,5 @@ let () =
    @ Test_flow.suite @ Test_periodic.suite @ Test_json.suite
    @ Test_simulator.suite @ Test_slack.suite @ Test_makespan.suite
    @ Test_mutate.suite @ Test_multiunit.suite @ Test_coverage.suite
-   @ Test_par.suite @ Test_validate.suite @ Test_obs.suite)
+   @ Test_par.suite @ Test_validate.suite @ Test_obs.suite
+   @ Test_incremental.suite)

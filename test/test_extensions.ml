@@ -109,6 +109,39 @@ let sensitivity_detects_infeasible () =
   | [ s ] -> check_bool "half deadlines infeasible" false s.Rtlb.Sensitivity.s_feasible
   | _ -> Alcotest.fail "one sample expected"
 
+let scale_exact_rational () =
+  let one_task deadline =
+    Rtlb.App.make
+      ~tasks:[ Rtlb.Task.make ~id:0 ~compute:0 ~deadline ~proc:"P" () ]
+      ~edges:[]
+  in
+  let scaled factor deadline =
+    let app = Rtlb.Sensitivity.scale_deadlines (one_task deadline) ~factor in
+    (Rtlb.App.task app 0).Rtlb.Task.deadline
+  in
+  (* the motivating bug: 0.1 * 30 must be exactly 3, not ceil(3.0000...4)
+     = 4 *)
+  check_int "0.1 * 30 = 3" 3 (scaled 0.1 30);
+  (* the scaled deadline is ceil(n*d / den) for every factor n/den on a
+     grid of deadlines, with no float round-off creeping in *)
+  let grid =
+    [
+      (1, 10); (3, 10); (2, 3); (4, 5); (9, 10); (1, 1); (11, 10); (5, 4);
+      (3, 2); (137, 100); (2, 1);
+    ]
+  in
+  List.iter
+    (fun (num, den) ->
+      let factor = float_of_int num /. float_of_int den in
+      for d = 1 to 60 do
+        let expected = ((num * d) + den - 1) / den in
+        check_int
+          (Printf.sprintf "%d/%d * %d" num den d)
+          expected
+          (scaled factor d)
+      done)
+    grid
+
 let scale_floors_at_window () =
   let app = Rtlb.Sensitivity.scale_deadlines paper ~factor:0.01 in
   Array.iter
@@ -378,6 +411,8 @@ let suite =
         Alcotest.test_case "sensitivity sweep" `Quick sensitivity_on_example;
         Alcotest.test_case "sensitivity infeasible" `Quick
           sensitivity_detects_infeasible;
+        Alcotest.test_case "deadline scaling is exact-rational" `Quick
+          scale_exact_rational;
         Alcotest.test_case "deadline scaling floors" `Quick scale_floors_at_window;
         Alcotest.test_case "time bound: single pool" `Quick
           timebound_single_processor;

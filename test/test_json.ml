@@ -29,6 +29,38 @@ let escaping () =
   | Rtfmt.Json.Str back -> check_string "escapes survive" tricky back
   | _ -> Alcotest.fail "expected string"
 
+let unicode_escapes () =
+  let str text =
+    match j text with
+    | Rtfmt.Json.Str back -> back
+    | _ -> Alcotest.fail ("expected string from " ^ text)
+  in
+  (* \uXXXX beyond ASCII decodes to UTF-8 (pre-fix: every such escape
+     collapsed to "?"). *)
+  check_string "2-byte sequence" "caf\xc3\xa9" (str {|"caf\u00e9"|});
+  check_string "3-byte sequence" "\xe4\xb8\xad" (str {|"\u4e2d"|});
+  check_string "surrogate pair is one astral code point" "\xf0\x9f\x98\x80"
+    (str {|"\ud83d\ude00"|});
+  check_string "ASCII escapes unchanged" "A" (str {|"\u0041"|});
+  (* decoded non-ASCII survives a write/parse round trip: the writer
+     passes UTF-8 bytes through verbatim *)
+  check_string "unicode round trip" "caf\xc3\xa9 \xf0\x9f\x98\x80"
+    (str (s (Rtfmt.Json.Str (str {|"caf\u00e9 \ud83d\ude00"|}))));
+  let bad text =
+    match j text with
+    | exception Rtfmt.Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ text)
+  in
+  bad {|"\ud83d"|};
+  (* lone high surrogate *)
+  bad {|"\ude00"|};
+  (* lone low surrogate *)
+  bad {|"\ud83dA"|};
+  (* high surrogate not followed by a low one *)
+  bad {|"\ud83dx"|};
+  bad {|"\u00g1"|};
+  bad {|"\u12"|}
+
 let parse_errors () =
   let bad text =
     match j text with
@@ -163,6 +195,7 @@ let suite =
       [
         Alcotest.test_case "print/parse roundtrip" `Quick print_parse_roundtrip;
         Alcotest.test_case "escaping" `Quick escaping;
+        Alcotest.test_case "unicode escapes" `Quick unicode_escapes;
         Alcotest.test_case "parse errors" `Quick parse_errors;
         Alcotest.test_case "member access" `Quick member_access;
         Alcotest.test_case "analysis encoding" `Quick analysis_encoding;

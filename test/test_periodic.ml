@@ -18,6 +18,30 @@ let hyperperiod_lcm () =
        [ pt ~name:"a" ~period:5 ~compute:1 (); pt ~name:"b" ~period:7 ~compute:1 () ]);
   check_int "empty" 1 (Rtlb.Periodic.hyperperiod [])
 
+let hyperperiod_overflow () =
+  (* Five coprime 5-digit primes: the true hyperperiod is ~1e25, far past
+     max_int.  Pre-fix the fold wrapped silently and handed the bogus
+     horizon to unroll. *)
+  let primes = [ 99991; 99989; 99971; 99961; 99929 ] in
+  let tasks =
+    List.mapi
+      (fun k p ->
+        pt ~name:(Printf.sprintf "t%d" k) ~period:p ~compute:1 ())
+      primes
+  in
+  (match Rtlb.Periodic.hyperperiod tasks with
+  | exception Invalid_argument msg ->
+      check_bool "message reports the overflow" true
+        (string_contains ~needle:"overflow" msg);
+      check_bool "message names the offending period" true
+        (string_contains ~needle:"99961" msg)
+  | h -> Alcotest.fail (Printf.sprintf "expected overflow, got %d" h));
+  (* near the edge but representable stays exact *)
+  check_int "large but safe lcm" (99991 * 99989)
+    (Rtlb.Periodic.hyperperiod
+       [ pt ~name:"a" ~period:99991 ~compute:1 ();
+         pt ~name:"b" ~period:99989 ~compute:1 () ])
+
 let utilisation_sum () =
   let u =
     Rtlb.Periodic.utilisation
@@ -229,6 +253,7 @@ let suite =
     ( "periodic",
       [
         Alcotest.test_case "hyperperiod" `Quick hyperperiod_lcm;
+        Alcotest.test_case "hyperperiod overflow" `Quick hyperperiod_overflow;
         Alcotest.test_case "utilisation" `Quick utilisation_sum;
         Alcotest.test_case "ptask validation" `Quick ptask_validation;
         Alcotest.test_case "unroll counts" `Quick unroll_counts;

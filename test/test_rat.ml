@@ -56,6 +56,33 @@ let errors () =
   Alcotest.check_raises "overflow detected" Rat.Overflow (fun () ->
       ignore (Rat.mul (r max_int 1) (r max_int 1)))
 
+let float_approx () =
+  check_rat "0.1 -> 1/10" (r 1 10) (Rat.approx 0.1);
+  check_rat "1.37 -> 137/100" (r 137 100) (Rat.approx 1.37);
+  check_rat "0.3333 -> 3333/10000 (not 1/3)" (r 3333 10000) (Rat.approx 0.3333);
+  check_rat "2/3 literal" (r 2 3) (Rat.approx (2.0 /. 3.0));
+  check_rat "integer" (r 3 1) (Rat.approx 3.0);
+  check_rat "zero" Rat.zero (Rat.approx 0.0);
+  check_rat "negative" (r (-1) 4) (Rat.approx (-0.25));
+  check_bool "NaN rejected" true
+    (match Rat.approx Float.nan with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "infinity rejected" true
+    (match Rat.approx Float.infinity with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "huge magnitude overflows" true
+    (match Rat.approx 1e18 with exception Rat.Overflow -> true | _ -> false)
+
+let approx_props =
+  [
+    qtest "approx recovers small rationals exactly"
+      QCheck.(pair (int_range 1 999) (int_range 1 999))
+      (fun (n, d) ->
+        Rat.equal (r n d) (Rat.approx (float_of_int n /. float_of_int d)));
+  ]
+
 let pp_format () =
   check_string "integer prints bare" "5" (Rat.to_string (r 10 2));
   check_string "fraction prints as n/d" "3/2" (Rat.to_string (r 3 2));
@@ -118,7 +145,8 @@ let suite =
         Alcotest.test_case "comparisons" `Quick comparisons;
         Alcotest.test_case "rounding" `Quick rounding;
         Alcotest.test_case "errors" `Quick errors;
+        Alcotest.test_case "float approximation" `Quick float_approx;
         Alcotest.test_case "printing" `Quick pp_format;
       ]
-      @ prop_tests );
+      @ approx_props @ prop_tests );
   ]
