@@ -833,6 +833,49 @@ let priorities () =
    0 means "nothing beyond the standard 1/2/4/8 curve". *)
 let jobs = ref 0
 
+(* --resume (bench/main.ml sets it): reuse completed stages from the
+   BENCH_*.ckpt.json checkpoint a previous killed run left behind.
+   Each long experiment checkpoints after every stage — per workload
+   for E12, per series for E13 — storing the rendered table row(s) next
+   to the JSON fragment, so a resumed run replays finished stages
+   verbatim (identical tables, identical final JSON) and computes only
+   the rest.  Checkpoints are deleted when the experiment completes. *)
+let resume = ref false
+
+let str_row cells = Rtfmt.Json.List (List.map (fun c -> Rtfmt.Json.Str c) cells)
+
+let row_cells = function
+  | Rtfmt.Json.List l ->
+      List.map (function Rtfmt.Json.Str s -> s | _ -> "") l
+  | _ -> []
+
+let load_checkpoint ~kind ~fingerprint file =
+  let fresh () = Rtfmt.Checkpoint.create ~kind ~fingerprint in
+  if not !resume then fresh ()
+  else
+    match Rtfmt.Checkpoint.load file with
+    | Ok None -> fresh ()
+    | Ok (Some t) -> (
+        match Rtfmt.Checkpoint.validate ~kind ~fingerprint t with
+        | Ok () ->
+            Printf.printf "(resuming from %s: %d stage(s) already done)\n"
+              file
+              (List.length (Rtfmt.Checkpoint.entries t));
+            t
+        | Error reason ->
+            Printf.printf "(ignoring %s: %s)\n" file reason;
+            fresh ())
+    | Error reason ->
+        Printf.printf "(ignoring %s: %s)\n" file reason;
+        fresh ()
+
+let checkpoint_stage state file ~key value =
+  state := Rtfmt.Checkpoint.add !state ~key value;
+  Rtfmt.Checkpoint.save file !state
+
+let resumed_stage state ~key =
+  if !resume then Rtfmt.Checkpoint.find !state key else None
+
 let parallel_scaling () =
   Bench_util.section
     "E12: parallel scaling - Analysis.run across a domain pool";
@@ -873,82 +916,128 @@ let parallel_scaling () =
      Analysis.run the time goes (spans from the observability layer). *)
   let phase_names = [ "est_lct"; "lower_bounds"; "plan"; "reduce"; "cost" ] in
   let phases_t = Rtfmt.Table.create ("tasks" :: List.map (fun p -> p ^ " ms") phase_names) in
+  let ckpt_file = "BENCH_parallel.ckpt.json" in
+  let fingerprint =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "e12;seed=11;layered5x0.4;domains=%s"
+            (String.concat "," (List.map string_of_int domain_counts))))
+  in
+  let state = ref (load_checkpoint ~kind:"bench-parallel" ~fingerprint ckpt_file) in
   let json_workloads =
     List.map
       (fun n ->
-        let config =
-          {
-            Workload.Gen.default with
-            Workload.Gen.n_tasks = n;
-            shape = Workload.Gen.Layered { layers = 5; density = 0.4 };
-            seed = 11;
-          }
+        let key = Printf.sprintf "tasks-%d" n in
+        let cached =
+          match resumed_stage state ~key with
+          | Some entry -> (
+              match
+                ( Rtfmt.Json.member "row" entry,
+                  Rtfmt.Json.member "phase_row" entry,
+                  Rtfmt.Json.member "json" entry )
+              with
+              | row, phase_row, json ->
+                  Some (row_cells row, row_cells phase_row, json)
+              | exception Not_found -> None)
+          | None -> None
         in
-        let app = Workload.Gen.generate config in
-        let system = Workload.Gen.shared_system config in
-        let reference = Rtlb.Analysis.run system app in
-        let seq_ms = best_of 5 (fun () -> Rtlb.Analysis.run system app) in
-        let tracer = Rtlb_obs.Tracer.make () in
-        let _ = Rtlb.Analysis.run ~tracer system app in
-        let stats = Rtlb_obs.Stats.of_tracer tracer in
-        let phase_ms p =
-          Int64.to_float (Rtlb_obs.Stats.span_total_ns stats p) /. 1e6
-        in
-        Rtfmt.Table.add_row phases_t
-          (string_of_int n
-          :: List.map (fun p -> Printf.sprintf "%.3f" (phase_ms p)) phase_names);
-        let identical = ref true in
-        let curve =
-          List.map
-            (fun d ->
-              Rtlb_par.Pool.with_pool ~jobs:d (fun pool ->
-                  let a = Rtlb.Analysis.run ~pool system app in
-                  if not (bounds_equal a reference) then identical := false;
-                  let ms =
-                    best_of 5 (fun () -> Rtlb.Analysis.run ~pool system app)
-                  in
-                  (d, ms)))
-            domain_counts
-        in
-        let base_ms =
-          match curve with (_, ms) :: _ -> ms | [] -> seq_ms
-        in
-        let speedup ms = base_ms /. ms in
-        Rtfmt.Table.add_row t
-          ([ string_of_int n; Printf.sprintf "%.2f" seq_ms ]
-          @ List.concat_map
-              (fun (_, ms) ->
-                [
-                  Printf.sprintf "%.2f" ms;
-                  Printf.sprintf "%.2fx" (speedup ms);
-                ])
-              curve
-          @ [ (if !identical then "yes" else "NO") ]);
-        Rtfmt.Json.Obj
-          [
-            ("tasks", Rtfmt.Json.Int n);
-            ("seq_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" seq_ms));
-            ("identical", Rtfmt.Json.Bool !identical);
-            ( "phases",
+        match cached with
+        | Some (row, phase_row, json) ->
+            Rtfmt.Table.add_row t row;
+            Rtfmt.Table.add_row phases_t phase_row;
+            json
+        | None ->
+            let config =
+              {
+                Workload.Gen.default with
+                Workload.Gen.n_tasks = n;
+                shape = Workload.Gen.Layered { layers = 5; density = 0.4 };
+                seed = 11;
+              }
+            in
+            let app = Workload.Gen.generate config in
+            let system = Workload.Gen.shared_system config in
+            let reference = Rtlb.Analysis.run system app in
+            let seq_ms = best_of 5 (fun () -> Rtlb.Analysis.run system app) in
+            let tracer = Rtlb_obs.Tracer.make () in
+            let _ = Rtlb.Analysis.run ~tracer system app in
+            let stats = Rtlb_obs.Stats.of_tracer tracer in
+            let phase_ms p =
+              Int64.to_float (Rtlb_obs.Stats.span_total_ns stats p) /. 1e6
+            in
+            let phase_row =
+              string_of_int n
+              :: List.map
+                   (fun p -> Printf.sprintf "%.3f" (phase_ms p))
+                   phase_names
+            in
+            Rtfmt.Table.add_row phases_t phase_row;
+            let identical = ref true in
+            let curve =
+              List.map
+                (fun d ->
+                  Rtlb_par.Pool.with_pool ~jobs:d (fun pool ->
+                      let a = Rtlb.Analysis.run ~pool system app in
+                      if not (bounds_equal a reference) then identical := false;
+                      let ms =
+                        best_of 5 (fun () -> Rtlb.Analysis.run ~pool system app)
+                      in
+                      (d, ms)))
+                domain_counts
+            in
+            let base_ms =
+              match curve with (_, ms) :: _ -> ms | [] -> seq_ms
+            in
+            let speedup ms = base_ms /. ms in
+            let row =
+              [ string_of_int n; Printf.sprintf "%.2f" seq_ms ]
+              @ List.concat_map
+                  (fun (_, ms) ->
+                    [
+                      Printf.sprintf "%.2f" ms;
+                      Printf.sprintf "%.2fx" (speedup ms);
+                    ])
+                  curve
+              @ [ (if !identical then "yes" else "NO") ]
+            in
+            Rtfmt.Table.add_row t row;
+            let json =
               Rtfmt.Json.Obj
-                (List.map
-                   (fun p ->
-                     (p, Rtfmt.Json.Str (Printf.sprintf "%.3f" (phase_ms p))))
-                   phase_names) );
-            ( "curve",
-              Rtfmt.Json.List
-                (List.map
-                   (fun (d, ms) ->
-                     Rtfmt.Json.Obj
-                       [
-                         ("domains", Rtfmt.Json.Int d);
-                         ("ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" ms));
-                         ( "speedup",
-                           Rtfmt.Json.Str (Printf.sprintf "%.2f" (speedup ms))
-                         );
-                       ])
-                   curve) );
-          ])
+                [
+                  ("tasks", Rtfmt.Json.Int n);
+                  ("seq_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" seq_ms));
+                  ("identical", Rtfmt.Json.Bool !identical);
+                  ( "phases",
+                    Rtfmt.Json.Obj
+                      (List.map
+                         (fun p ->
+                           ( p,
+                             Rtfmt.Json.Str
+                               (Printf.sprintf "%.3f" (phase_ms p)) ))
+                         phase_names) );
+                  ( "curve",
+                    Rtfmt.Json.List
+                      (List.map
+                         (fun (d, ms) ->
+                           Rtfmt.Json.Obj
+                             [
+                               ("domains", Rtfmt.Json.Int d);
+                               ("ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" ms));
+                               ( "speedup",
+                                 Rtfmt.Json.Str
+                                   (Printf.sprintf "%.2f" (speedup ms)) );
+                             ])
+                         curve) );
+                ]
+            in
+            checkpoint_stage state ckpt_file ~key
+              (Rtfmt.Json.Obj
+                 [
+                   ("row", str_row row);
+                   ("phase_row", str_row phase_row);
+                   ("json", json);
+                 ]);
+            json)
       [ 10; 20; 40; 80 ]
   in
   Rtfmt.Table.print t;
@@ -964,10 +1053,10 @@ let parallel_scaling () =
         ("workloads", Rtfmt.Json.List json_workloads);
       ]
   in
-  let oc = open_out "BENCH_parallel.json" in
-  output_string oc (Rtfmt.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Rtfmt.write_atomic "BENCH_parallel.json" (fun oc ->
+      output_string oc (Rtfmt.Json.to_string json);
+      output_char oc '\n');
+  Rtfmt.Checkpoint.remove ckpt_file;
   Printf.printf "wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
@@ -1020,69 +1109,117 @@ let incremental_sweep () =
      answered from cached block scans.\n"
     (Rtlb.App.n_tasks app) base_deadline
     (List.length distinct_deadlines);
-  let reference = Rtlb.Sensitivity.deadline_sweep_cold system app ~factors in
-  let incremental = Rtlb.Sensitivity.deadline_sweep system app ~factors in
-  let sweep_identical = reference = incremental in
-  let cold_ms =
-    best_of 3 (fun () ->
-        ignore (Rtlb.Sensitivity.deadline_sweep_cold system app ~factors))
+  let ckpt_file = "BENCH_incremental.ckpt.json" in
+  let state =
+    ref
+      (load_checkpoint ~kind:"bench-incremental"
+         ~fingerprint:(Rtlb.Incremental.instance_fingerprint system app)
+         ckpt_file)
   in
-  let incr_ms =
-    best_of 3 (fun () ->
-        ignore (Rtlb.Sensitivity.deadline_sweep system app ~factors))
+  (* Each series is one checkpoint stage: the rendered table row and
+     the JSON fragment are stored together, so a --resume run replays a
+     finished series verbatim and computes only the other. *)
+  let stage key compute =
+    let cached =
+      match resumed_stage state ~key with
+      | Some entry -> (
+          match (Rtfmt.Json.member "row" entry, Rtfmt.Json.member "json" entry)
+          with
+          | row, json -> Some (row_cells row, json)
+          | exception Not_found -> None)
+      | None -> None
+    in
+    match cached with
+    | Some v -> v
+    | None ->
+        let row, json = compute () in
+        checkpoint_stage state ckpt_file ~key
+          (Rtfmt.Json.Obj [ ("row", str_row row); ("json", json) ]);
+        (row, json)
   in
-  let sweep_speedup = cold_ms /. incr_ms in
+  let series_row name cold incr identical =
+    ( [
+        name;
+        Printf.sprintf "%.2f" cold;
+        Printf.sprintf "%.2f" incr;
+        Printf.sprintf "%.2fx" (cold /. incr);
+        (if identical then "yes" else "NO");
+      ],
+      Rtfmt.Json.Obj
+        [
+          ("cold_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" cold));
+          ("incremental_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" incr));
+          ("speedup", Rtfmt.Json.Str (Printf.sprintf "%.2f" (cold /. incr)));
+          ("identical", Rtfmt.Json.Bool identical);
+        ] )
+  in
+  let sweep_row, sweep_json =
+    stage "sweep" (fun () ->
+        let reference =
+          Rtlb.Sensitivity.deadline_sweep_cold system app ~factors
+        in
+        let incremental = Rtlb.Sensitivity.deadline_sweep system app ~factors in
+        let sweep_identical = reference = incremental in
+        let cold_ms =
+          best_of 3 (fun () ->
+              ignore (Rtlb.Sensitivity.deadline_sweep_cold system app ~factors))
+        in
+        let incr_ms =
+          best_of 3 (fun () ->
+              ignore (Rtlb.Sensitivity.deadline_sweep system app ~factors))
+        in
+        series_row "16-factor sweep" cold_ms incr_ms sweep_identical)
+  in
   (* What-if series: 16 single-task deadline relaxations against one
      warm handle, versus a cold run per question. *)
-  let edits k =
-    let task = (7 * k) mod Rtlb.App.n_tasks app in
-    [
-      Rtlb.Incremental.Set_deadline
-        { task; deadline = (Rtlb.App.task app task).Rtlb.Task.deadline + 1 + k };
-    ]
+  let whatif_row, whatif_json =
+    stage "whatif" (fun () ->
+        let edits k =
+          let task = (7 * k) mod Rtlb.App.n_tasks app in
+          [
+            Rtlb.Incremental.Set_deadline
+              {
+                task;
+                deadline = (Rtlb.App.task app task).Rtlb.Task.deadline + 1 + k;
+              };
+          ]
+        in
+        let handle = Rtlb.Incremental.create system app in
+        let whatif_identical =
+          List.for_all
+            (fun k ->
+              let a = Rtlb.Incremental.edit handle (edits k) in
+              let b =
+                Rtlb.Analysis.run system (Rtlb.Incremental.apply app (edits k))
+              in
+              a.Rtlb.Analysis.bounds = b.Rtlb.Analysis.bounds
+              && a.Rtlb.Analysis.cost = b.Rtlb.Analysis.cost)
+            (List.init 16 Fun.id)
+        in
+        let whatif_cold_ms =
+          best_of 3 (fun () ->
+              List.iter
+                (fun k ->
+                  ignore
+                    (Rtlb.Analysis.run system
+                       (Rtlb.Incremental.apply app (edits k))))
+                (List.init 16 Fun.id))
+        in
+        let whatif_incr_ms =
+          best_of 3 (fun () ->
+              List.iter
+                (fun k -> ignore (Rtlb.Incremental.edit handle (edits k)))
+                (List.init 16 Fun.id))
+        in
+        series_row "16 what-if edits" whatif_cold_ms whatif_incr_ms
+          whatif_identical)
   in
-  let handle = Rtlb.Incremental.create system app in
-  let whatif_identical =
-    List.for_all
-      (fun k ->
-        let a = Rtlb.Incremental.edit handle (edits k) in
-        let b = Rtlb.Analysis.run system (Rtlb.Incremental.apply app (edits k)) in
-        a.Rtlb.Analysis.bounds = b.Rtlb.Analysis.bounds
-        && a.Rtlb.Analysis.cost = b.Rtlb.Analysis.cost)
-      (List.init 16 Fun.id)
-  in
-  let whatif_cold_ms =
-    best_of 3 (fun () ->
-        List.iter
-          (fun k ->
-            ignore
-              (Rtlb.Analysis.run system (Rtlb.Incremental.apply app (edits k))))
-          (List.init 16 Fun.id))
-  in
-  let whatif_incr_ms =
-    best_of 3 (fun () ->
-        List.iter
-          (fun k -> ignore (Rtlb.Incremental.edit handle (edits k)))
-          (List.init 16 Fun.id))
-  in
-  let whatif_speedup = whatif_cold_ms /. whatif_incr_ms in
   let t =
     Rtfmt.Table.create
       [ "series"; "cold ms"; "incremental ms"; "speedup"; "identical" ]
   in
-  let row name cold incr speedup identical =
-    Rtfmt.Table.add_row t
-      [
-        name;
-        Printf.sprintf "%.2f" cold;
-        Printf.sprintf "%.2f" incr;
-        Printf.sprintf "%.2fx" speedup;
-        (if identical then "yes" else "NO");
-      ]
-  in
-  row "16-factor sweep" cold_ms incr_ms sweep_speedup sweep_identical;
-  row "16 what-if edits" whatif_cold_ms whatif_incr_ms whatif_speedup
-    whatif_identical;
+  Rtfmt.Table.add_row t sweep_row;
+  Rtfmt.Table.add_row t whatif_row;
   Rtfmt.Table.print t;
   let json =
     Rtfmt.Json.Obj
@@ -1092,29 +1229,14 @@ let incremental_sweep () =
         ("factors", Rtfmt.Json.Int (List.length factors));
         ( "distinct_scaled_deadlines",
           Rtfmt.Json.Int (List.length distinct_deadlines) );
-        ( "sweep",
-          Rtfmt.Json.Obj
-            [
-              ("cold_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" cold_ms));
-              ("incremental_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" incr_ms));
-              ("speedup", Rtfmt.Json.Str (Printf.sprintf "%.2f" sweep_speedup));
-              ("identical", Rtfmt.Json.Bool sweep_identical);
-            ] );
-        ( "whatif",
-          Rtfmt.Json.Obj
-            [
-              ("cold_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" whatif_cold_ms));
-              ( "incremental_ms",
-                Rtfmt.Json.Str (Printf.sprintf "%.3f" whatif_incr_ms) );
-              ("speedup", Rtfmt.Json.Str (Printf.sprintf "%.2f" whatif_speedup));
-              ("identical", Rtfmt.Json.Bool whatif_identical);
-            ] );
+        ("sweep", sweep_json);
+        ("whatif", whatif_json);
       ]
   in
-  let oc = open_out "BENCH_incremental.json" in
-  output_string oc (Rtfmt.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Rtfmt.write_atomic "BENCH_incremental.json" (fun oc ->
+      output_string oc (Rtfmt.Json.to_string json);
+      output_char oc '\n');
+  Rtfmt.Checkpoint.remove ckpt_file;
   Printf.printf "wrote BENCH_incremental.json\n"
 
 let all () =

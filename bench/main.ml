@@ -6,9 +6,12 @@
      dune exec bench/main.exe -- paper   -- only the paper reproduction
      dune exec bench/main.exe -- e3 e5   -- selected experiments
      dune exec bench/main.exe -- --jobs 8 e12   -- extend the E12 curve
+     dune exec bench/main.exe -- --resume e12   -- pick up a killed run
 
    --jobs N (or the RTLB_JOBS environment variable) adds an N-domain
-   point to the E12 parallel-scaling curve. *)
+   point to the E12 parallel-scaling curve.  --resume reuses completed
+   stages from the BENCH_*.ckpt.json checkpoints a previous killed run
+   left behind (see docs/ROBUSTNESS.md). *)
 
 let sections =
   [
@@ -36,6 +39,13 @@ let experiment_names =
   List.filter (fun n -> String.length n > 1 && n.[0] = 'e') (List.map fst sections)
 
 let () =
+  (* RTLB_CHAOS arms the deterministic fault harness (docs/ROBUSTNESS.md);
+     the kill-and-resume CI smoke runs bench under killckpt@N. *)
+  (match Rtlb_par.Chaos.arm_from_env () with
+  | Ok _ -> ()
+  | Error e ->
+      prerr_endline ("bench: " ^ e);
+      exit 2);
   (match Sys.getenv_opt "RTLB_JOBS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
@@ -56,6 +66,9 @@ let () =
     | "--jobs" :: [] ->
         Printf.eprintf "--jobs expects a positive integer\n";
         exit 1
+    | "--resume" :: rest ->
+        Experiments.resume := true;
+        parse_jobs acc rest
     | a :: rest -> parse_jobs (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -70,7 +83,13 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f -> (
+          try f ()
+          with Rtlb_par.Chaos.Killed ->
+            (* Simulated SIGKILL at a checkpoint write; the checkpoint
+               just written is durable and --resume recovers from it. *)
+            prerr_endline "bench: killed at checkpoint (chaos)";
+            exit 137)
       | None ->
           Printf.eprintf "unknown section %S; available: %s\n" name
             (String.concat ", " (List.map fst sections));

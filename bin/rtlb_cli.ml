@@ -10,6 +10,32 @@
 
 open Cmdliner
 
+(* ---- signals ----------------------------------------------------- *)
+
+(* First SIGINT/SIGTERM: request cooperative cancellation — the bound
+   scans stop claiming work at their next chunk claim, the analysis
+   comes back flagged partial, and the command flushes its (valid,
+   partial) output before exiting 128+signum.  Second signal: the user
+   insists — exit immediately. *)
+let interrupted : int option ref = ref None
+
+let install_signal_handlers () =
+  let handle code _ =
+    match !interrupted with
+    | Some _ -> exit code
+    | None ->
+        interrupted := Some code;
+        Rtlb_par.Pool.request_cancel ()
+  in
+  List.iter
+    (fun (signal, code) ->
+      try Sys.set_signal signal (Sys.Signal_handle (handle code))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigint, 130); (Sys.sigterm, 143) ]
+
+let exit_if_interrupted () =
+  match !interrupted with Some code -> exit code | None -> ()
+
 let read_appfile path =
   try Ok (Rtfmt.Appfile.parse_file path) with
   | Rtfmt.Appfile.Parse_error (line, msg) ->
@@ -114,9 +140,7 @@ let write_trace trace tracer =
   | None, _ | _, None -> ()
   | Some "-", Some tr -> print_string (Rtlb_obs.Trace_event.to_string tr)
   | Some file, Some tr ->
-      let oc = open_out file in
-      output_string oc (Rtlb_obs.Trace_event.to_string tr);
-      close_out oc;
+      Rtfmt.write_string_atomic file (Rtlb_obs.Trace_event.to_string tr);
       Printf.printf "wrote trace to %s\n" file
 
 (* ---- analyze ---------------------------------------------------- *)
@@ -173,6 +197,7 @@ let analyze_cmd =
               | _ -> ()
             end;
             write_trace trace tracer;
+            exit_if_interrupted ();
             `Ok ())
   in
   let doc = "Run the lower-bound analysis on an application file." in
@@ -344,11 +369,9 @@ let schedule_cmd =
                 (match svg with
                 | None -> ()
                 | Some file ->
-                    let oc = open_out file in
-                    output_string oc
+                    Rtfmt.write_string_atomic file
                       (Sched.Gantt.render_svg ~show_resources:true app
                          platform s);
-                    close_out oc;
                     Printf.printf "wrote %s\n" file);
                 `Ok ()
             | Error f ->
@@ -451,7 +474,25 @@ let sensitivity_cmd =
       & opt (list float) [ 0.8; 0.9; 1.0; 1.25; 1.5; 2.0; 3.0 ]
       & info [ "factors" ] ~docv:"F,F,..." ~doc)
   in
-  let run path override factors jobs timeout =
+  let checkpoint_arg =
+    let doc =
+      "Write sweep progress to $(docv) (atomically, after each computed \
+       factor) and, when the file already holds a checkpoint of this \
+       exact instance, resume from it: completed factors are reused \
+       bit-identically, only the rest are analysed.  A checkpoint of a \
+       different or edited instance is reported stale and recomputed.  \
+       The file is deleted when the sweep completes."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let every_arg =
+    let doc = "Persist the checkpoint every $(docv) computed factors." in
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let run path override factors jobs timeout checkpoint every trace stats =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
@@ -459,12 +500,93 @@ let sensitivity_cmd =
         | Error e -> `Error (false, e)
         | Ok system ->
             let deadline_ns = deadline_of timeout in
+            let tracer = tracer_for ~trace ~stats in
+            let kind = "sensitivity" in
+            let fingerprint =
+              Rtlb.Incremental.instance_fingerprint system app
+            in
+            let loaded =
+              match checkpoint with
+              | None -> None
+              | Some file -> (
+                  match Rtfmt.Checkpoint.load file with
+                  | Ok None -> None
+                  | Ok (Some t) -> (
+                      match
+                        Rtfmt.Checkpoint.validate ~kind ~fingerprint t
+                      with
+                      | Ok () -> Some t
+                      | Error reason ->
+                          Printf.eprintf "rtlb: ignoring %s: %s\n%!" file
+                            reason;
+                          None)
+                  | Error reason ->
+                      Printf.eprintf "rtlb: ignoring %s: %s\n%!" file reason;
+                      None)
+            in
+            let resume =
+              Option.map
+                (fun t factor ->
+                  Option.bind
+                    (Rtfmt.Checkpoint.find t
+                       (Rtfmt.Checkpoint.factor_key factor))
+                    (fun j -> Result.to_option (Rtfmt.Checkpoint.sample_of_json j)))
+                loaded
+            in
+            let state =
+              ref
+                (match loaded with
+                | Some t -> t
+                | None -> Rtfmt.Checkpoint.create ~kind ~fingerprint)
+            in
+            let unsaved = ref 0 in
+            let on_sample =
+              Option.map
+                (fun file sample ->
+                  (* A budget-cut sample is valid but below the exhaustive
+                     value; persisting it would pin the weaker bound into a
+                     resumed run, so only exhaustive samples checkpoint. *)
+                  if not sample.Rtlb.Sensitivity.s_partial then begin
+                    state :=
+                      Rtfmt.Checkpoint.add !state
+                        ~key:
+                          (Rtfmt.Checkpoint.factor_key
+                             sample.Rtlb.Sensitivity.s_factor)
+                        (Rtfmt.Checkpoint.sample_to_json sample);
+                    incr unsaved;
+                    if !unsaved >= max 1 every then begin
+                      unsaved := 0;
+                      Rtfmt.Checkpoint.save ?tracer file !state
+                    end
+                  end)
+                checkpoint
+            in
             let samples =
               with_jobs jobs (fun pool ->
-                  Rtlb.Sensitivity.deadline_sweep ?pool ?deadline_ns system app
-                    ~factors)
+                  Rtlb.Sensitivity.deadline_sweep ?pool ?deadline_ns ?tracer
+                    ?on_sample ?resume system app ~factors)
             in
+            (match checkpoint with
+            | Some file when !unsaved > 0 ->
+                Rtfmt.Checkpoint.save ?tracer file !state
+            | _ -> ());
             print_string (Rtlb.Sensitivity.render samples);
+            (match (stats, tracer) with
+            | true, Some tr ->
+                print_newline ();
+                print_string
+                  (Rtfmt.Stats_render.render (Rtlb_obs.Stats.of_tracer tr))
+            | _ -> ());
+            write_trace trace tracer;
+            (match checkpoint with
+            | Some file
+              when !interrupted = None
+                   && List.for_all
+                        (fun s -> not s.Rtlb.Sensitivity.s_partial)
+                        samples ->
+                Rtfmt.Checkpoint.remove file
+            | _ -> ());
+            exit_if_interrupted ();
             `Ok ())
   in
   let doc = "Sweep deadline tightness and report the bounds at each level." in
@@ -473,7 +595,7 @@ let sensitivity_cmd =
     Term.(
       ret
         (const run $ file_arg $ system_arg $ factors_arg $ jobs_arg
-       $ timeout_arg))
+       $ timeout_arg $ checkpoint_arg $ every_arg $ trace_arg $ stats_arg))
 
 (* ---- whatif -------------------------------------------------------- *)
 
@@ -715,9 +837,35 @@ let dot_cmd =
 let () =
   let doc = "lower-bound analysis for real-time applications (ICDCS 1995)" in
   let info = Cmd.info "rtlb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-          [
-            analyze_cmd; check_cmd; example_cmd; schedule_cmd; generate_cmd;
-            dot_cmd; profile_cmd; sensitivity_cmd; whatif_cmd; timebound_cmd;
-            horn_cmd; critical_cmd;
-          ]))
+  install_signal_handlers ();
+  (* RTLB_CHAOS arms the deterministic fault harness for the whole
+     process (docs/ROBUSTNESS.md) — the chaos CI job runs real CLI
+     invocations under injected faults. *)
+  (match Rtlb_par.Chaos.arm_from_env () with
+  | Ok _ -> ()
+  | Error e ->
+      prerr_endline ("rtlb: " ^ e);
+      exit 2);
+  let code =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [
+             analyze_cmd; check_cmd; example_cmd; schedule_cmd; generate_cmd;
+             dot_cmd; profile_cmd; sensitivity_cmd; whatif_cmd; timebound_cmd;
+             horn_cmd; critical_cmd;
+           ])
+    with
+    | Rtlb_par.Chaos.Killed ->
+        (* Simulated SIGKILL at a checkpoint write: die like the real
+           thing (the checkpoint just written is durable; resume must
+           recover). *)
+        prerr_endline "rtlb: killed at checkpoint (chaos)";
+        137
+    | e ->
+        let bt = Printexc.get_backtrace () in
+        Printf.eprintf "rtlb: internal error, uncaught exception:\n  %s\n%s"
+          (Printexc.to_string e) bt;
+        125
+  in
+  exit code

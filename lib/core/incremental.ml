@@ -63,6 +63,40 @@ type t = {
 let base t = t.i_base
 let cached_blocks t = Hashtbl.length t.i_cache
 
+(* Stable digest over everything the analysis result depends on: the
+   full per-task tuple (not just the release/compute/deadline triple),
+   the graph with weights, and the system model.  Checkpoint files are
+   keyed by this so a resume against an edited instance is detected as
+   stale rather than silently splicing in samples of a different
+   problem. *)
+let instance_fingerprint system app =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match system with
+  | System.Shared costs ->
+      add "shared";
+      List.iter (fun (r, c) -> add "|%s=%d" r c) costs
+  | System.Dedicated nts ->
+      add "dedicated";
+      List.iter
+        (fun nt ->
+          add "|%s:%s:%d" nt.System.nt_name nt.System.nt_proc
+            nt.System.nt_cost;
+          List.iter (fun (r, c) -> add ",%s=%d" r c) nt.System.nt_provides)
+        nts);
+  for i = 0 to App.n_tasks app - 1 do
+    let t = App.task app i in
+    add "\nT%d|%s|%d|%d|%d|%s|%b" t.Task.id t.Task.name t.Task.compute
+      t.Task.release t.Task.deadline t.Task.proc t.Task.preemptive;
+    List.iter (fun (r, u) -> add "|%s=%d" r u) t.Task.demands
+  done;
+  Buffer.add_string buf "\nE";
+  Dag.fold_edges (App.graph app) ~init:[] ~f:(fun acc ~src ~dst w ->
+      (src, dst, w) :: acc)
+  |> List.sort compare
+  |> List.iter (fun (s, d, w) -> add "|%d>%d:%d" s d w);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let fingerprint app ~est ~lct tasks =
   List.map
     (fun i ->

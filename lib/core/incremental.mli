@@ -50,6 +50,14 @@ val base : t -> Analysis.t
 val cached_blocks : t -> int
 (** Number of block scan results currently held (grows across queries). *)
 
+val instance_fingerprint : System.t -> App.t -> string
+(** Stable hex digest of the full instance — every per-task field
+    (including names, processor types, demands and preemptability), the
+    weighted graph, and the system model.  Equal fingerprints mean the
+    analysis inputs are identical, so persisted intermediate results
+    (checkpoint files, see {!Rtfmt.Checkpoint}) keyed by it can be
+    reused; anything else is stale by construction. *)
+
 val query :
   ?pool:Rtlb_par.Pool.t ->
   ?deadline_ns:int64 ->

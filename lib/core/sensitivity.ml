@@ -59,7 +59,8 @@ let deadline_sweep_cold ?pool ?deadline_ns ?tracer system app ~factors =
       sample_of factor analysis)
     factors
 
-let deadline_sweep ?pool ?deadline_ns ?tracer system app ~factors =
+let deadline_sweep ?pool ?deadline_ns ?tracer ?on_sample ?resume system app
+    ~factors =
   let tr = Option.value tracer ~default:Rtlb_obs.Tracer.null in
   (* The factors of a sweep differ from the base application in deadlines
      only, so each one is an incremental query: the EST arrays and merge
@@ -71,22 +72,39 @@ let deadline_sweep ?pool ?deadline_ns ?tracer system app ~factors =
      each containing exactly one ["analyze"], as in the cold sweep; the
      pool now parallelises within each query instead of across factors.
      Samples are bit-identical to {!deadline_sweep_cold} whenever no
-     budget expires (qcheck-asserted). *)
-  let handle = Incremental.create ?pool ?deadline_ns system app in
+     budget expires (qcheck-asserted).
+
+     The handle is lazy so a fully-resumed sweep (every factor served by
+     [?resume]) skips the base analysis entirely.  Resumed samples come
+     back verbatim — a resumed sweep is bit-identical to an
+     uninterrupted one because each factor's sample is a pure function
+     of the instance and the factor, both pinned by the checkpoint's
+     fingerprint and hex-float keys.  Partial samples are never resumed:
+     a budget-cut sample is valid but below the exhaustive value, so the
+     retry recomputes it. *)
+  let handle = lazy (Incremental.create ?pool ?deadline_ns system app) in
   List.map
     (fun factor ->
-      let scaled = scale_deadlines app ~factor in
-      let analyse () =
-        Incremental.query ?pool ?deadline_ns ?tracer handle scaled
-      in
-      let analysis =
-        if Rtlb_obs.Tracer.enabled tr then
-          Rtlb_obs.Tracer.with_span tr
-            (Printf.sprintf "factor %g" factor)
-            analyse
-        else analyse ()
-      in
-      sample_of factor analysis)
+      match Option.bind resume (fun r -> r factor) with
+      | Some sample when not sample.s_partial ->
+          Rtlb_obs.Tracer.add tr Rtlb_obs.Tracer.Resumes 1;
+          sample
+      | _ ->
+          let scaled = scale_deadlines app ~factor in
+          let analyse () =
+            Incremental.query ?pool ?deadline_ns ?tracer (Lazy.force handle)
+              scaled
+          in
+          let analysis =
+            if Rtlb_obs.Tracer.enabled tr then
+              Rtlb_obs.Tracer.with_span tr
+                (Printf.sprintf "factor %g" factor)
+                analyse
+            else analyse ()
+          in
+          let sample = sample_of factor analysis in
+          Option.iter (fun f -> f sample) on_sample;
+          sample)
     factors
 
 let render samples =

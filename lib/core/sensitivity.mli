@@ -31,6 +31,8 @@ val deadline_sweep :
   ?pool:Rtlb_par.Pool.t ->
   ?deadline_ns:int64 ->
   ?tracer:Rtlb_obs.Tracer.t ->
+  ?on_sample:(sample -> unit) ->
+  ?resume:(float -> sample option) ->
   System.t -> App.t -> factors:float list -> sample list
 (** One analysis per factor, in the given order, served by an
     {!Incremental} handle: the EST pass runs once for the whole sweep,
@@ -43,7 +45,17 @@ val deadline_sweep :
     deadline; affected samples carry [s_partial = true].  With
     [?tracer], each factor's query runs inside a ["factor F"] span with
     the usual per-phase children plus the [Cache_hits] / [Cone_tasks]
-    counters; results are unchanged. *)
+    counters; results are unchanged.
+
+    Checkpoint/resume hooks (see [Rtfmt.Checkpoint]): [?on_sample] is
+    called after each {e computed} sample, in sweep order — the place a
+    caller persists progress.  [?resume] is consulted before computing
+    a factor; returning a (non-partial) sample reuses it verbatim,
+    bumps the [Resumes] counter, and skips both the analysis and the
+    [?on_sample] callback for that factor.  Partial samples offered by
+    [?resume] are ignored and recomputed — a budget-cut sample is valid
+    but below the exhaustive value.  A resumed sweep returns output
+    bit-identical to an uninterrupted one (property-tested). *)
 
 val deadline_sweep_cold :
   ?pool:Rtlb_par.Pool.t ->

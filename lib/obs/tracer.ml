@@ -6,8 +6,13 @@ type counter =
   | Deadline_cancels
   | Cache_hits
   | Cone_tasks
+  | Worker_errors
+  | Retries
+  | Worker_restarts
+  | Checkpoints_written
+  | Resumes
 
-let n_counters = 7
+let n_counters = 12
 
 let counter_index = function
   | Tasks_scanned -> 0
@@ -17,6 +22,11 @@ let counter_index = function
   | Deadline_cancels -> 4
   | Cache_hits -> 5
   | Cone_tasks -> 6
+  | Worker_errors -> 7
+  | Retries -> 8
+  | Worker_restarts -> 9
+  | Checkpoints_written -> 10
+  | Resumes -> 11
 
 let counter_name = function
   | Tasks_scanned -> "tasks_scanned"
@@ -26,11 +36,17 @@ let counter_name = function
   | Deadline_cancels -> "deadline_cancellations"
   | Cache_hits -> "cache_hits"
   | Cone_tasks -> "cone_tasks"
+  | Worker_errors -> "worker_errors"
+  | Retries -> "retries"
+  | Worker_restarts -> "worker_restarts"
+  | Checkpoints_written -> "checkpoints_written"
+  | Resumes -> "resumes"
 
 let all_counters =
   [
     Tasks_scanned; Candidate_intervals; Theta_evals; Chunks_claimed;
-    Deadline_cancels; Cache_hits; Cone_tasks;
+    Deadline_cancels; Cache_hits; Cone_tasks; Worker_errors; Retries;
+    Worker_restarts; Checkpoints_written; Resumes;
   ]
 
 type event = {

@@ -39,7 +39,19 @@
       wholesale-reused resources included) — see [Rtlb.Incremental].
     - [Cone_tasks]: per-direction EST/LCT recomputations an incremental
       query performed (a task recomputed in both directions counts
-      twice); [0] on cold runs. *)
+      twice); [0] on cold runs.
+    - [Worker_errors]: work-item bodies that raised inside the domain
+      pool — the first failure of a job plus every suppressed one (see
+      [Rtlb_par.Pool.Worker_failures]).
+    - [Retries]: work items re-executed by the supervisor after a
+      transient failure ([Rtlb_par.Supervisor]); at least the number of
+      transient faults that fired when the run completed.
+    - [Worker_restarts]: worker domains respawned after a mid-run death
+      ([Rtlb_par.Pool.heal]).
+    - [Checkpoints_written]: checkpoint files written (atomically) by a
+      resumable sweep or benchmark.
+    - [Resumes]: samples served from a validated checkpoint instead of
+      being recomputed. *)
 type counter =
   | Tasks_scanned
   | Candidate_intervals
@@ -48,6 +60,11 @@ type counter =
   | Deadline_cancels
   | Cache_hits
   | Cone_tasks
+  | Worker_errors
+  | Retries
+  | Worker_restarts
+  | Checkpoints_written
+  | Resumes
 
 val counter_name : counter -> string
 (** Stable snake_case name, used by stats tables and JSON output. *)

@@ -1,0 +1,243 @@
+(* Deterministic chaos harness.  A plan is a finite list of faults with
+   bounded fire counts, injected through the Pool.For_testing hooks, so
+   an armed process always quiesces: every fault fires at most its
+   budget and the supervisor's retry/heal machinery converges.  All
+   state is atomics — the inject hook runs on worker domains. *)
+
+exception Transient of int
+exception Killed
+
+let () =
+  Printexc.register_printer (function
+    | Transient i -> Some (Printf.sprintf "Chaos.Transient(%d)" i)
+    | Killed -> Some "Chaos.Killed (simulated kill at checkpoint)"
+    | _ -> None)
+
+type fault =
+  | Spawn_fail of int
+  | Raise_at of { index : int; times : int }
+  | Kill_worker_at of { index : int }
+  | Slow_at of { index : int; spins : int }
+  | Kill_at_checkpoint of int
+
+type plan = { seed : int; faults : fault list }
+
+(* ---- armed state -------------------------------------------------- *)
+
+let armed_plan : plan option ref = ref None
+let ckpt_countdown = Atomic.make (-1) (* -1: no kill-at-checkpoint armed *)
+let n_transient = Atomic.make 0
+let n_worker_kills = Atomic.make 0
+let n_slow = Atomic.make 0
+
+(* Claim one shot from a bounded budget; false once exhausted. *)
+let take budget =
+  let rec go () =
+    let v = Atomic.get budget in
+    if v <= 0 then false
+    else if Atomic.compare_and_set budget v (v - 1) then true
+    else go ()
+  in
+  go ()
+
+let disarm () =
+  armed_plan := None;
+  Atomic.set ckpt_countdown (-1);
+  Atomic.set n_transient 0;
+  Atomic.set n_worker_kills 0;
+  Atomic.set n_slow 0;
+  Pool.For_testing.reset ()
+
+let arm plan =
+  disarm ();
+  armed_plan := Some plan;
+  let triggers =
+    List.filter_map
+      (function
+        | Spawn_fail n ->
+            Pool.For_testing.fail_spawns := !Pool.For_testing.fail_spawns + n;
+            None
+        | Kill_at_checkpoint n ->
+            Atomic.set ckpt_countdown n;
+            None
+        | Raise_at { index; times } ->
+            let budget = Atomic.make times in
+            Some
+              (fun i ->
+                if i = index && take budget then begin
+                  Atomic.incr n_transient;
+                  raise (Transient i)
+                end)
+        | Kill_worker_at { index } ->
+            let budget = Atomic.make 1 in
+            Some
+              (fun i ->
+                if i = index && take budget then begin
+                  Atomic.incr n_worker_kills;
+                  raise Pool.Worker_abort
+                end)
+        | Slow_at { index; spins } ->
+            Some
+              (fun i ->
+                if i = index then begin
+                  Atomic.incr n_slow;
+                  for _ = 1 to spins do
+                    Domain.cpu_relax ()
+                  done
+                end))
+      plan.faults
+  in
+  if triggers <> [] then
+    Pool.For_testing.inject := Some (fun i -> List.iter (fun f -> f i) triggers)
+
+let armed () = !armed_plan
+let fired_transient () = Atomic.get n_transient
+let fired_worker_kills () = Atomic.get n_worker_kills
+let fired_slow () = Atomic.get n_slow
+
+let on_checkpoint () =
+  let rec go () =
+    let v = Atomic.get ckpt_countdown in
+    if v < 0 then ()
+    else if Atomic.compare_and_set ckpt_countdown v (v - 1) then begin
+      if v = 1 then raise Killed
+    end
+    else go ()
+  in
+  go ()
+
+(* ---- seeded plans ------------------------------------------------- *)
+
+(* splitmix64, the usual seed expander: decorrelates consecutive seeds
+   so plan 1 and plan 2 differ in shape, not just indices. *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let plan_of_seed seed =
+  let state = ref (Int64.of_int (succ (abs seed))) in
+  let rand bound = Int64.to_int (Int64.rem (Int64.logand (splitmix state) Int64.max_int) (Int64.of_int bound)) in
+  let n_faults = 1 + rand 3 in
+  let faults =
+    List.init n_faults (fun _ ->
+        match rand 5 with
+        | 0 -> Spawn_fail (1 + rand 2)
+        | 1 -> Raise_at { index = rand 32; times = 1 + rand 2 }
+        | 2 -> Kill_worker_at { index = rand 32 }
+        | 3 -> Slow_at { index = rand 32; spins = 1000 * (1 + rand 8) }
+        | _ -> Raise_at { index = rand 8; times = 1 })
+  in
+  { seed; faults }
+
+(* ---- RTLB_CHAOS syntax -------------------------------------------- *)
+
+let fault_to_string = function
+  | Spawn_fail n -> Printf.sprintf "spawnfail=%d" n
+  | Raise_at { index; times } when times = 1 -> Printf.sprintf "raise@%d" index
+  | Raise_at { index; times } -> Printf.sprintf "raise@%dx%d" index times
+  | Kill_worker_at { index } -> Printf.sprintf "kill@%d" index
+  | Slow_at { index; spins } -> Printf.sprintf "slow@%d:%d" index spins
+  | Kill_at_checkpoint n -> Printf.sprintf "killckpt@%d" n
+
+let to_string plan =
+  match plan.faults with
+  | [] -> Printf.sprintf "seed=%d" plan.seed
+  | faults -> String.concat "," (List.map fault_to_string faults)
+
+let parse s =
+  let parse_int what v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "%s expects a non-negative integer, got %S" what v)
+  in
+  let parse_token tok =
+    match String.index_opt tok '=' with
+    | Some i -> (
+        let k = String.sub tok 0 i
+        and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match k with
+        | "seed" ->
+            Result.map (fun n -> `Seed n) (parse_int "seed" v)
+        | "spawnfail" ->
+            Result.map (fun n -> `Fault (Spawn_fail n)) (parse_int "spawnfail" v)
+        | _ -> Error (Printf.sprintf "unknown chaos token %S" tok))
+    | None -> (
+        match String.index_opt tok '@' with
+        | None -> Error (Printf.sprintf "unknown chaos token %S" tok)
+        | Some i -> (
+            let k = String.sub tok 0 i
+            and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            match k with
+            | "raise" -> (
+                match String.index_opt v 'x' with
+                | None ->
+                    Result.map
+                      (fun index -> `Fault (Raise_at { index; times = 1 }))
+                      (parse_int "raise" v)
+                | Some j ->
+                    let idx = String.sub v 0 j
+                    and times = String.sub v (j + 1) (String.length v - j - 1) in
+                    Result.bind (parse_int "raise" idx) (fun index ->
+                        Result.map
+                          (fun times -> `Fault (Raise_at { index; times }))
+                          (parse_int "raise times" times)))
+            | "kill" ->
+                Result.map
+                  (fun index -> `Fault (Kill_worker_at { index }))
+                  (parse_int "kill" v)
+            | "slow" -> (
+                match String.index_opt v ':' with
+                | None ->
+                    Result.map
+                      (fun index -> `Fault (Slow_at { index; spins = 10_000 }))
+                      (parse_int "slow" v)
+                | Some j ->
+                    let idx = String.sub v 0 j
+                    and spins = String.sub v (j + 1) (String.length v - j - 1) in
+                    Result.bind (parse_int "slow" idx) (fun index ->
+                        Result.map
+                          (fun spins -> `Fault (Slow_at { index; spins }))
+                          (parse_int "slow spins" spins)))
+            | "killckpt" ->
+                Result.map
+                  (fun n -> `Fault (Kill_at_checkpoint n))
+                  (parse_int "killckpt" v)
+            | _ -> Error (Printf.sprintf "unknown chaos token %S" tok)))
+  in
+  let tokens =
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (( <> ) "")
+  in
+  if tokens = [] then Error "empty chaos plan"
+  else
+    List.fold_left
+      (fun acc tok ->
+        Result.bind acc (fun (seed, faults) ->
+            Result.map
+              (function
+                | `Seed n -> (Some n, faults)
+                | `Fault f -> (seed, f :: faults))
+              (parse_token tok)))
+      (Ok (None, []))
+      tokens
+    |> Result.map (fun (seed, faults) ->
+           match (seed, faults) with
+           | Some n, [] -> plan_of_seed n
+           | Some n, faults -> { seed = n; faults = List.rev faults }
+           | None, faults -> { seed = 0; faults = List.rev faults })
+
+let arm_from_env () =
+  match Sys.getenv_opt "RTLB_CHAOS" with
+  | None | Some "" -> Ok false
+  | Some s -> (
+      match parse s with
+      | Ok plan ->
+          arm plan;
+          Ok true
+      | Error e -> Error (Printf.sprintf "RTLB_CHAOS: %s" e))

@@ -1,0 +1,81 @@
+(** Deterministic chaos harness for the resilient execution layer.
+
+    A {e fault plan} is a finite list of faults with bounded fire
+    budgets, injected into the domain pool through the
+    {!Pool.For_testing} hooks.  Because every budget is finite, an
+    armed process always quiesces: the supervisor's retry and heal
+    machinery converges no matter the plan, which is what the chaos
+    property suite asserts (see docs/ROBUSTNESS.md).
+
+    Plans come from three places: handcrafted lists, {!plan_of_seed}
+    (deterministic pseudo-random expansion of an integer seed), or the
+    [RTLB_CHAOS] environment variable ({!parse} / {!arm_from_env}),
+    e.g. [RTLB_CHAOS=spawnfail=2,raise@5x2,kill@11,slow@3:20000] or
+    [RTLB_CHAOS=seed=42] or [RTLB_CHAOS=killckpt@2].
+
+    Thread-safety: all harness state is atomics — the inject hook runs
+    on pool worker domains.  Arming/disarming while a job is in flight
+    is not supported (same contract as the hooks themselves). *)
+
+exception Transient of int
+(** The injected transient worker failure ([raise@i]); carries the
+    work-item index that fired. *)
+
+exception Killed
+(** Raised by {!on_checkpoint} when a [killckpt@n] fault fires: an
+    in-process stand-in for SIGKILL at the n-th checkpoint write.  The
+    CLI maps it to an abrupt [exit 137]; tests catch it and exercise
+    the resume path. *)
+
+type fault =
+  | Spawn_fail of int  (** Next [n] worker spawns fail (create or heal). *)
+  | Raise_at of { index : int; times : int }
+      (** Work item [index] raises {!Transient}, [times] times total. *)
+  | Kill_worker_at of { index : int }
+      (** Work item [index] kills its worker domain
+          ({!Pool.Worker_abort}), once. *)
+  | Slow_at of { index : int; spins : int }
+      (** Work item [index] busy-spins before running — a straggler,
+          not a failure. *)
+  | Kill_at_checkpoint of int
+      (** The [n]-th {!on_checkpoint} call raises {!Killed}. *)
+
+type plan = { seed : int; faults : fault list }
+
+val plan_of_seed : int -> plan
+(** Deterministic expansion of a seed into 1–3 faults (splitmix64
+    driven); equal seeds give equal plans across runs and platforms. *)
+
+val parse : string -> (plan, string) result
+(** The [RTLB_CHAOS] mini-language: comma-separated
+    [spawnfail=N | raise@I | raise@IxN | kill@I | slow@I | slow@I:S |
+    killckpt@N | seed=N].  A lone [seed=N] expands via
+    {!plan_of_seed}. *)
+
+val to_string : plan -> string
+(** Round-trips through {!parse} (seed-only plans print as [seed=N]). *)
+
+val arm : plan -> unit
+(** Installs the plan into the pool's fault-injection hooks, replacing
+    any armed plan and resetting the fired counters. *)
+
+val disarm : unit -> unit
+(** Clears the hooks and counters ({!Pool.For_testing.reset}). *)
+
+val armed : unit -> plan option
+
+val arm_from_env : unit -> (bool, string) result
+(** Arms from [RTLB_CHAOS] when set ([Ok true]), does nothing when
+    unset ([Ok false]); [Error] reports a malformed plan string. *)
+
+val on_checkpoint : unit -> unit
+(** Called by checkpoint writers after each durable write;
+    @raise Killed when an armed [killckpt@n] budget hits zero. *)
+
+val fired_transient : unit -> int
+(** {!Transient} raises since the last {!arm} — the floor the chaos
+    properties assert on the [retries] counter. *)
+
+val fired_worker_kills : unit -> int
+
+val fired_slow : unit -> int

@@ -36,7 +36,33 @@ end
    fire (or starve) an analysis deadline. *)
 let now_ns () = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic
 
-let expired deadline_ns =
+exception Worker_abort
+
+exception Worker_failures of exn * int
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failures (e, suppressed) ->
+        Some
+          (Printf.sprintf
+             "Pool.Worker_failures: %s (+%d suppressed worker failure%s)"
+             (Printexc.to_string e) suppressed
+             (if suppressed = 1 then "" else "s"))
+    | _ -> None)
+
+(* Process-wide cooperative cancellation, the hook behind the CLI's
+   SIGINT/SIGTERM handling.  Only {e cancellable} jobs observe it (the
+   partial-capable maps); strict maps such as [map_array] are atomic
+   units whose callers cannot represent a hole, so they run to
+   completion regardless. *)
+let cancel_flag = Atomic.make false
+let request_cancel () = Atomic.set cancel_flag true
+let cancel_requested () = Atomic.get cancel_flag
+let reset_cancel () = Atomic.set cancel_flag false
+
+let expired ~cancellable deadline_ns =
+  (cancellable && Atomic.get cancel_flag)
+  ||
   match deadline_ns with
   | None -> false
   | Some d -> Int64.compare (now_ns ()) d >= 0
@@ -47,9 +73,11 @@ type job = {
   chunk : int;
   body : int -> unit;
   deadline_ns : int64 option;
+  cancellable : bool;  (* observes the process-wide cancel flag *)
   mutable completed : int;  (* indices executed or skipped *)
   mutable skipped : int;  (* indices abandoned by failure or budget expiry *)
   mutable failed : (exn * Printexc.raw_backtrace) option;
+  mutable suppressed : int;  (* worker failures after the first *)
   tracer : Rtlb_obs.Tracer.t;  (* Tracer.null when the job is untraced *)
 }
 
@@ -60,7 +88,9 @@ type t = {
   idle : Condition.t;  (* submitters: the single job slot freed *)
   mutable current : job option;
   mutable stopping : bool;
-  mutable workers : unit Domain.t list;
+  mutable workers : (int * unit Domain.t) list;  (* by slot id *)
+  mutable dead_slots : int list;  (* workers that died mid-run *)
+  mutable slot_counter : int;  (* next fresh slot id for respawns *)
   mutable n_domains : int;  (* actual parallelism after spawn shrink *)
 }
 
@@ -78,7 +108,10 @@ let claim t =
   match t.current with
   | None -> None
   | Some job ->
-      if job.failed <> None || expired job.deadline_ns then begin
+      if
+        job.failed <> None
+        || expired ~cancellable:job.cancellable job.deadline_ns
+      then begin
         (* Skip the unclaimed remainder; count it as completed so the
            submitter's wait terminates, and as skipped so it can tell. *)
         if job.failed = None then
@@ -104,13 +137,17 @@ let claim t =
       end
 
 (* Runs indices [lo, hi) with the lock released, recording the first
-   exception and the completion count.  When the job is traced, the
-   chunk runs inside a per-worker span and credits the executing domain
-   with the bodies that ran to completion — an aborted body (injected
-   fault, exception) is not counted, so per-worker item totals always
-   equal the number of executed bodies. *)
+   exception and the completion count; failures after the first are
+   counted in [suppressed] (and the [Worker_errors] tracer counter) so
+   they are never silently dropped.  Returns [true] when the exception
+   was {!Worker_abort} — the executing worker domain must die.  When the
+   job is traced, the chunk runs inside a per-worker span and credits
+   the executing domain with the bodies that ran to completion — an
+   aborted body (injected fault, exception) is not counted, so
+   per-worker item totals always equal the number of executed bodies. *)
 let exec_chunk t job lo hi =
   let ran = ref 0 in
+  let fatal = ref false in
   Rtlb_obs.Tracer.with_span job.tracer "chunk" (fun () ->
       try
         for i = lo to hi - 1 do
@@ -120,41 +157,53 @@ let exec_chunk t job lo hi =
         done
       with e ->
         let bt = Printexc.get_raw_backtrace () in
+        (match e with Worker_abort -> fatal := true | _ -> ());
+        Rtlb_obs.Tracer.add job.tracer Rtlb_obs.Tracer.Worker_errors 1;
         Mutex.lock t.lock;
-        if job.failed = None then job.failed <- Some (e, bt);
+        if job.failed = None then job.failed <- Some (e, bt)
+        else job.suppressed <- job.suppressed + 1;
         Mutex.unlock t.lock);
   Rtlb_obs.Tracer.record_chunk job.tracer ~items:!ran;
   Mutex.lock t.lock;
   job.completed <- job.completed + (hi - lo);
   if job.completed >= job.total then Condition.broadcast t.job_done;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  !fatal
 
-let rec worker_step t =
+let rec worker_step t slot =
   (* lock held on entry; released while executing *)
   match claim t with
   | Some (job, lo, hi) ->
       Mutex.unlock t.lock;
-      exec_chunk t job lo hi;
+      let fatal = exec_chunk t job lo hi in
       Mutex.lock t.lock;
-      worker_step t
+      if fatal then begin
+        (* The worker dies: record the death so [heal] can join and
+           respawn it.  The chunk's bookkeeping is already done, so the
+           job still drains normally. *)
+        t.dead_slots <- slot :: t.dead_slots;
+        t.n_domains <- t.n_domains - 1;
+        Mutex.unlock t.lock
+      end
+      else worker_step t slot
   | None ->
       if t.stopping then Mutex.unlock t.lock
       else begin
         Condition.wait t.has_work t.lock;
-        worker_step t
+        worker_step t slot
       end
 
-let worker t () =
+let worker t slot () =
   Domain.DLS.set inside_pool true;
   Mutex.lock t.lock;
-  worker_step t
+  worker_step t slot
 
-let spawn_worker t =
+let spawn_worker t slot =
   if !For_testing.fail_spawns > 0 then begin
     For_testing.fail_spawns := !For_testing.fail_spawns - 1;
     failwith "Pool: injected Domain.spawn failure"
   end;
-  Domain.spawn (worker t)
+  Domain.spawn (worker t slot)
 
 let create ~jobs =
   let jobs = max 1 (min jobs 64) in
@@ -167,6 +216,8 @@ let create ~jobs =
       current = None;
       stopping = false;
       workers = [];
+      dead_slots = [];
+      slot_counter = 0;
       n_domains = jobs;
     }
   in
@@ -176,13 +227,53 @@ let create ~jobs =
      taking the analysis down with us. *)
   let spawned = ref [] in
   for _ = 2 to jobs do
-    match spawn_worker t with
-    | d -> spawned := d :: !spawned
+    t.slot_counter <- t.slot_counter + 1;
+    match spawn_worker t t.slot_counter with
+    | d -> spawned := (t.slot_counter, d) :: !spawned
     | exception _ -> ()
   done;
   t.workers <- !spawned;
   t.n_domains <- 1 + List.length !spawned;
   t
+
+let dead_workers t =
+  Mutex.lock t.lock;
+  let n = List.length t.dead_slots in
+  Mutex.unlock t.lock;
+  n
+
+(* Joins workers that died mid-run (a body raised {!Worker_abort}) and
+   spawns replacements.  Must not race an in-flight job, like
+   [shutdown].  A replacement spawn can itself fail (the injected
+   [fail_spawns] path, or real resource exhaustion), in which case the
+   pool stays smaller — the supervisor's degradation ladder. *)
+let heal t =
+  Mutex.lock t.lock;
+  let dead = t.dead_slots in
+  t.dead_slots <- [];
+  let dead_ws, alive =
+    List.partition (fun (slot, _) -> List.mem slot dead) t.workers
+  in
+  t.workers <- alive;
+  Mutex.unlock t.lock;
+  List.iter (fun (_, d) -> Domain.join d) dead_ws;
+  let respawned = ref 0 in
+  List.iter
+    (fun _ ->
+      Mutex.lock t.lock;
+      t.slot_counter <- t.slot_counter + 1;
+      let slot = t.slot_counter in
+      Mutex.unlock t.lock;
+      match spawn_worker t slot with
+      | d ->
+          Mutex.lock t.lock;
+          t.workers <- (slot, d) :: t.workers;
+          t.n_domains <- t.n_domains + 1;
+          Mutex.unlock t.lock;
+          incr respawned
+      | exception _ -> ())
+    dead_ws;
+  !respawned
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -191,7 +282,7 @@ let shutdown t =
   Mutex.unlock t.lock;
   let workers = t.workers in
   t.workers <- [];
-  List.iter Domain.join workers
+  List.iter (fun (_, d) -> Domain.join d) workers
 
 let default_jobs () =
   match Sys.getenv_opt "RTLB_JOBS" with
@@ -207,7 +298,8 @@ let with_pool ?jobs f =
 
 exception Budget_exhausted
 
-let run_inline ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) total body =
+let run_inline ?deadline_ns ?(cancellable = true)
+    ?(tracer = Rtlb_obs.Tracer.null) total body =
   let partial = ref false in
   let ran = ref 0 in
   let record () =
@@ -216,7 +308,7 @@ let run_inline ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) total body =
   in
   (try
      for i = 0 to total - 1 do
-       if expired deadline_ns then begin
+       if expired ~cancellable deadline_ns then begin
          partial := true;
          Rtlb_obs.Tracer.add tracer Rtlb_obs.Tracer.Deadline_cancels 1;
          raise Budget_exhausted
@@ -242,7 +334,9 @@ let help t =
     match claim t with
     | Some (job, lo, hi) ->
         Mutex.unlock t.lock;
-        exec_chunk t job lo hi;
+        (* The submitter never dies on [Worker_abort]: only spawned
+           worker domains honour the fatal flag. *)
+        ignore (exec_chunk t job lo hi : bool);
         Mutex.lock t.lock;
         go ()
     | None -> Mutex.unlock t.lock
@@ -250,10 +344,11 @@ let help t =
   go ();
   Domain.DLS.set inside_pool false
 
-let run ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) t ~total body =
+let run ?deadline_ns ?(cancellable = true) ?(tracer = Rtlb_obs.Tracer.null) t
+    ~total body =
   if total <= 0 then `Done
   else if t.n_domains <= 1 || Domain.DLS.get inside_pool then
-    run_inline ?deadline_ns ~tracer total body
+    run_inline ?deadline_ns ~cancellable ~tracer total body
   else begin
     (* ~4 chunks per domain balances stragglers against contention on
        the claim counter. *)
@@ -265,9 +360,11 @@ let run ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) t ~total body =
         chunk;
         body;
         deadline_ns;
+        cancellable;
         completed = 0;
         skipped = 0;
         failed = None;
+        suppressed = 0;
         tracer;
       }
     in
@@ -284,8 +381,10 @@ let run ?deadline_ns ?(tracer = Rtlb_obs.Tracer.null) t ~total body =
       Condition.wait t.job_done t.lock
     done;
     let skipped = job.skipped in
+    let suppressed = job.suppressed in
     Mutex.unlock t.lock;
     match job.failed with
+    | Some (e, _) when suppressed > 0 -> raise (Worker_failures (e, suppressed))
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> if skipped > 0 then `Partial else `Done
   end
@@ -299,7 +398,10 @@ let map_array ?pool f input =
       if n = 0 then [||]
       else begin
         let out = Array.make n None in
-        (match run t ~total:n (fun i -> out.(i) <- Some (f input.(i))) with
+        (match
+           run ~cancellable:false t ~total:n (fun i ->
+               out.(i) <- Some (f input.(i)))
+         with
         | `Done -> ()
         | `Partial -> assert false (* no deadline, nothing can be skipped *));
         Array.map
@@ -307,14 +409,14 @@ let map_array ?pool f input =
           out
       end
 
-let map_array_partial ?pool ?deadline_ns ?tracer f input =
+let map_array_partial ?pool ?deadline_ns ?cancellable ?tracer f input =
   let n = Array.length input in
   let out = Array.make n None in
   let body i = out.(i) <- Some (f input.(i)) in
   let status =
     match pool with
-    | Some t -> run ?deadline_ns ?tracer t ~total:n body
-    | None -> run_inline ?deadline_ns ?tracer n body
+    | Some t -> run ?deadline_ns ?cancellable ?tracer t ~total:n body
+    | None -> run_inline ?deadline_ns ?cancellable ?tracer n body
   in
   (out, status)
 

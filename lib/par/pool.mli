@@ -32,6 +32,23 @@
 
 type t
 
+exception Worker_abort
+(** A work-item body raising this is treated as a {e worker death}: the
+    failure is recorded like any other (the job fails, the submitter
+    sees the exception), but the executing worker domain also exits.
+    {!dead_workers} counts the casualties and {!heal} respawns them.
+    The chaos harness raises it to simulate an OOM-killed or crashed
+    worker; the submitting domain itself never honours it (a dead
+    submitter is a dead process). *)
+
+exception Worker_failures of exn * int
+(** [Worker_failures (first, suppressed)]: more than one worker body
+    raised during a single job.  The first exception is kept intact;
+    [suppressed] counts the later ones (each also recorded in the
+    [Worker_errors] tracer counter), so concurrent failures are never
+    silently dropped.  A single-failure job re-raises the original
+    exception unwrapped, preserving existing matching. *)
+
 val create : jobs:int -> t
 (** A pool that executes jobs on at most [jobs] domains in total: the
     submitting domain plus up to [jobs - 1] spawned workers (clamped to
@@ -49,6 +66,31 @@ val size : t -> int
 val shutdown : t -> unit
 (** Stops and joins the worker domains.  Idempotent. *)
 
+val dead_workers : t -> int
+(** Worker domains that died mid-run (a body raised {!Worker_abort})
+    and have not been healed yet. *)
+
+val heal : t -> int
+(** Joins every dead worker and spawns a replacement for each, returning
+    how many were actually respawned.  A replacement spawn can itself
+    fail (resource exhaustion, or the injected [fail_spawns] path), in
+    which case the pool simply stays smaller — {!size} reports the
+    achieved parallelism.  Like {!shutdown}, must not race an in-flight
+    job. *)
+
+val request_cancel : unit -> unit
+(** Sets the process-wide cooperative cancel flag: every {e cancellable}
+    job (see [?cancellable] below) stops claiming work at its next
+    check, exactly as if its deadline had expired, and reports
+    [`Partial].  Async-signal-safe — this is the CLI's SIGINT/SIGTERM
+    hook. *)
+
+val cancel_requested : unit -> bool
+
+val reset_cancel : unit -> unit
+(** Clears the flag (tests; a process that handles the signal and keeps
+    living). *)
+
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exception).  [jobs] defaults to
     {!default_jobs}[ ()]. *)
@@ -65,13 +107,16 @@ val now_ns : unit -> int64
 
 val run :
   ?deadline_ns:int64 ->
+  ?cancellable:bool ->
   ?tracer:Rtlb_obs.Tracer.t ->
   t -> total:int -> (int -> unit) -> [ `Done | `Partial ]
 (** [run pool ~total body] executes [body 0 .. body (total - 1)], in
     chunks, across the pool (the submitter participates).  Returns when
     every index has run or been abandoned; re-raises the first exception
-    a body raised.  [`Partial] means the deadline expired and at least
-    one index was skipped (never happens without [?deadline_ns]).
+    a body raised (wrapped in {!Worker_failures} when later bodies also
+    raised).  [`Partial] means the deadline expired — or, for a
+    [?cancellable] job (the default), {!request_cancel} was called —
+    and at least one index was skipped.
 
     With [?tracer], every executed chunk is recorded as a per-worker
     ["chunk"] span and credited to the executing domain in the tracer's
@@ -87,12 +132,14 @@ val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 val map_array_partial :
   ?pool:t ->
   ?deadline_ns:int64 ->
+  ?cancellable:bool ->
   ?tracer:Rtlb_obs.Tracer.t ->
   ('a -> 'b) ->
   'a array ->
   'b option array * [ `Done | `Partial ]
 (** Budgeted parallel map: slots whose work item was abandoned at the
-    deadline hold [None].  With [`Done] every slot is [Some].  Executed
+    deadline (or at a {!request_cancel}, unless [~cancellable:false])
+    hold [None].  With [`Done] every slot is [Some].  Executed
     slots hold exactly what {!map_array} would have computed.
     [?tracer] instruments the run as in {!run} (the inline path counts
     as one chunk on the calling domain). *)

@@ -1,0 +1,246 @@
+(* Resilient execution on top of Pool: per-item retry with bounded
+   exponential backoff, worker respawn after mid-run deaths, and a
+   degradation ladder (full pool -> reduced pool -> sequential) that
+   always terminates with a result.
+
+   The supervisor wraps each work item so transient exceptions are
+   caught and recorded per item instead of failing the whole job; only
+   Pool.Worker_abort escapes to the pool (it must — that is what kills
+   the worker domain).  Completed slots are never recomputed, so a
+   retried run re-executes exactly the failed/abandoned items, and the
+   final slot values are bit-identical to a fault-free map (each slot
+   is written by exactly one successful [f input.(i)]). *)
+
+type level = Full | Reduced of int | Sequential
+
+type status = [ `Complete | `Degraded | `Partial ]
+
+type outcome = {
+  o_status : status;
+  o_level : level;
+  o_retries : int;
+  o_restarts : int;
+  o_dropped : int;
+  o_errors : (int * string) list;
+}
+
+type policy = {
+  max_item_retries : int;
+  max_restarts : int;
+  backoff_ns : int64;
+  backoff_multiplier : int;
+  max_backoff_ns : int64;
+  sleep_ns : int64 -> unit;
+}
+
+(* lib/par deliberately has no unix dependency, so the default sleep is
+   a monotonic-clock spin.  Backoffs are bounded at milliseconds; a
+   caller with a real scheduler can inject a blocking sleep. *)
+let busy_sleep ns =
+  if Int64.compare ns 0L > 0 then begin
+    let until = Int64.add (Pool.now_ns ()) ns in
+    while Int64.compare (Pool.now_ns ()) until < 0 do
+      Domain.cpu_relax ()
+    done
+  end
+
+let default_policy =
+  {
+    max_item_retries = 3;
+    max_restarts = 2;
+    backoff_ns = 1_000_000L (* 1 ms *);
+    backoff_multiplier = 2;
+    max_backoff_ns = 16_000_000L (* 16 ms *);
+    sleep_ns = busy_sleep;
+  }
+
+let expired_or_cancelled deadline_ns =
+  Pool.cancel_requested ()
+  ||
+  match deadline_ns with
+  | None -> false
+  | Some d -> Int64.compare (Pool.now_ns ()) d >= 0
+
+let supervise ?(policy = default_policy) ?pool ?deadline_ns
+    ?(tracer = Rtlb_obs.Tracer.null) f input =
+  let n = Array.length input in
+  let results = Array.make n None in
+  let attempts = Array.make n 0 in
+  let last_error : string option array = Array.make n None in
+  let dropped : string option array = Array.make n None in
+  let lock = Mutex.create () in
+  let round_errors = ref [] in (* (index, message) recorded this round *)
+  let retries = ref 0 in
+  let restarts = ref 0 in
+  let partial = ref false in
+  let sequential = ref false in
+  let initial_size = match pool with Some p -> Pool.size p | None -> 1 in
+  let carry = ref 0 in (* pool-recorded failures awaiting retry accounting *)
+  let body items j =
+    let i = items.(j) in
+    match f input.(i) with
+    | v -> results.(i) <- Some v
+    | exception Pool.Worker_abort ->
+        (* Pool-level by design: the abort must reach the pool to kill
+           the worker domain; the pool records the failure and the
+           [`Crashed] handling below accounts for the redo. *)
+        raise Pool.Worker_abort
+    | exception e ->
+        let msg = Printexc.to_string e in
+        Mutex.lock lock;
+        attempts.(i) <- attempts.(i) + 1;
+        last_error.(i) <- Some msg;
+        round_errors := (i, msg) :: !round_errors;
+        Mutex.unlock lock;
+        Rtlb_obs.Tracer.add tracer Rtlb_obs.Tracer.Worker_errors 1
+  in
+  (* One pass over [items]: on the pool unless degraded to sequential.
+     Exceptions raised by [f] are recorded per item by [body]; failures
+     recorded at the pool layer itself — a worker abort, or a fault
+     injected around the body (the chaos harness raises through
+     [Pool.For_testing.inject], outside the per-item wrapper) — escape
+     [Pool.run] and come back here as [`Crashed k] (first failure was
+     {!Pool.Worker_abort}: a worker died) or [`Failed k] ([k] recorded
+     failures with no item attribution).  Both feed [carry] so the redo
+     of those failed executions is still counted as retries. *)
+  let run_items items =
+    match pool with
+    | Some p when (not !sequential) && Pool.size p > 1 -> (
+        match
+          Pool.run ?deadline_ns ~cancellable:true ~tracer p
+            ~total:(Array.length items) (body items)
+        with
+        | `Done -> `Done
+        | `Partial -> `Partial
+        | exception Pool.Worker_abort -> `Crashed 1
+        | exception Pool.Worker_failures (Pool.Worker_abort, suppressed) ->
+            `Crashed (1 + suppressed)
+        | exception Pool.Worker_failures (_, suppressed) ->
+            `Failed (1 + suppressed)
+        | exception _ -> `Failed 1)
+    | _ ->
+        let len = Array.length items in
+        let rec go j =
+          if j >= len then `Done
+          else if expired_or_cancelled deadline_ns then `Partial
+          else begin
+            (try body items j with Pool.Worker_abort -> ());
+            go (j + 1)
+          end
+        in
+        go 0
+  in
+  let pending () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if results.(i) = None && dropped.(i) = None then acc := i :: !acc
+    done;
+    !acc
+  in
+  let drop i why =
+    dropped.(i) <- Some (Option.value last_error.(i) ~default:why)
+  in
+  let max_rounds = policy.max_item_retries + policy.max_restarts + 3 in
+  let rec loop round backoff =
+    match pending () with
+    | [] -> ()
+    | _ when !partial -> ()
+    | _ when round > max_rounds ->
+        List.iter (fun i -> drop i "supervisor: retry budget exhausted")
+          (pending ())
+    | pend ->
+        (* Items re-run after a recorded failure are retries: those whose
+           failure was attributed per item ([attempts]) plus the
+           pool-recorded failures carried from the previous round.  Items
+           merely drained by a crashed job are not (they never ran). *)
+        if round > 0 then begin
+          let retried =
+            List.length (List.filter (fun i -> attempts.(i) > 0) pend)
+            + !carry
+          in
+          carry := 0;
+          retries := !retries + retried;
+          Rtlb_obs.Tracer.add tracer Rtlb_obs.Tracer.Retries retried
+        end;
+        round_errors := [];
+        let items = Array.of_list pend in
+        let status = run_items items in
+        (match status with
+        | `Partial -> partial := true
+        | `Crashed k | `Failed k -> carry := !carry + k
+        | `Done -> ());
+        (* Heal mid-run worker deaths; when the respawn budget is spent
+           (or the pool is beyond saving) fall to the sequential rung. *)
+        (match pool with
+        | Some p when Pool.dead_workers p > 0 ->
+            let healed = Pool.heal p in
+            restarts := !restarts + healed;
+            Rtlb_obs.Tracer.add tracer Rtlb_obs.Tracer.Worker_restarts healed;
+            if !restarts > policy.max_restarts || Pool.size p <= 1 then
+              sequential := true
+        | Some _
+          when (match status with `Crashed _ -> true | _ -> false)
+               && !restarts >= policy.max_restarts ->
+            sequential := true
+        | _ -> ());
+        (* Items out of retry budget are dropped, never retried forever. *)
+        List.iter
+          (fun i ->
+            if
+              results.(i) = None && dropped.(i) = None
+              && attempts.(i) > policy.max_item_retries
+            then drop i "supervisor: retry budget exhausted")
+          pend;
+        if not !partial then begin
+          let transient_failure =
+            !round_errors <> []
+            || (match status with `Failed _ -> true | _ -> false)
+          in
+          if transient_failure then begin
+            policy.sleep_ns backoff;
+            let next =
+              Int64.mul backoff (Int64.of_int policy.backoff_multiplier)
+            in
+            let next =
+              if Int64.compare next policy.max_backoff_ns > 0 then
+                policy.max_backoff_ns
+              else next
+            in
+            loop (round + 1) next
+          end
+          else loop (round + 1) backoff
+        end
+  in
+  loop 0 policy.backoff_ns;
+  let o_errors = ref [] in
+  let o_dropped = ref 0 in
+  for i = n - 1 downto 0 do
+    match dropped.(i) with
+    | Some msg ->
+        incr o_dropped;
+        o_errors := (i, msg) :: !o_errors
+    | None -> ()
+  done;
+  let final_size = match pool with Some p -> Pool.size p | None -> 1 in
+  let o_level =
+    if !sequential then Sequential
+    else if final_size < initial_size then Reduced final_size
+    else Full
+  in
+  let o_status =
+    if !partial then `Partial
+    else if !o_dropped > 0 || o_level <> Full then `Degraded
+    else `Complete
+  in
+  ( results,
+    {
+      o_status;
+      o_level;
+      o_retries = !retries;
+      o_restarts = !restarts;
+      o_dropped = !o_dropped;
+      o_errors = !o_errors;
+    } )
+
+let coverage n outcome =
+  if n = 0 then 1.0 else float_of_int (n - outcome.o_dropped) /. float_of_int n

@@ -1,0 +1,78 @@
+(** Resilient execution on top of {!Pool}: per-item retry with bounded
+    exponential backoff for transient failures, automatic worker
+    respawn ({!Pool.heal}) when a domain dies mid-run, and a
+    degradation ladder — full pool, reduced pool, sequential — so a
+    supervised map {e always} produces a result, marking anything less
+    than a clean full-parallel run as [`Degraded].
+
+    Determinism: completed slots are never recomputed, and every slot
+    is written by exactly one successful application of the work
+    function, so a run that survives faults is bit-identical to a
+    fault-free {!Pool.map_array} on the same input (the chaos property
+    suite asserts exactly this). *)
+
+type level =
+  | Full  (** Finished at the parallelism the pool started with. *)
+  | Reduced of int
+      (** Worker deaths (or failed respawns) shrank the pool; the
+          payload is the surviving {!Pool.size}. *)
+  | Sequential
+      (** The respawn budget ran out; the tail of the work ran inline
+          on the submitting domain. *)
+
+type status = [ `Complete | `Degraded | `Partial ]
+
+type outcome = {
+  o_status : status;
+      (** [`Complete]: every slot computed at full parallelism with no
+          drops.  [`Degraded]: every retry/heal path converged but the
+          run was not clean — items were dropped after exhausting their
+          retry budget and/or the ladder stepped down.  [`Partial]: the
+          deadline expired or {!Pool.request_cancel} fired; unexecuted
+          slots are [None]. *)
+  o_level : level;
+  o_retries : int;  (** Item re-executions after a recorded failure. *)
+  o_restarts : int;  (** Worker domains respawned by {!Pool.heal}. *)
+  o_dropped : int;  (** Items abandoned after [max_item_retries]. *)
+  o_errors : (int * string) list;
+      (** Dropped item index, last error message — index-sorted. *)
+}
+
+type policy = {
+  max_item_retries : int;  (** Re-executions allowed per item. *)
+  max_restarts : int;  (** Worker respawns before going sequential. *)
+  backoff_ns : int64;  (** First sleep after a round with failures. *)
+  backoff_multiplier : int;
+  max_backoff_ns : int64;
+  sleep_ns : int64 -> unit;
+      (** Injectable for tests; the default busy-waits on the monotonic
+          clock (lib/par has no unix dependency). *)
+}
+
+val default_policy : policy
+(** 3 retries per item, 2 respawns, 1 ms backoff doubling to 16 ms. *)
+
+val supervise :
+  ?policy:policy ->
+  ?pool:Pool.t ->
+  ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b option array * outcome
+(** [supervise f input] maps [f] over [input] under supervision.  A
+    slot is [None] only when its item was dropped ([`Degraded], listed
+    in [o_errors]) or abandoned at the deadline ([`Partial]).
+
+    [f] raising {!Pool.Worker_abort} kills the executing worker (healed
+    and counted in [o_restarts]); any other exception is a transient:
+    recorded, retried after backoff, and counted in [o_retries].  With
+    [?tracer], retries, respawns and transient failures bump the
+    [Retries], [Worker_restarts] and [Worker_errors] counters.
+
+    Without [?pool] the map runs sequentially on the calling domain;
+    that is not degradation ([o_level = Full]). *)
+
+val coverage : int -> outcome -> float
+(** [coverage n outcome]: fraction of [n] items not dropped — 1.0 for a
+    clean run. *)

@@ -1,0 +1,31 @@
+(* Atomic file writes: render into a temp file in the same directory,
+   then Sys.rename over the destination.  rename(2) within one
+   filesystem is atomic, so a reader (or a resumed process) only ever
+   sees the old complete file or the new complete file — never a
+   truncated half-write from a crashed or killed writer. *)
+
+module For_testing = struct
+  let fail_writes = ref 0
+  let reset () = fail_writes := 0
+end
+
+let write_atomic path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  match
+    f oc;
+    if !For_testing.fail_writes > 0 then begin
+      decr For_testing.fail_writes;
+      raise (Sys_error (tmp ^ ": injected write failure"))
+    end;
+    flush oc
+  with
+  | () ->
+      close_out oc;
+      Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_string_atomic path s = write_atomic path (fun oc -> output_string oc s)

@@ -1,0 +1,31 @@
+(** Crash-safe file output.
+
+    Every file the CLI and bench runner produce ([--trace], [--svg],
+    [BENCH_*.json], checkpoints) goes through {!write_atomic}: the
+    content is rendered into [path ^ ".tmp"] in the destination
+    directory and the temp file is [Sys.rename]d over [path].  On a
+    POSIX filesystem the rename is atomic, so a crash — or a SIGKILL
+    mid-write — leaves either the previous complete file or the new
+    complete file, never a truncated one.  That is the invariant the
+    checkpoint/resume machinery rests on ({!Checkpoint}).
+
+    Concurrent writers to the {e same} path are out of scope (they
+    would share the temp name); distinct paths are safe. *)
+
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** [write_atomic path f] calls [f] on a channel for the temp file,
+    flushes, closes and renames.  If [f] raises (or the injected
+    failure below fires), the temp file is removed, [path] is left
+    untouched, and the exception propagates. *)
+
+val write_string_atomic : string -> string -> unit
+(** [write_atomic] of one [output_string]. *)
+
+(** Fault injection for the regression tests: the next [n] writes fail
+    with [Sys_error] {e after} [f] has run — simulating a full disk or
+    a kill between write and rename — proving the destination survives
+    mid-write failure. *)
+module For_testing : sig
+  val fail_writes : int ref
+  val reset : unit -> unit
+end

@@ -1,0 +1,207 @@
+(* Fingerprint-keyed checkpoint files for resumable long runs.  A
+   checkpoint is a JSON object carrying the producing run's kind, the
+   instance fingerprint (Incremental.instance_fingerprint), and an
+   ordered key -> payload map of completed work items.  Writes go
+   through Atomic_io, so a killed process leaves either the previous
+   complete checkpoint or the new one; loads validate kind and
+   fingerprint, so a checkpoint of a different (or edited) instance is
+   reported stale and recomputed, never silently spliced in. *)
+
+let version = 1
+
+type t = {
+  c_kind : string;
+  c_fingerprint : string;
+  c_entries : (string * Json.t) list; (* completion order, newest last *)
+}
+
+let create ~kind ~fingerprint =
+  { c_kind = kind; c_fingerprint = fingerprint; c_entries = [] }
+
+let kind t = t.c_kind
+let fingerprint t = t.c_fingerprint
+let entries t = t.c_entries
+let find t key = List.assoc_opt key t.c_entries
+
+let add t ~key value =
+  let without = List.filter (fun (k, _) -> k <> key) t.c_entries in
+  { t with c_entries = without @ [ (key, value) ] }
+
+let to_json t =
+  Json.Obj
+    [
+      ("checkpoint", Json.Str "rtlb");
+      ("version", Json.Int version);
+      ("kind", Json.Str t.c_kind);
+      ("fingerprint", Json.Str t.c_fingerprint);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (k, v) -> Json.Obj [ ("key", Json.Str k); ("value", v) ])
+             t.c_entries) );
+    ]
+
+let of_json j =
+  let str what = function
+    | Json.Str s -> Ok s
+    | _ -> Error (Printf.sprintf "checkpoint: %s is not a string" what)
+  in
+  let field what o =
+    match Json.member what o with
+    | v -> Ok v
+    | exception Not_found ->
+        Error (Printf.sprintf "checkpoint: missing %S" what)
+  in
+  let ( let* ) = Result.bind in
+  let* tag = Result.bind (field "checkpoint" j) (str "checkpoint") in
+  let* () =
+    if tag = "rtlb" then Ok ()
+    else Error "checkpoint: not an rtlb checkpoint file"
+  in
+  let* v = field "version" j in
+  let* () =
+    match v with
+    | Json.Int n when n = version -> Ok ()
+    | Json.Int n ->
+        Error
+          (Printf.sprintf "checkpoint: version %d, this build reads %d" n
+             version)
+    | _ -> Error "checkpoint: version is not an integer"
+  in
+  let* c_kind = Result.bind (field "kind" j) (str "kind") in
+  let* c_fingerprint = Result.bind (field "fingerprint" j) (str "fingerprint") in
+  let* raw = field "entries" j in
+  let* items =
+    match raw with
+    | Json.List l -> Ok l
+    | _ -> Error "checkpoint: entries is not a list"
+  in
+  let* c_entries =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* key = Result.bind (field "key" item) (str "entry key") in
+        let* value = field "value" item in
+        Ok ((key, value) :: acc))
+      (Ok []) items
+  in
+  Ok { c_kind; c_fingerprint; c_entries = List.rev c_entries }
+
+let validate ~kind ~fingerprint t =
+  if t.c_kind <> kind then
+    Error (Printf.sprintf "checkpoint kind %S, expected %S" t.c_kind kind)
+  else if t.c_fingerprint <> fingerprint then
+    Error
+      "stale checkpoint: instance fingerprint mismatch (the input changed \
+       since the checkpoint was written)"
+  else Ok ()
+
+let save ?(tracer = Rtlb_obs.Tracer.null) path t =
+  Atomic_io.write_string_atomic path (Json.to_string (to_json t));
+  Rtlb_obs.Tracer.add tracer Rtlb_obs.Tracer.Checkpoints_written 1;
+  (* After the rename: a simulated kill-at-checkpoint dies with the
+     checkpoint durable, which is the scenario resume must survive. *)
+  Rtlb_par.Chaos.on_checkpoint ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match Json.parse (read_file path) with
+    | exception Json.Parse_error e ->
+        Error (Printf.sprintf "%s: corrupt checkpoint: %s" path e)
+    | exception Sys_error e -> Error e
+    | j -> (
+        match of_json j with
+        | Ok t -> Ok (Some t)
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+let remove path = try Sys.remove path with Sys_error _ -> ()
+
+(* ---- sensitivity sample payloads ---------------------------------- *)
+
+(* Factors are keyed (and stored) as %h hex float literals: the exact
+   bit pattern round-trips through the file, so a resumed sweep matches
+   samples to requested factors by equality, not by approximation. *)
+let factor_key f = Printf.sprintf "%h" f
+
+let sample_to_json (s : Rtlb.Sensitivity.sample) =
+  Json.Obj
+    [
+      ("factor", Json.Str (factor_key s.Rtlb.Sensitivity.s_factor));
+      ("feasible", Json.Bool s.Rtlb.Sensitivity.s_feasible);
+      ( "bounds",
+        Json.List
+          (List.map
+             (fun (r, lb) -> Json.Obj [ ("resource", Json.Str r); ("lb", Json.Int lb) ])
+             s.Rtlb.Sensitivity.s_bounds) );
+      ( "shared_cost",
+        match s.Rtlb.Sensitivity.s_shared_cost with
+        | Some c -> Json.Int c
+        | None -> Json.Null );
+      ("partial", Json.Bool s.Rtlb.Sensitivity.s_partial);
+    ]
+
+let sample_of_json j =
+  let ( let* ) = Result.bind in
+  let field what =
+    match Json.member what j with
+    | v -> Ok v
+    | exception Not_found -> Error (Printf.sprintf "sample: missing %S" what)
+  in
+  let* factor =
+    match field "factor" with
+    | Ok (Json.Str s) -> (
+        match float_of_string_opt s with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "sample: bad factor %S" s))
+    | Ok _ -> Error "sample: factor is not a string"
+    | Error e -> Error e
+  in
+  let* feasible =
+    match field "feasible" with
+    | Ok (Json.Bool b) -> Ok b
+    | Ok _ -> Error "sample: feasible is not a bool"
+    | Error e -> Error e
+  in
+  let* bounds =
+    match field "bounds" with
+    | Ok (Json.List l) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match (Json.member "resource" item, Json.member "lb" item) with
+            | Json.Str r, Json.Int lb -> Ok ((r, lb) :: acc)
+            | _ -> Error "sample: malformed bound entry"
+            | exception Not_found -> Error "sample: malformed bound entry")
+          (Ok []) l
+        |> Result.map List.rev
+    | Ok _ -> Error "sample: bounds is not a list"
+    | Error e -> Error e
+  in
+  let* shared_cost =
+    match field "shared_cost" with
+    | Ok (Json.Int c) -> Ok (Some c)
+    | Ok Json.Null -> Ok None
+    | Ok _ -> Error "sample: shared_cost is neither int nor null"
+    | Error e -> Error e
+  in
+  let* partial =
+    match field "partial" with
+    | Ok (Json.Bool b) -> Ok b
+    | Ok _ -> Error "sample: partial is not a bool"
+    | Error e -> Error e
+  in
+  Ok
+    {
+      Rtlb.Sensitivity.s_factor = factor;
+      s_feasible = feasible;
+      s_bounds = bounds;
+      s_shared_cost = shared_cost;
+      s_partial = partial;
+    }

@@ -1,0 +1,77 @@
+(** Fingerprint-keyed checkpoint files for crash-safe resume of long
+    runs (sensitivity sweeps, bench experiments).
+
+    A checkpoint records three things: the {e kind} of run that wrote
+    it (["sensitivity"], ["bench-parallel"], ...), the {e instance
+    fingerprint} ({!Rtlb.Incremental.instance_fingerprint}) of the
+    analysed input, and an ordered [key -> payload] map of completed
+    work items.  Writers call {!save} after each completed item (or
+    batch); a resumed process {!load}s the file, {!validate}s kind and
+    fingerprint, and skips every item whose key is present.
+
+    Staleness rules: a checkpoint is only ever reused when {e both} the
+    kind and the fingerprint match.  Since the fingerprint digests the
+    full instance — every task field, the weighted graph, the system
+    model — an edited input can never silently splice stale samples
+    into fresh output; it is reported and recomputed from scratch.
+
+    Durability: writes go through {!Atomic_io.write_atomic}, so a
+    SIGKILL at any point leaves a complete (possibly one-item-older)
+    checkpoint, and resumed output is bit-identical to an uninterrupted
+    run (property-tested in the chaos suite). *)
+
+type t
+
+val version : int
+(** Format version stamped into every file; {!load} rejects others. *)
+
+val create : kind:string -> fingerprint:string -> t
+(** An empty checkpoint for a run over the given instance. *)
+
+val kind : t -> string
+val fingerprint : t -> string
+
+val entries : t -> (string * Json.t) list
+(** Completed items in completion order. *)
+
+val find : t -> string -> Json.t option
+
+val add : t -> key:string -> Json.t -> t
+(** Appends (or replaces) one completed item. *)
+
+val save : ?tracer:Rtlb_obs.Tracer.t -> string -> t -> unit
+(** Atomic write of the whole checkpoint; bumps the
+    [Checkpoints_written] counter and then calls
+    {!Rtlb_par.Chaos.on_checkpoint} (so an armed [killckpt@n] plan
+    kills the process {e after} the n-th durable write — the exact
+    scenario resume must survive). *)
+
+val load : string -> (t option, string) result
+(** [Ok None] when the file does not exist (a fresh run), [Ok (Some t)]
+    for a well-formed checkpoint, [Error reason] for a corrupt or
+    wrong-version file.  Callers treat [Error] like staleness: warn and
+    recompute. *)
+
+val validate : kind:string -> fingerprint:string -> t -> (unit, string) result
+(** Staleness check; the [Error] carries a human-readable reason
+    (kind mismatch, or instance fingerprint mismatch). *)
+
+val remove : string -> unit
+(** Best-effort delete (run completed; the checkpoint is spent). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+(** {2 Sensitivity sample payloads}
+
+    Encoders used by [rtlb sensitivity --checkpoint] and the chaos
+    tests.  Factors are keyed by their [%h] hex float literal so the
+    exact bit pattern round-trips — a resumed sweep matches checkpoint
+    samples to requested factors by float {e equality}, which is what
+    makes resumed output bit-identical. *)
+
+val factor_key : float -> string
+
+val sample_to_json : Rtlb.Sensitivity.sample -> Json.t
+
+val sample_of_json : Json.t -> (Rtlb.Sensitivity.sample, string) result

@@ -1,0 +1,13 @@
+(** Formats and files: application-file parsing, JSON/table/report
+    rendering, crash-safe output, and checkpoint/resume. *)
+
+module Appfile = Appfile
+module Json = Json
+module Report = Report
+module Stats_render = Stats_render
+module Table = Table
+module Atomic_io = Atomic_io
+module Checkpoint = Checkpoint
+
+let write_atomic = Atomic_io.write_atomic
+let write_string_atomic = Atomic_io.write_string_atomic

@@ -345,6 +345,120 @@ let pool_inject_delay () =
           check_bool "slowed workers still produce correct results" true
             (got = Array.init 64 (fun i -> i * i))))
 
+let pool_concurrent_failures () =
+  (* Two bodies raise in the same job: the first failure is the one
+     re-raised, the second must not be silently dropped — it is counted
+     in [Worker_failures] and in the [Worker_errors] counter.  A barrier
+     holds both raising bodies until both have been claimed, so the
+     failures are genuinely concurrent (neither is skipped by the
+     post-failure drain). *)
+  with_injection (fun () ->
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let total = 200 in
+          let arrived = Atomic.make 0 in
+          Rtlb_par.Pool.For_testing.inject :=
+            Some
+              (fun i ->
+                if i = 0 || i = total - 1 then begin
+                  Atomic.incr arrived;
+                  while Atomic.get arrived < 2 do
+                    Domain.cpu_relax ()
+                  done;
+                  raise (Boom i)
+                end);
+          let tracer = Rtlb_obs.Tracer.make () in
+          (try
+             ignore
+               (Rtlb_par.Pool.run ~tracer pool ~total (fun _ -> ()));
+             Alcotest.fail "expected Worker_failures"
+           with
+          | Rtlb_par.Pool.Worker_failures (Boom _, 1) as e ->
+              check_bool "message mentions the suppressed failure" true
+                (string_contains ~needle:"suppressed" (Printexc.to_string e)));
+          check_int "both failures hit the Worker_errors counter" 2
+            (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Worker_errors);
+          Rtlb_par.Pool.For_testing.inject := None;
+          let got =
+            Rtlb_par.Pool.map_array ~pool (fun i -> i + 1)
+              (Array.init 8 Fun.id)
+          in
+          check_bool "pool usable after concurrent failures" true
+            (got = Array.init 8 (fun i -> i + 1))))
+
+let pool_heal_after_worker_abort () =
+  (* Worker_abort kills the executing domain mid-run; [dead_workers]
+     reports the casualty, [heal] joins and respawns it, and the pool is
+     fully usable afterwards.  Whether a worker or the submitting domain
+     executes the aborting body is scheduling-dependent (the submitter
+     never dies), so the assertions tie [heal] to the observed death
+     count instead of pinning it. *)
+  with_injection (fun () ->
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let before = Rtlb_par.Pool.size pool in
+          Rtlb_par.Pool.For_testing.inject :=
+            Some (fun i -> if i = 31 then raise Rtlb_par.Pool.Worker_abort);
+          (try
+             ignore
+               (Rtlb_par.Pool.map_array ~pool Fun.id (Array.init 64 Fun.id));
+             Alcotest.fail "expected Worker_abort to reach the submitter"
+           with
+          | Rtlb_par.Pool.Worker_abort
+          | Rtlb_par.Pool.Worker_failures (Rtlb_par.Pool.Worker_abort, _) ->
+              ());
+          Rtlb_par.Pool.For_testing.inject := None;
+          let dead = Rtlb_par.Pool.dead_workers pool in
+          check_bool "at most one casualty" true (dead <= 1);
+          check_int "size reflects the death" (before - dead)
+            (Rtlb_par.Pool.size pool);
+          let healed = Rtlb_par.Pool.heal pool in
+          check_int "heal respawns exactly the casualties" dead healed;
+          check_int "size restored" before (Rtlb_par.Pool.size pool);
+          check_int "no dead workers left" 0
+            (Rtlb_par.Pool.dead_workers pool);
+          let got =
+            Rtlb_par.Pool.map_array ~pool (fun i -> i * 2)
+              (Array.init 100 Fun.id)
+          in
+          check_bool "pool correct after heal" true
+            (got = Array.init 100 (fun i -> i * 2))))
+
+let pool_cancel_flag () =
+  (* The process-wide cancel flag turns cancellable runs into `Partial
+     without executing further bodies; map_array (all-Some invariant)
+     and ~cancellable:false runs are immune; reset_cancel restores
+     normal operation. *)
+  Fun.protect ~finally:Rtlb_par.Pool.reset_cancel (fun () ->
+      Rtlb_par.Pool.request_cancel ();
+      check_bool "flag visible" true (Rtlb_par.Pool.cancel_requested ());
+      let out, status =
+        Rtlb_par.Pool.map_array_partial Fun.id (Array.init 20 Fun.id)
+      in
+      check_bool "cancelled run is `Partial" true (status = `Partial);
+      check_bool "cancelled run executed nothing" true
+        (Array.for_all (( = ) None) out);
+      let got =
+        Rtlb_par.Pool.map_array (fun i -> i + 1) (Array.init 20 Fun.id)
+      in
+      check_bool "map_array immune to the cancel flag" true
+        (got = Array.init 20 (fun i -> i + 1));
+      let out2, st2 =
+        Rtlb_par.Pool.map_array_partial ~cancellable:false Fun.id
+          (Array.init 20 Fun.id)
+      in
+      check_bool "~cancellable:false run completes" true
+        (st2 = `Done && Array.for_all Option.is_some out2);
+      Rtlb_par.Pool.reset_cancel ();
+      let _, st3 = Rtlb_par.Pool.map_array_partial Fun.id (Array.init 5 Fun.id) in
+      check_bool "reset_cancel restores `Done" true (st3 = `Done);
+      Rtlb_par.Pool.with_pool ~jobs:test_jobs (fun pool ->
+          Rtlb_par.Pool.request_cancel ();
+          let _, st =
+            Rtlb_par.Pool.map_array_partial ~pool Fun.id
+              (Array.init 50 Fun.id)
+          in
+          check_bool "pooled cancelled run is `Partial" true (st = `Partial);
+          Rtlb_par.Pool.reset_cancel ()))
+
 (* ------------------------------------------------------------------ *)
 (* Worker-utilization accounting under faults                          *)
 (*                                                                     *)
@@ -574,6 +688,12 @@ let suite =
           pool_inject_raise;
         Alcotest.test_case "pool correct under injected delays" `Quick
           pool_inject_delay;
+        Alcotest.test_case "pool reports concurrent worker failures" `Quick
+          pool_concurrent_failures;
+        Alcotest.test_case "pool heals after a worker death" `Quick
+          pool_heal_after_worker_abort;
+        Alcotest.test_case "cancel flag: partial maps, reset" `Quick
+          pool_cancel_flag;
         Alcotest.test_case "traced chunk accounting under spawn failure"
           `Quick traced_counters_under_spawn_failure;
         Alcotest.test_case "traced chunk accounting under a worker raise"
