@@ -1239,6 +1239,134 @@ let incremental_sweep () =
   Rtfmt.Checkpoint.remove ckpt_file;
   Printf.printf "wrote BENCH_incremental.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* E14: SoA engine scaling - packed arrays at 10^5..10^6 tasks         *)
+(* ------------------------------------------------------------------ *)
+
+(* --sizes (bench/main.ml sets it): task counts for the E14 curve.  The
+   CI perf gate pins a small subset; the committed baseline holds the
+   full trajectory. *)
+let soa_sizes = ref [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+let soa_scaling () =
+  Bench_util.section "E14: SoA scaling - packed engine on frame workloads";
+  Printf.printf
+    "Frame-structured layered DAGs (100-task frames) analysed by the\n\
+     packed (Soa) engine on 1 and 4 domains; p50 of 5 repetitions.\n\
+     Counters come from one single-domain traced run (deterministic);\n\
+     at sizes up to 10^4 the result is checked against the record\n\
+     engine.  Results land in BENCH_soa.json for the CI perf gate.\n";
+  let median_of k f =
+    let samples = List.init k (fun _ -> snd (Bench_util.time_ms f)) in
+    List.nth (List.sort compare samples) (k / 2)
+  in
+  let system = Workload.Gen.frame_system () in
+  let t =
+    Rtfmt.Table.create
+      [ "tasks"; "1d p50 ms"; "4d p50 ms"; "record ms"; "identical" ]
+  in
+  let json_workloads =
+    List.map
+      (fun n ->
+        let frames = max 1 (n / 100) in
+        let app = Workload.Gen.layered_frames ~seed:7 ~frames () in
+        let soa = Rtlb.Soa.pack system app in
+        let run ?pool () =
+          Rtlb.Soa.compute_windows soa;
+          Rtlb.Soa.bounds ?pool soa
+        in
+        let p50_1d = median_of 5 (fun () -> run ()) in
+        let p50_4d =
+          Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
+              median_of 5 (fun () -> run ~pool ()))
+        in
+        let tracer = Rtlb_obs.Tracer.make () in
+        let _ =
+          Rtlb.Soa.compute_windows soa;
+          Rtlb.Soa.bounds ~tracer soa
+        in
+        let c name = Rtlb_obs.Tracer.counter tracer name in
+        let record_ms, identical =
+          if n <= 10_000 then begin
+            let soa_res = Rtlb.Soa.analyze system app in
+            let reference, ms =
+              Bench_util.time_ms (fun () -> Rtlb.Analysis.run system app)
+            in
+            ( Some ms,
+              Some
+                (soa_res.Rtlb.Analysis.windows.Rtlb.Est_lct.est
+                 = reference.Rtlb.Analysis.windows.Rtlb.Est_lct.est
+                && soa_res.Rtlb.Analysis.windows.Rtlb.Est_lct.lct
+                   = reference.Rtlb.Analysis.windows.Rtlb.Est_lct.lct
+                && soa_res.Rtlb.Analysis.bounds = reference.Rtlb.Analysis.bounds
+                && soa_res.Rtlb.Analysis.cost = reference.Rtlb.Analysis.cost) )
+          end
+          else (None, None)
+        in
+        Rtfmt.Table.add_row t
+          [
+            string_of_int n;
+            Printf.sprintf "%.2f" p50_1d;
+            Printf.sprintf "%.2f" p50_4d;
+            (match record_ms with Some ms -> Printf.sprintf "%.2f" ms | None -> "-");
+            (match identical with
+            | Some true -> "yes"
+            | Some false -> "NO"
+            | None -> "-");
+          ];
+        (match identical with
+        | Some false ->
+            prerr_endline "e14: SoA result diverged from the record engine";
+            exit 1
+        | _ -> ());
+        Rtfmt.Json.Obj
+          ([
+             ("tasks", Rtfmt.Json.Int n);
+             ("frames", Rtfmt.Json.Int frames);
+             ( "counters",
+               Rtfmt.Json.Obj
+                 [
+                   ("tasks_scanned", Rtfmt.Json.Int (c Rtlb_obs.Tracer.Tasks_scanned));
+                   ("theta_evals", Rtfmt.Json.Int (c Rtlb_obs.Tracer.Theta_evals));
+                   ( "candidate_intervals",
+                     Rtfmt.Json.Int (c Rtlb_obs.Tracer.Candidate_intervals) );
+                 ] );
+             ( "curve",
+               Rtfmt.Json.List
+                 [
+                   Rtfmt.Json.Obj
+                     [
+                       ("domains", Rtfmt.Json.Int 1);
+                       ("p50_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" p50_1d));
+                     ];
+                   Rtfmt.Json.Obj
+                     [
+                       ("domains", Rtfmt.Json.Int 4);
+                       ("p50_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" p50_4d));
+                     ];
+                 ] );
+           ]
+          @
+          match identical with
+          | Some b -> [ ("identical", Rtfmt.Json.Bool b) ]
+          | None -> []))
+      !soa_sizes
+  in
+  Rtfmt.Table.print t;
+  let json =
+    Rtfmt.Json.Obj
+      [
+        ("experiment", Rtfmt.Json.Str "e14-soa-scaling");
+        ("prune", Rtfmt.Json.Bool (Rtlb.Soa.default_prune ()));
+        ("reps", Rtfmt.Json.Int 5);
+        ("workloads", Rtfmt.Json.List json_workloads);
+      ]
+  in
+  Rtfmt.write_atomic "BENCH_soa.json" (fun oc ->
+      output_string oc (Rtfmt.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_soa.json\n"
+
 let all () =
   tightness ();
   baselines ();
@@ -1252,4 +1380,5 @@ let all () =
   time_bounds ();
   priorities ();
   parallel_scaling ();
-  incremental_sweep ()
+  incremental_sweep ();
+  soa_scaling ()

@@ -1,12 +1,13 @@
 (* Benchmark harness: regenerates every table and figure-derived artefact
    of the paper (sections T1, S8-2..4, F2/F3) and runs the
-   characterisation experiments E1..E12 from DESIGN.md.
+   characterisation experiments E1..E14 from DESIGN.md.
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- paper   -- only the paper reproduction
      dune exec bench/main.exe -- e3 e5   -- selected experiments
      dune exec bench/main.exe -- --jobs 8 e12   -- extend the E12 curve
      dune exec bench/main.exe -- --resume e12   -- pick up a killed run
+     dune exec bench/main.exe -- --sizes 1000,100000 e14   -- pinned gate sizes
 
    --jobs N (or the RTLB_JOBS environment variable) adds an N-domain
    point to the E12 parallel-scaling curve.  --resume reuses completed
@@ -33,6 +34,7 @@ let sections =
     ("e11", Experiments.priorities);
     ("e12", Experiments.parallel_scaling);
     ("e13", Experiments.incremental_sweep);
+    ("e14", Experiments.soa_scaling);
   ]
 
 let experiment_names =
@@ -69,6 +71,23 @@ let () =
     | "--resume" :: rest ->
         Experiments.resume := true;
         parse_jobs acc rest
+    | "--sizes" :: s :: rest -> (
+        let sizes =
+          String.split_on_char ',' s
+          |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+          |> List.filter (fun n -> n >= 100)
+        in
+        match sizes with
+        | [] ->
+            Printf.eprintf
+              "--sizes expects comma-separated task counts >= 100, got %S\n" s;
+            exit 1
+        | sizes ->
+            Experiments.soa_sizes := sizes;
+            parse_jobs acc rest)
+    | "--sizes" :: [] ->
+        Printf.eprintf "--sizes expects comma-separated task counts\n";
+        exit 1
     | a :: rest -> parse_jobs (a :: acc) rest
     | [] -> List.rev acc
   in

@@ -155,7 +155,20 @@ let analyze_cmd =
       & info [ "full" ]
           ~doc:"Full tabular report with criticality and demand profiles.")
   in
-  let run path override json full jobs timeout trace stats =
+  let engine_arg =
+    let doc =
+      "Analysis engine: $(b,record) walks the per-task records and keeps \
+       merge traces; $(b,soa) packs the instance into flat arrays with \
+       dominance pruning — value-identical results (merge traces empty) \
+       and much faster on large DAGs.  Set RTLB_SOA_NO_PRUNE to disable \
+       pruning within the soa engine."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("record", `Record); ("soa", `Soa) ]) `Record
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let run path override json full jobs timeout trace stats engine =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
@@ -166,7 +179,11 @@ let analyze_cmd =
             let tracer = tracer_for ~trace ~stats in
             let analysis =
               with_jobs jobs (fun pool ->
-                  Rtlb.Analysis.run ?pool ?deadline_ns ?tracer system app)
+                  match engine with
+                  | `Record ->
+                      Rtlb.Analysis.run ?pool ?deadline_ns ?tracer system app
+                  | `Soa ->
+                      Rtlb.Soa.analyze ?pool ?deadline_ns ?tracer system app)
             in
             let summary = Option.map Rtlb_obs.Stats.of_tracer tracer in
             if json then
@@ -206,7 +223,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ file_arg $ system_arg $ json_arg $ full_arg $ jobs_arg
-       $ timeout_arg $ trace_arg $ stats_arg))
+       $ timeout_arg $ trace_arg $ stats_arg $ engine_arg))
 
 (* ---- check ------------------------------------------------------ *)
 

@@ -35,6 +35,7 @@
 type t
 
 val create :
+  ?engine:[ `Record | `Soa ] ->
   ?pool:Rtlb_par.Pool.t ->
   ?deadline_ns:int64 ->
   ?tracer:Rtlb_obs.Tracer.t ->
@@ -42,6 +43,15 @@ val create :
 (** One full analysis (same plan, same work order, same spans and
     counters as {!Analysis.run} — the {!base} result is bit-identical to
     it), capturing per-block scan results for later reuse.
+
+    [~engine:`Soa] runs the sweeps and block scans over a {!Soa} packed
+    instance whose arrays are updated in place across queries (each
+    query restores a base snapshot first).  Results are value-identical
+    to the record engine — windows, bounds, witnesses, partitions, cost,
+    completeness — except that merge sets and traces are empty, the one
+    documented {!Soa} divergence; block cache entries are
+    engine-independent.  Queries that fall back to a cold run (shape
+    changes) always use the record engine.
     @raise Invalid_argument when the system cannot host some task. *)
 
 val base : t -> Analysis.t

@@ -1,0 +1,119 @@
+(** Structure-of-arrays analysis engine.
+
+    [pack] compiles an instance once into contiguous [Bigarray] int
+    arrays — per-task scalars, CSR successor/predecessor adjacency with
+    message weights, and a per-resource member table — and the EST/LCT
+    merge-search sweep, the Section-5 partition and the Theta prefix-sum
+    interval scan all iterate over those arrays with no per-task
+    allocation.  Results (windows, bounds, witnesses, partitions, cost)
+    are bit-identical to the record path ({!Est_lct} / {!Lower_bound} /
+    {!Analysis}); the only divergence is that merge {e traces} — the
+    [explain] artifact — are left empty, so [rtlb explain] always uses
+    the record engine.
+
+    The interval scan adds {e candidate-interval dominance pruning}: an
+    O(n log n) precomputation bounds the kernel total for every left
+    endpoint, and intervals whose ceiling density upper bound falls
+    strictly below the block's incumbent are skipped.  Pruning is
+    strict-inequality only and incumbents are per partition block, so
+    the earliest winning witness of the exhaustive fold always survives
+    — on the sequential and the {!Rtlb_par.Pool} path alike.  Set
+    [RTLB_SOA_NO_PRUNE] in the environment (or pass [~prune:false]) to
+    force the exhaustive scan. *)
+
+type t
+(** A packed instance.  The window arrays ([est]/[lct]) live inside and
+    are computed / updated in place. *)
+
+val pack : System.t -> App.t -> t
+(** Compile an instance into packed arrays.  Window arrays start
+    uninitialised; call {!compute_windows}.  Raises [Invalid_argument]
+    for dedicated systems with more node types than host-mask bits
+    (62 on 64-bit). *)
+
+val unpack : t -> App.t
+(** Rebuild the application from the packed arrays alone (names, task
+    scalars, demands from the resource table, edges from the CSR).
+    [unpack (pack s app)] is structurally equal to [app]. *)
+
+val n_tasks : t -> int
+
+val system : t -> System.t
+
+val app : t -> App.t
+(** The application [pack] was given (not a reconstruction). *)
+
+val compute_windows : t -> unit
+(** Run the full EST/LCT merge-search sweep over the packed arrays, in
+    place; values are bit-identical to [Est_lct.compute]. *)
+
+val recompute_windows : t -> est_dirty:bool array -> lct_dirty:bool array -> unit
+(** Re-run the sweep for the marked tasks only, in the same topological
+    orders, against the current in-place values — the packed mirror of
+    [Est_lct.recompute]; the same dirty-cone closure obligations apply. *)
+
+val set_release : t -> int -> int -> unit
+val set_deadline : t -> int -> int -> unit
+
+val set_compute : t -> int -> int -> unit
+(** In-place scalar edits (task id, new value).  No validation: callers
+    are expected to hold values a [Task.t] already accepted. *)
+
+val copy_base : t -> t
+(** Snapshot the mutable arrays (scalars and windows) for later
+    {!restore_from}.  Shares all immutable structure. *)
+
+val restore_from : t -> base:t -> unit
+(** Blit the snapshot's scalars and windows back, undoing in-place
+    edits. *)
+
+val est_array : t -> int array
+
+val lct_array : t -> int array
+(** Fresh copies of the current window values. *)
+
+val windows : t -> Est_lct.t
+(** The windows as the record type: values copied from the packed
+    arrays, merge sets and traces empty. *)
+
+val bounds :
+  ?prune:bool ->
+  ?pool:Rtlb_par.Pool.t ->
+  ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
+  t ->
+  Lower_bound.bound list * Lower_bound.completeness
+(** The per-resource lower bounds from the current windows, via the
+    packed partition + pruned interval scan.  Work items, fold order,
+    [Tasks_scanned]/[Theta_evals]/[Candidate_intervals] accounting and
+    the [?deadline_ns] partial semantics mirror
+    [Lower_bound.all_within]; with pruning, [Theta_evals] counts only
+    the evaluations actually executed.  [prune] defaults to [true]
+    unless [RTLB_SOA_NO_PRUNE] is set. *)
+
+val scan_from :
+  t ->
+  resource:string ->
+  int list ->
+  int array ->
+  int ->
+  int * Lower_bound.witness option
+(** [scan_from t ~resource tasks pts a]: one left endpoint of one block
+    against the current packed windows — the packed, unpruned equivalent
+    of [Lower_bound.scan_from], used by the incremental engine's live
+    block scans. *)
+
+val default_prune : unit -> bool
+(** [true] unless [RTLB_SOA_NO_PRUNE] is set in the environment. *)
+
+val analyze :
+  ?prune:bool ->
+  ?pool:Rtlb_par.Pool.t ->
+  ?deadline_ns:int64 ->
+  ?tracer:Rtlb_obs.Tracer.t ->
+  System.t ->
+  App.t ->
+  Analysis.t
+(** Pack, sweep, scan, cost: the drop-in packed equivalent of
+    [Analysis.run].  All result fields except the merge traces are
+    bit-identical to the record engine. *)

@@ -351,8 +351,12 @@ let run ?deadline_ns ?(cancellable = true) ?(tracer = Rtlb_obs.Tracer.null) t
     run_inline ?deadline_ns ~cancellable ~tracer total body
   else begin
     (* ~4 chunks per domain balances stragglers against contention on
-       the claim counter. *)
+       the claim counter.  Chunks of 8+ items round up to a multiple of
+       8 so that boundaries land on cache-line-sized slices of packed
+       (8-byte int) arrays and adjacent workers never straddle a line
+       mid-interval. *)
     let chunk = max 1 (1 + ((total - 1) / (4 * t.n_domains))) in
+    let chunk = if chunk >= 8 then (chunk + 7) land lnot 7 else chunk in
     let job =
       {
         next = 0;

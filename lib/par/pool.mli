@@ -111,7 +111,10 @@ val run :
   ?tracer:Rtlb_obs.Tracer.t ->
   t -> total:int -> (int -> unit) -> [ `Done | `Partial ]
 (** [run pool ~total body] executes [body 0 .. body (total - 1)], in
-    chunks, across the pool (the submitter participates).  Returns when
+    chunks, across the pool (the submitter participates).  Chunk sizes
+    of 8 and above are rounded up to a multiple of 8, so boundaries
+    fall on 64-byte cache-line edges of packed 8-byte-int array slices
+    and neighbouring workers never share a line.  Returns when
     every index has run or been abandoned; re-raises the first exception
     a body raised (wrapped in {!Worker_failures} when later bodies also
     raised).  [`Partial] means the deadline expired — or, for a

@@ -284,6 +284,97 @@ let generate config =
   in
   Rtlb.App.make ~tasks ~edges
 
+(* ------------------------------------------------------------------ *)
+(* Frame-structured layered DAGs at 10^5..10^6 tasks.                  *)
+(*                                                                     *)
+(* [generate]'s layered shape samples every task pair (O(n^2)), and a  *)
+(* single global deadline makes the whole instance one partition block *)
+(* whose interval scan is quadratic in n.  Large-scale benchmarking    *)
+(* needs both fixed: this generator emits [frames] independent layered *)
+(* DAGs (edges only between consecutive layers, [degree] predecessors  *)
+(* per task, so O(n * degree) construction) and staggers them in time, *)
+(* frame f releasing its sources at f*T with deadline (f+1)*T, where T *)
+(* is the laxity-scaled maximum frame critical path.  Windows are      *)
+(* feasible by construction (T >= the communication-aware critical     *)
+(* path bounds every task's dist + codist - C), and the Section-5      *)
+(* partition recovers roughly one block per frame, which is what lets  *)
+(* the scan scale and the domain pool spread blocks across workers.    *)
+(* ------------------------------------------------------------------ *)
+
+let layered_frames ?(seed = 42) ?(frames = 10) ?(tasks_per_frame = 100)
+    ?(layers = 10) ?(degree = 3) ?(compute_range = (1, 4))
+    ?(msg_range = (0, 2)) ?(laxity = 1.5) ?(resource_every = 4) () =
+  if frames < 1 || tasks_per_frame < 1 then
+    invalid_arg "Gen.layered_frames: empty shape";
+  let layers = max 1 (min layers tasks_per_frame) in
+  let degree = max 1 degree in
+  let clo, chi = compute_range in
+  if clo < 0 || chi < clo then
+    invalid_arg "Gen.layered_frames: bad compute range";
+  let mlo, mhi = msg_range in
+  if mlo < 0 || mhi < mlo then invalid_arg "Gen.layered_frames: bad msg range";
+  let rng = Prng.create seed in
+  let k = tasks_per_frame in
+  let n = frames * k in
+  let computes = Array.init n (fun _ -> Prng.range rng clo chi) in
+  (* Layer of a within-frame index: contiguous blocks, as [layered_edges]. *)
+  let layer_of = Array.init k (fun v -> v * layers / k) in
+  let layer_start = Array.make (layers + 1) k in
+  for v = k - 1 downto 0 do
+    layer_start.(layer_of.(v)) <- v
+  done;
+  for l = layers - 1 downto 0 do
+    if layer_start.(l) > layer_start.(l + 1) then
+      layer_start.(l) <- layer_start.(l + 1)
+  done;
+  let edges = ref [] in
+  (* Longest release-to-finish path within the frame, messages included;
+     drives the frame period. *)
+  let dist = Array.make n 0 in
+  let cp = ref 0 in
+  for f = 0 to frames - 1 do
+    let base = f * k in
+    for v = 0 to k - 1 do
+      let id = base + v in
+      let l = layer_of.(v) in
+      if l > 0 then begin
+        let plo = layer_start.(l - 1) and phi = layer_start.(l) - 1 in
+        let d = 1 + Prng.int rng degree in
+        let picked = ref [] in
+        for _ = 1 to d do
+          let u = base + Prng.range rng plo phi in
+          (* duplicate picks collapse to one edge *)
+          if not (List.mem u !picked) then begin
+            picked := u :: !picked;
+            let m = if mhi = 0 then 0 else Prng.range rng mlo mhi in
+            edges := (u, id, m) :: !edges;
+            if dist.(u) + m > dist.(id) then dist.(id) <- dist.(u) + m
+          end
+        done
+      end;
+      dist.(id) <- dist.(id) + computes.(id);
+      if dist.(id) > !cp then cp := dist.(id)
+    done
+  done;
+  let period = max 1 (int_of_float (ceil (laxity *. float_of_int !cp))) in
+  let resource_every = max 0 resource_every in
+  let tasks =
+    List.init n (fun id ->
+        let f = id / k in
+        let v = id mod k in
+        let release = if layer_of.(v) = 0 then f * period else 0 in
+        let resources =
+          if resource_every > 0 && id mod resource_every = 0 then [ "R" ]
+          else []
+        in
+        Rtlb.Task.make ~id ~compute:computes.(id) ~release
+          ~deadline:((f + 1) * period) ~proc:"P" ~resources ())
+  in
+  Rtlb.App.make ~tasks ~edges:!edges
+
+let frame_system ?(proc_cost = 5) ?(resource_cost = 3) () =
+  Rtlb.System.shared ~costs:[ ("P", proc_cost); ("R", resource_cost) ]
+
 let shared_system config =
   let costs =
     List.map (fun (p, _) -> (p, 5)) config.proc_types

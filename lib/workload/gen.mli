@@ -67,3 +67,31 @@ val dedicated_system : config -> Rtlb.System.t
     hostable. *)
 
 val shape_name : shape -> string
+
+val layered_frames :
+  ?seed:int ->
+  ?frames:int ->
+  ?tasks_per_frame:int ->
+  ?layers:int ->
+  ?degree:int ->
+  ?compute_range:int * int ->
+  ?msg_range:int * int ->
+  ?laxity:float ->
+  ?resource_every:int ->
+  unit ->
+  Rtlb.App.t
+(** Frame-structured layered DAG scaled for 10^5–10^6-task benchmarks.
+    [frames] independent layered DAGs of [tasks_per_frame] tasks each
+    ([layers] contiguous layers, every non-source task drawing up to
+    [degree] predecessors from the previous layer — O(n·degree)
+    construction), staggered in time: frame [f] releases its sources at
+    [f·T] with deadline [(f+1)·T] where [T = max 1 (ceil (laxity ·
+    critical path))].  Windows are feasible by construction and the
+    Section-5 partition recovers roughly one block per frame, so the
+    interval scan stays near-linear in the task count.  All tasks run on
+    processor ["P"]; every [resource_every]-th task also needs resource
+    ["R"] ([0] disables resources).  Deterministic in [seed]. *)
+
+val frame_system : ?proc_cost:int -> ?resource_cost:int -> unit -> Rtlb.System.t
+(** The shared system matching {!layered_frames}: processor ["P"] and
+    resource ["R"] with the given unit costs. *)

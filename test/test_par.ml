@@ -658,6 +658,24 @@ let sensitivity_budget_expired () =
   check_bool "every sample flagged partial" true
     (List.for_all (fun s -> s.Rtlb.Sensitivity.s_partial) samples)
 
+(* Chunk boundaries align to cache-line-sized packed-array slices:
+   1000 items on 4 domains gives a raw chunk of 63, rounded up to 64
+   (8 ints x 8 bytes = one 64-byte line), hence exactly 16 claims. *)
+let chunk_cache_line_alignment () =
+  Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
+      if Rtlb_par.Pool.size pool = 4 then begin
+        let tracer = Rtlb_obs.Tracer.make () in
+        let hits = Atomic.make 0 in
+        let status =
+          Rtlb_par.Pool.run ~tracer pool ~total:1000 (fun _ ->
+              Atomic.incr hits)
+        in
+        check_bool "run completed" true (status = `Done);
+        check_int "all bodies ran" 1000 (Atomic.get hits);
+        check_int "aligned chunk count" 16
+          (Rtlb_obs.Tracer.counter tracer Rtlb_obs.Tracer.Chunks_claimed)
+      end)
+
 let parallel_paper_example () =
   Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
       List.iter
@@ -698,6 +716,8 @@ let suite =
           `Quick traced_counters_under_spawn_failure;
         Alcotest.test_case "traced chunk accounting under a worker raise"
           `Quick traced_counters_under_worker_raise;
+        Alcotest.test_case "chunk boundaries align to cache lines" `Quick
+          chunk_cache_line_alignment;
         Alcotest.test_case "traced chunk accounting: expired budget" `Quick
           traced_counters_expired_budget;
         Alcotest.test_case "traced chunk accounting: mid-run deadline" `Quick

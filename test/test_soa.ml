@@ -1,0 +1,181 @@
+(* The packed (structure-of-arrays) engine's contract is value-level
+   bit-identity with the record path: windows (est/lct values), bounds
+   (values, witnesses, partitions), cost and completeness must all match
+   Analysis.run exactly — merge sets and traces are the one documented
+   divergence (Soa leaves them empty).  The properties below assert that
+   identity over random instances on both system models, round-trip the
+   packed representation back to the application, and pin the pruned
+   interval scan to the unpruned reference.  Units cover the paper
+   example, the examples/ file, the frame-structured scaling workload
+   and the domain-pool path. *)
+
+open Helpers
+
+let bound_equal (a : Rtlb.Lower_bound.bound) (b : Rtlb.Lower_bound.bound) =
+  a.Rtlb.Lower_bound.resource = b.Rtlb.Lower_bound.resource
+  && a.Rtlb.Lower_bound.lb = b.Rtlb.Lower_bound.lb
+  && a.Rtlb.Lower_bound.witness = b.Rtlb.Lower_bound.witness
+  && a.Rtlb.Lower_bound.partition = b.Rtlb.Lower_bound.partition
+
+(* Everything except merge sets and traces. *)
+let values_identical (a : Rtlb.Analysis.t) (b : Rtlb.Analysis.t) =
+  a.Rtlb.Analysis.windows.Rtlb.Est_lct.est
+  = b.Rtlb.Analysis.windows.Rtlb.Est_lct.est
+  && a.Rtlb.Analysis.windows.Rtlb.Est_lct.lct
+     = b.Rtlb.Analysis.windows.Rtlb.Est_lct.lct
+  && List.length a.Rtlb.Analysis.bounds = List.length b.Rtlb.Analysis.bounds
+  && List.for_all2 bound_equal a.Rtlb.Analysis.bounds b.Rtlb.Analysis.bounds
+  && a.Rtlb.Analysis.cost = b.Rtlb.Analysis.cost
+  && a.Rtlb.Analysis.completeness = b.Rtlb.Analysis.completeness
+
+let roundtrips system app =
+  let packed = Rtlb.Soa.pack system app in
+  Rtfmt.Appfile.to_string (Rtlb.Soa.unpack packed) = Rtfmt.Appfile.to_string app
+
+(* --- pack -> unpack round-trip ------------------------------------- *)
+
+let roundtrip_random =
+  qtest "Soa.unpack (Soa.pack app) round-trips random instances"
+    (arb_instance ())
+    (fun i -> roundtrips (shared_of i) i.app && roundtrips (dedicated_of i) i.app)
+
+let roundtrip_examples () =
+  (* dune runtest runs in test/; dune exec runs in the workspace root. *)
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/paper_example.app"; "examples/paper_example.app" ]
+  in
+  let { Rtfmt.Appfile.app; system } = Rtfmt.Appfile.parse_file path in
+  let system = Option.get system in
+  check_bool "examples/paper_example.app round-trips" true (roundtrips system app);
+  check_bool "built-in paper example round-trips (shared)" true
+    (roundtrips Rtlb.Paper_example.shared Rtlb.Paper_example.app);
+  check_bool "built-in paper example round-trips (dedicated)" true
+    (roundtrips Rtlb.Paper_example.dedicated Rtlb.Paper_example.app)
+
+(* --- engine identity ----------------------------------------------- *)
+
+let analyze_identical =
+  qtest "Soa.analyze = Analysis.run on random instances" (arb_instance ())
+    (fun i ->
+      values_identical
+        (Rtlb.Soa.analyze (shared_of i) i.app)
+        (Rtlb.Analysis.run (shared_of i) i.app)
+      && values_identical
+           (Rtlb.Soa.analyze (dedicated_of i) i.app)
+           (Rtlb.Analysis.run (dedicated_of i) i.app))
+
+let paper_example_windows () =
+  let a = Rtlb.Soa.analyze Rtlb.Paper_example.shared Rtlb.Paper_example.app in
+  Alcotest.(check (array int))
+    "paper example est" Rtlb.Paper_example.expected_est
+    a.Rtlb.Analysis.windows.Rtlb.Est_lct.est;
+  Alcotest.(check (array int))
+    "paper example lct" Rtlb.Paper_example.expected_lct_repaired
+    a.Rtlb.Analysis.windows.Rtlb.Est_lct.lct;
+  check_bool "paper example = record engine" true
+    (values_identical a
+       (Rtlb.Analysis.run Rtlb.Paper_example.shared Rtlb.Paper_example.app))
+
+(* --- dominance pruning ---------------------------------------------- *)
+
+let pruned_equals_unpruned =
+  qtest "pruned interval scan = unpruned reference" (arb_instance ())
+    (fun i ->
+      let system = shared_of i in
+      values_identical
+        (Rtlb.Soa.analyze ~prune:true system i.app)
+        (Rtlb.Soa.analyze ~prune:false system i.app))
+
+(* --- scaling workload ----------------------------------------------- *)
+
+let frames_identical () =
+  let app =
+    Workload.Gen.layered_frames ~seed:7 ~frames:10 ~tasks_per_frame:100 ()
+  in
+  let system = Workload.Gen.frame_system () in
+  check_int "frame workload size" 1000 (Rtlb.App.n_tasks app);
+  check_bool "frame workload: soa = record" true
+    (values_identical (Rtlb.Soa.analyze system app) (Rtlb.Analysis.run system app))
+
+let frames_deterministic () =
+  let a = Workload.Gen.layered_frames ~seed:3 ~frames:2 ~tasks_per_frame:40 () in
+  let b = Workload.Gen.layered_frames ~seed:3 ~frames:2 ~tasks_per_frame:40 () in
+  check_string "same seed, same app" (Rtfmt.Appfile.to_string a)
+    (Rtfmt.Appfile.to_string b)
+
+(* --- incremental engine over packed arrays --------------------------- *)
+
+let gen_edit st app =
+  let n = Rtlb.App.n_tasks app in
+  let i = Random.State.int st n in
+  let t = Rtlb.App.task app i in
+  let release = t.Rtlb.Task.release
+  and deadline = t.Rtlb.Task.deadline
+  and compute = t.Rtlb.Task.compute in
+  match Random.State.int st 3 with
+  | 0 ->
+      Rtlb.Incremental.Set_deadline
+        { task = i; deadline = release + compute + Random.State.int st 21 }
+  | 1 ->
+      Rtlb.Incremental.Set_release
+        { task = i; release = Random.State.int st (deadline - compute + 1) }
+  | _ ->
+      Rtlb.Incremental.Set_compute
+        { task = i; compute = Random.State.int st (deadline - release + 1) }
+
+let incremental_soa_equals_cold =
+  qtest ~count:100 "Incremental ~engine:`Soa = cold run under random edits"
+    QCheck.(pair (arb_instance ~max_tasks:10 ()) small_int)
+    (fun (i, salt) ->
+      let system = shared_of i in
+      let st = Random.State.make [| i.config.Workload.Gen.seed; salt |] in
+      let handle = Rtlb.Incremental.create ~engine:`Soa system i.app in
+      assert (
+        values_identical
+          (Rtlb.Incremental.base handle)
+          (Rtlb.Analysis.run system i.app));
+      let rec go k edits =
+        k = 0
+        ||
+        let edits =
+          edits @ [ gen_edit st (Rtlb.Incremental.apply i.app edits) ]
+        in
+        let app' = Rtlb.Incremental.apply i.app edits in
+        let q = Rtlb.Incremental.query handle app' in
+        values_identical q (Rtlb.Analysis.run system app') && go (k - 1) edits
+      in
+      go (1 + (salt mod 4)) [])
+
+(* --- domain-pool path ----------------------------------------------- *)
+
+let pool_identical () =
+  let app =
+    Workload.Gen.layered_frames ~seed:11 ~frames:6 ~tasks_per_frame:50 ()
+  in
+  let system = Workload.Gen.frame_system () in
+  let seq = Rtlb.Soa.analyze system app in
+  Rtlb_par.Pool.with_pool ~jobs:4 (fun pool ->
+      check_bool "pool = sequential (pruned)" true
+        (values_identical (Rtlb.Soa.analyze ~pool system app) seq);
+      check_bool "pool = record engine" true
+        (values_identical
+           (Rtlb.Soa.analyze ~pool system app)
+           (Rtlb.Analysis.run system app)))
+
+let suite =
+  [
+    ( "soa",
+      [
+        roundtrip_random;
+        Alcotest.test_case "round-trip: examples" `Quick roundtrip_examples;
+        analyze_identical;
+        Alcotest.test_case "paper example windows" `Quick paper_example_windows;
+        pruned_equals_unpruned;
+        incremental_soa_equals_cold;
+        Alcotest.test_case "frame workload identity" `Quick frames_identical;
+        Alcotest.test_case "frame workload determinism" `Quick
+          frames_deterministic;
+        Alcotest.test_case "pool path identity" `Quick pool_identical;
+      ] );
+  ]
