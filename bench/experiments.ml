@@ -1367,6 +1367,159 @@ let soa_scaling () =
       output_char oc '\n');
   Printf.printf "wrote BENCH_soa.json\n"
 
+(* [all] lives at the end of the file so it can name every experiment,
+   including E15 below. *)
+
+(* -- E15: serve daemon throughput/latency under concurrent load ------
+
+   The acceptance experiment for the bound-query daemon: an in-process
+   server (2 worker threads x 2-domain pools, LRU-cached warm handles)
+   answers a mixed analyze/whatif workload from 8 concurrent clients.
+   Reports throughput and p50/p99 request latency plus the serve
+   counters, into BENCH_serve.json. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (p * (n - 1) / 100))
+
+let serve_throughput () =
+  Bench_util.section "E15: serve daemon throughput and latency";
+  let module Server = Rtlb_serve.Server in
+  let module Protocol = Rtlb_serve.Protocol in
+  let tracer = Rtlb_obs.Tracer.make () in
+  let config =
+    { Server.default_config with Server.jobs = 2; workers = 2; tracer }
+  in
+  let server = Server.create ~config () in
+  let frame fields = Protocol.to_line (Rtfmt.Json.Obj fields) in
+  let requests =
+    List.concat_map
+      (fun seed ->
+        let app =
+          Workload.Gen.layered_frames ~seed ~frames:2 ~tasks_per_frame:40 ()
+        in
+        let text = Rtfmt.Appfile.to_string app in
+        let d0 = (Rtlb.App.task app 0).Rtlb.Task.deadline in
+        [
+          frame
+            [ ("op", Rtfmt.Json.Str "analyze"); ("app", Rtfmt.Json.Str text) ];
+          frame
+            [
+              ("op", Rtfmt.Json.Str "analyze");
+              ("app", Rtfmt.Json.Str text);
+              ("engine", Rtfmt.Json.Str "soa");
+            ];
+          frame
+            [
+              ("op", Rtfmt.Json.Str "whatif");
+              ("app", Rtfmt.Json.Str text);
+              ( "edits",
+                Rtfmt.Json.List
+                  [
+                    Rtfmt.Json.Obj
+                      [
+                        ("task", Rtfmt.Json.Int 0);
+                        ("deadline", Rtfmt.Json.Int (d0 + 5));
+                      ];
+                  ] );
+            ];
+        ])
+      [ 3; 4; 5; 6 ]
+  in
+  let requests = Array.of_list requests in
+  let clients = 8 and per_client = 25 in
+  let latencies_ns = Array.make (clients * per_client) 0.0 in
+  let errors = Atomic.make 0 in
+  let request line =
+    let m = Mutex.create () and c = Condition.create () in
+    let slot = ref None in
+    Server.submit server line (fun reply ->
+        Mutex.lock m;
+        slot := Some reply;
+        Condition.signal c;
+        Mutex.unlock m);
+    Mutex.lock m;
+    while !slot = None do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    Option.get !slot
+  in
+  let client c =
+    for k = 0 to per_client - 1 do
+      let line = requests.(((c * per_client) + k) mod Array.length requests) in
+      let t0 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
+      let reply = request line in
+      let t1 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
+      latencies_ns.((c * per_client) + k) <-
+        Int64.to_float (Int64.sub t1 t0);
+      if not (String.length reply > 12 && String.sub reply 0 1 = "{") then
+        Atomic.incr errors;
+      match Rtfmt.Json.member "ok" (Rtfmt.Json.parse reply) with
+      | Rtfmt.Json.Bool true -> ()
+      | _ -> Atomic.incr errors
+    done
+  in
+  let t0 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
+  let threads = List.init clients (fun c -> Thread.create client c) in
+  List.iter Thread.join threads;
+  let t1 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
+  Server.shutdown server;
+  let wall_ms = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
+  let total = clients * per_client in
+  Array.sort compare latencies_ns;
+  let p50 = percentile latencies_ns 50 /. 1e6 in
+  let p99 = percentile latencies_ns 99 /. 1e6 in
+  let throughput = float_of_int total /. (wall_ms /. 1000.0) in
+  let c name = Rtlb_obs.Tracer.counter tracer name in
+  let t = Rtfmt.Table.create [ "metric"; "value" ] in
+  Rtfmt.Table.add_row t [ "requests"; string_of_int total ];
+  Rtfmt.Table.add_row t [ "errors"; string_of_int (Atomic.get errors) ];
+  Rtfmt.Table.add_row t [ "wall ms"; Printf.sprintf "%.1f" wall_ms ];
+  Rtfmt.Table.add_row t [ "req/s"; Printf.sprintf "%.0f" throughput ];
+  Rtfmt.Table.add_row t [ "p50 ms"; Printf.sprintf "%.2f" p50 ];
+  Rtfmt.Table.add_row t [ "p99 ms"; Printf.sprintf "%.2f" p99 ];
+  Rtfmt.Table.add_row t
+    [ "admitted"; string_of_int (c Rtlb_obs.Tracer.Requests_admitted) ];
+  Rtfmt.Table.add_row t
+    [ "cache hits"; string_of_int (c Rtlb_obs.Tracer.Cache_hits) ];
+  Rtfmt.Table.add_row t
+    [ "evictions"; string_of_int (c Rtlb_obs.Tracer.Evictions) ];
+  Rtfmt.Table.print t;
+  if Atomic.get errors > 0 then begin
+    prerr_endline "e15: concurrent serve run produced error replies";
+    exit 1
+  end;
+  let json =
+    Rtfmt.Json.Obj
+      [
+        ("experiment", Rtfmt.Json.Str "e15-serve-throughput");
+        ("clients", Rtfmt.Json.Int clients);
+        ("requests", Rtfmt.Json.Int total);
+        ("workers", Rtfmt.Json.Int config.Server.workers);
+        ("jobs", Rtfmt.Json.Int config.Server.jobs);
+        ("throughput_rps", Rtfmt.Json.Str (Printf.sprintf "%.1f" throughput));
+        ("p50_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" p50));
+        ("p99_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" p99));
+        ( "counters",
+          Rtfmt.Json.Obj
+            [
+              ( "requests_admitted",
+                Rtfmt.Json.Int (c Rtlb_obs.Tracer.Requests_admitted) );
+              ( "requests_rejected",
+                Rtfmt.Json.Int (c Rtlb_obs.Tracer.Requests_rejected) );
+              ("evictions", Rtfmt.Json.Int (c Rtlb_obs.Tracer.Evictions));
+              ( "degraded_replies",
+                Rtfmt.Json.Int (c Rtlb_obs.Tracer.Degraded_replies) );
+              ("cache_hits", Rtfmt.Json.Int (c Rtlb_obs.Tracer.Cache_hits));
+            ] );
+      ]
+  in
+  Rtfmt.write_atomic "BENCH_serve.json" (fun oc ->
+      output_string oc (Rtfmt.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_serve.json\n"
+
 let all () =
   tightness ();
   baselines ();
@@ -1381,4 +1534,5 @@ let all () =
   priorities ();
   parallel_scaling ();
   incremental_sweep ();
-  soa_scaling ()
+  soa_scaling ();
+  serve_throughput ()

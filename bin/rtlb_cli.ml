@@ -617,6 +617,15 @@ let sensitivity_cmd =
 (* ---- whatif -------------------------------------------------------- *)
 
 let whatif_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the what-if result as JSON (same encoding the serve \
+             daemon replies with); interrupted runs still flush valid \
+             JSON flagged $(b,partial: true).")
+  in
   let task_arg =
     let doc = "Task id to edit (0-based vertex index)." in
     Arg.(required & opt (some int) None & info [ "task"; "t" ] ~docv:"N" ~doc)
@@ -640,7 +649,7 @@ let whatif_cmd =
     | Rtlb.Cost.No_feasible_system r ->
         Printf.sprintf "no feasible system (%s)" r
   in
-  let run path override task deadline release compute jobs timeout =
+  let run path override task deadline release compute jobs timeout json =
     match read_appfile path with
     | Error e -> `Error (false, e)
     | Ok { Rtfmt.Appfile.app; system } -> (
@@ -683,6 +692,11 @@ let whatif_cmd =
               | exception Invalid_argument e -> `Error (false, e)
               | handle, edited ->
                   let base = Rtlb.Incremental.base handle in
+                  if json then
+                    print_endline
+                      (Rtfmt.Json.to_string
+                         (Rtfmt.Json.of_whatif ~base ~edited))
+                  else begin
                   let name = (Rtlb.App.task app task).Rtlb.Task.name in
                   Printf.printf "what-if: task %d (%s)%s%s%s\n" task name
                     (match release with
@@ -717,7 +731,11 @@ let whatif_cmd =
                     (Rtlb_obs.Tracer.counter tracer
                        Rtlb_obs.Tracer.Cone_tasks)
                     (Rtlb_obs.Tracer.counter tracer
-                       Rtlb_obs.Tracer.Cache_hits);
+                       Rtlb_obs.Tracer.Cache_hits)
+                  end;
+                  (* a SIGINT/SIGTERM mid-edit still flushed the valid
+                     partial result above; acknowledge it now *)
+                  exit_if_interrupted ();
                   `Ok ()))
   in
   let doc =
@@ -729,7 +747,7 @@ let whatif_cmd =
     Term.(
       ret
         (const run $ file_arg $ system_arg $ task_arg $ deadline_arg
-       $ release_arg $ compute_arg $ jobs_arg $ timeout_arg))
+       $ release_arg $ compute_arg $ jobs_arg $ timeout_arg $ json_arg))
 
 (* ---- timebound ----------------------------------------------------- *)
 
@@ -838,6 +856,98 @@ let horn_cmd =
   in
   Cmd.v (Cmd.info "horn" ~doc) Term.(ret (const run $ file_arg $ m_arg))
 
+(* ---- serve ------------------------------------------------------- *)
+
+(* The long-lived bound-query daemon (lib/serve).  Unlike the one-shot
+   commands, serve installs its own signal discipline: the first
+   SIGINT/SIGTERM starts a graceful drain (finish in-flight requests,
+   refuse new frames with S306, exit 0), the second exits immediately
+   with 128+signum.  Cooperative cancellation (Pool.request_cancel)
+   is deliberately NOT used here — it would turn in-flight answers
+   into drops instead of letting them finish. *)
+let serve_cmd =
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv) (JSON-lines)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let stdio_arg =
+    let doc =
+      "Serve stdin/stdout instead of a socket (one request per line; \
+       used by tests and as a subprocess protocol)."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let cache_arg =
+    let doc = "Keep at most $(docv) warm incremental handles (LRU)." in
+    Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission queue bound; further requests are rejected with \
+       $(b,S303 overloaded) and a retry-after hint."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker threads answering requests concurrently." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let run socket stdio cache queue workers jobs =
+    match (socket, stdio) with
+    | None, false ->
+        `Error (true, "one of --socket PATH or --stdio is required")
+    | Some _, true -> `Error (true, "--socket and --stdio are exclusive")
+    | socket, _ ->
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ | Sys_error _ -> ());
+        let stop = Atomic.make false in
+        let handle code _ =
+          if Atomic.get stop then exit code else Atomic.set stop true
+        in
+        List.iter
+          (fun (signal, code) ->
+            try Sys.set_signal signal (Sys.Signal_handle (handle code))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ (Sys.sigint, 130); (Sys.sigterm, 143) ];
+        let jobs =
+          match jobs with
+          | Some n -> max 1 n
+          | None -> (
+              match Sys.getenv_opt "RTLB_JOBS" with
+              | Some s -> (
+                  match int_of_string_opt (String.trim s) with
+                  | Some n when n >= 1 -> n
+                  | _ -> 2)
+              | None -> 2)
+        in
+        let config =
+          {
+            Rtlb_serve.Server.default_config with
+            cache_capacity = max 0 cache;
+            queue_capacity = max 1 queue;
+            workers = max 1 workers;
+            jobs;
+            tracer = Rtlb_obs.Tracer.make ();
+          }
+        in
+        let server = Rtlb_serve.Server.create ~config () in
+        let stop () = Atomic.get stop in
+        (match socket with
+        | Some path -> Rtlb_serve.Server.serve_socket server ~path ~stop
+        | None -> Rtlb_serve.Server.serve_stdio server ~stop);
+        `Ok ()
+  in
+  let doc =
+    "Run the long-lived bound-query daemon (JSON-lines over a Unix \
+     socket or stdio)."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ stdio_arg $ cache_arg $ queue_arg
+       $ workers_arg $ jobs_arg))
+
 (* ---- dot -------------------------------------------------------- *)
 
 let dot_cmd =
@@ -870,7 +980,7 @@ let () =
            [
              analyze_cmd; check_cmd; example_cmd; schedule_cmd; generate_cmd;
              dot_cmd; profile_cmd; sensitivity_cmd; whatif_cmd; timebound_cmd;
-             horn_cmd; critical_cmd;
+             horn_cmd; critical_cmd; serve_cmd;
            ])
     with
     | Rtlb_par.Chaos.Killed ->

@@ -11,8 +11,12 @@ type counter =
   | Worker_restarts
   | Checkpoints_written
   | Resumes
+  | Requests_admitted
+  | Requests_rejected
+  | Evictions
+  | Degraded_replies
 
-let n_counters = 12
+let n_counters = 16
 
 let counter_index = function
   | Tasks_scanned -> 0
@@ -27,6 +31,10 @@ let counter_index = function
   | Worker_restarts -> 9
   | Checkpoints_written -> 10
   | Resumes -> 11
+  | Requests_admitted -> 12
+  | Requests_rejected -> 13
+  | Evictions -> 14
+  | Degraded_replies -> 15
 
 let counter_name = function
   | Tasks_scanned -> "tasks_scanned"
@@ -41,12 +49,17 @@ let counter_name = function
   | Worker_restarts -> "worker_restarts"
   | Checkpoints_written -> "checkpoints_written"
   | Resumes -> "resumes"
+  | Requests_admitted -> "requests_admitted"
+  | Requests_rejected -> "requests_rejected"
+  | Evictions -> "evictions"
+  | Degraded_replies -> "degraded_replies"
 
 let all_counters =
   [
     Tasks_scanned; Candidate_intervals; Theta_evals; Chunks_claimed;
     Deadline_cancels; Cache_hits; Cone_tasks; Worker_errors; Retries;
-    Worker_restarts; Checkpoints_written; Resumes;
+    Worker_restarts; Checkpoints_written; Resumes; Requests_admitted;
+    Requests_rejected; Evictions; Degraded_replies;
   ]
 
 type event = {

@@ -51,7 +51,18 @@
     - [Checkpoints_written]: checkpoint files written (atomically) by a
       resumable sweep or benchmark.
     - [Resumes]: samples served from a validated checkpoint instead of
-      being recomputed. *)
+      being recomputed.
+    - [Requests_admitted]: serve-daemon requests accepted into the
+      bounded work queue ([Rtlb_serve.Server]).
+    - [Requests_rejected]: serve-daemon frames refused with a
+      structured error before any analysis ran — malformed frames,
+      protocol errors, overload shedding, drain refusals.
+    - [Evictions]: warm incremental handles evicted from the
+      serve-daemon's fingerprint-keyed LRU cache (capacity pressure or
+      crash-isolation drops).
+    - [Degraded_replies]: successful serve-daemon replies whose
+      supervised execution was less than a clean full-parallel run
+      (retries exhausted into the degradation ladder). *)
 type counter =
   | Tasks_scanned
   | Candidate_intervals
@@ -65,6 +76,10 @@ type counter =
   | Worker_restarts
   | Checkpoints_written
   | Resumes
+  | Requests_admitted
+  | Requests_rejected
+  | Evictions
+  | Degraded_replies
 
 val counter_name : counter -> string
 (** Stable snake_case name, used by stats tables and JSON output. *)

@@ -19,6 +19,9 @@ type fault =
   | Kill_worker_at of { index : int }
   | Slow_at of { index : int; spins : int }
   | Kill_at_checkpoint of int
+  | Bad_frame_at of { index : int }
+  | Kill_request_at of { index : int }
+  | Slow_client_at of { index : int; ms : int }
 
 type plan = { seed : int; faults : fault list }
 
@@ -29,6 +32,18 @@ let ckpt_countdown = Atomic.make (-1) (* -1: no kill-at-checkpoint armed *)
 let n_transient = Atomic.make 0
 let n_worker_kills = Atomic.make 0
 let n_slow = Atomic.make 0
+let n_bad_frames = Atomic.make 0
+let n_request_kills = Atomic.make 0
+let n_client_delays = Atomic.make 0
+
+(* Server-side directives are keyed by request (or frame) sequence
+   number, not pool work-item index; the serve layer and chaos-aware
+   test clients consult them through the hooks below.  Budgets are
+   atomics so concurrent client threads and server workers can race on
+   the same armed plan. *)
+let bad_frames : (int * int Atomic.t) list ref = ref []
+let request_kills : (int * int Atomic.t) list ref = ref []
+let client_delays : (int * int * int Atomic.t) list ref = ref []
 
 (* Claim one shot from a bounded budget; false once exhausted. *)
 let take budget =
@@ -46,6 +61,12 @@ let disarm () =
   Atomic.set n_transient 0;
   Atomic.set n_worker_kills 0;
   Atomic.set n_slow 0;
+  Atomic.set n_bad_frames 0;
+  Atomic.set n_request_kills 0;
+  Atomic.set n_client_delays 0;
+  bad_frames := [];
+  request_kills := [];
+  client_delays := [];
   Pool.For_testing.reset ()
 
 let arm plan =
@@ -59,6 +80,15 @@ let arm plan =
             None
         | Kill_at_checkpoint n ->
             Atomic.set ckpt_countdown n;
+            None
+        | Bad_frame_at { index } ->
+            bad_frames := (index, Atomic.make 1) :: !bad_frames;
+            None
+        | Kill_request_at { index } ->
+            request_kills := (index, Atomic.make 1) :: !request_kills;
+            None
+        | Slow_client_at { index; ms } ->
+            client_delays := (index, ms, Atomic.make 1) :: !client_delays;
             None
         | Raise_at { index; times } ->
             let budget = Atomic.make times in
@@ -94,6 +124,32 @@ let armed () = !armed_plan
 let fired_transient () = Atomic.get n_transient
 let fired_worker_kills () = Atomic.get n_worker_kills
 let fired_slow () = Atomic.get n_slow
+let fired_bad_frames () = Atomic.get n_bad_frames
+let fired_request_kills () = Atomic.get n_request_kills
+let fired_client_delays () = Atomic.get n_client_delays
+
+(* ---- server-side hooks -------------------------------------------- *)
+
+let frame_corrupt index =
+  match List.find_opt (fun (i, _) -> i = index) !bad_frames with
+  | Some (_, budget) when take budget ->
+      Atomic.incr n_bad_frames;
+      true
+  | _ -> false
+
+let client_delay_ms index =
+  match List.find_opt (fun (i, _, _) -> i = index) !client_delays with
+  | Some (_, ms, budget) when take budget ->
+      Atomic.incr n_client_delays;
+      ms
+  | _ -> 0
+
+let on_request index =
+  match List.find_opt (fun (i, _) -> i = index) !request_kills with
+  | Some (_, budget) when take budget ->
+      Atomic.incr n_request_kills;
+      raise Pool.Worker_abort
+  | _ -> ()
 
 let on_checkpoint () =
   let rec go () =
@@ -134,6 +190,21 @@ let plan_of_seed seed =
   in
   { seed; faults }
 
+let server_plan_of_seed ?(requests = 32) seed =
+  let state = ref (Int64.of_int (succ (abs seed))) in
+  let rand bound = Int64.to_int (Int64.rem (Int64.logand (splitmix state) Int64.max_int) (Int64.of_int bound)) in
+  let requests = max 1 requests in
+  let n_faults = 2 + rand 4 in
+  let faults =
+    List.init n_faults (fun _ ->
+        match rand 4 with
+        | 0 -> Bad_frame_at { index = rand requests }
+        | 1 -> Kill_request_at { index = rand requests }
+        | 2 -> Slow_client_at { index = rand requests; ms = 1 + rand 20 }
+        | _ -> Raise_at { index = 0; times = 1 + rand 2 })
+  in
+  { seed; faults }
+
 (* ---- RTLB_CHAOS syntax -------------------------------------------- *)
 
 let fault_to_string = function
@@ -143,6 +214,9 @@ let fault_to_string = function
   | Kill_worker_at { index } -> Printf.sprintf "kill@%d" index
   | Slow_at { index; spins } -> Printf.sprintf "slow@%d:%d" index spins
   | Kill_at_checkpoint n -> Printf.sprintf "killckpt@%d" n
+  | Bad_frame_at { index } -> Printf.sprintf "badframe@%d" index
+  | Kill_request_at { index } -> Printf.sprintf "killreq@%d" index
+  | Slow_client_at { index; ms } -> Printf.sprintf "slowclient@%d:%d" index ms
 
 let to_string plan =
   match plan.faults with
@@ -150,12 +224,23 @@ let to_string plan =
   | faults -> String.concat "," (List.map fault_to_string faults)
 
 let parse s =
-  let parse_int what v =
-    match int_of_string_opt v with
+  (* Strictly decimal: [int_of_string_opt] alone also accepts OCaml
+     literal forms (0x.., 0b.., 0o.., '_' separators, a leading '+'),
+     which silently reinterpreted typos — [kill@0x3] armed [kill@3].
+     Every payload must be plain digits; anything else is rejected with
+     an error naming the whole offending token. *)
+  let parse_int ~tok what v =
+    let decimal = v <> "" && String.for_all (fun c -> c >= '0' && c <= '9') v in
+    match if decimal then int_of_string_opt v else None with
     | Some n when n >= 0 -> Ok n
-    | _ -> Error (Printf.sprintf "%s expects a non-negative integer, got %S" what v)
+    | _ ->
+        Error
+          (Printf.sprintf
+             "in token %S: %s expects a non-negative decimal integer, got %S"
+             tok what v)
   in
   let parse_token tok =
+    let parse_int what v = parse_int ~tok what v in
     match String.index_opt tok '=' with
     | Some i -> (
         let k = String.sub tok 0 i
@@ -207,6 +292,27 @@ let parse s =
                 Result.map
                   (fun n -> `Fault (Kill_at_checkpoint n))
                   (parse_int "killckpt" v)
+            | "badframe" ->
+                Result.map
+                  (fun index -> `Fault (Bad_frame_at { index }))
+                  (parse_int "badframe" v)
+            | "killreq" ->
+                Result.map
+                  (fun index -> `Fault (Kill_request_at { index }))
+                  (parse_int "killreq" v)
+            | "slowclient" -> (
+                match String.index_opt v ':' with
+                | None ->
+                    Result.map
+                      (fun index -> `Fault (Slow_client_at { index; ms = 25 }))
+                      (parse_int "slowclient" v)
+                | Some j ->
+                    let idx = String.sub v 0 j
+                    and ms = String.sub v (j + 1) (String.length v - j - 1) in
+                    Result.bind (parse_int "slowclient" idx) (fun index ->
+                        Result.map
+                          (fun ms -> `Fault (Slow_client_at { index; ms }))
+                          (parse_int "slowclient ms" ms)))
             | _ -> Error (Printf.sprintf "unknown chaos token %S" tok)))
   in
   let tokens =

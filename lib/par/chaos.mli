@@ -39,6 +39,19 @@ type fault =
           not a failure. *)
   | Kill_at_checkpoint of int
       (** The [n]-th {!on_checkpoint} call raises {!Killed}. *)
+  | Bad_frame_at of { index : int }
+      (** Server-side: a chaos-aware client corrupts its [index]-th
+          frame ({!frame_corrupt}), once — the daemon must answer with
+          a structured error and keep serving. *)
+  | Kill_request_at of { index : int }
+      (** Server-side: the [index]-th admitted request kills its
+          executing worker mid-compute ({!on_request} raises
+          {!Pool.Worker_abort}), once — the supervisor's heal/degrade
+          ladder must still produce the exact answer. *)
+  | Slow_client_at of { index : int; ms : int }
+      (** Server-side: a chaos-aware client stalls [ms] milliseconds
+          mid-frame while sending its [index]-th request
+          ({!client_delay_ms}) — a slow client, not a failure. *)
 
 type plan = { seed : int; faults : fault list }
 
@@ -46,11 +59,20 @@ val plan_of_seed : int -> plan
 (** Deterministic expansion of a seed into 1–3 faults (splitmix64
     driven); equal seeds give equal plans across runs and platforms. *)
 
+val server_plan_of_seed : ?requests:int -> int -> plan
+(** Deterministic expansion of a seed into 2–5 {e server-side} faults
+    (bad frames, mid-request worker kills, slow clients, transient
+    raises) with request indices below [requests] (default 32) — the
+    plans the serve chaos suite replays against the daemon. *)
+
 val parse : string -> (plan, string) result
 (** The [RTLB_CHAOS] mini-language: comma-separated
     [spawnfail=N | raise@I | raise@IxN | kill@I | slow@I | slow@I:S |
-    killckpt@N | seed=N].  A lone [seed=N] expands via
-    {!plan_of_seed}. *)
+    killckpt@N | badframe@I | killreq@I | slowclient@I | slowclient@I:MS
+    | seed=N].  A lone [seed=N] expands via {!plan_of_seed}.  Integer
+    payloads are strictly decimal; any other spelling — including OCaml
+    literal forms like [0x3] or [1_0] — is rejected with an error
+    naming the offending token, never silently reinterpreted. *)
 
 val to_string : plan -> string
 (** Round-trips through {!parse} (seed-only plans print as [seed=N]). *)
@@ -79,3 +101,30 @@ val fired_transient : unit -> int
 val fired_worker_kills : unit -> int
 
 val fired_slow : unit -> int
+
+(** {1 Server-side hooks}
+
+    Consulted by the serve layer ({!on_request}) and by chaos-aware
+    test clients ({!frame_corrupt}, {!client_delay_ms}).  Budgets are
+    one shot per directive and atomic, so concurrent clients and
+    server workers can replay one armed plan deterministically by
+    request sequence number. *)
+
+val on_request : int -> unit
+(** Called by a server worker with the admitted-request sequence number
+    before computing the reply;
+    @raise Pool.Worker_abort when an armed [killreq@i] budget fires. *)
+
+val frame_corrupt : int -> bool
+(** [true] exactly once for the frame index of an armed [badframe@i] —
+    the client should send a deliberately malformed frame instead. *)
+
+val client_delay_ms : int -> int
+(** The stall in milliseconds an armed [slowclient@i:MS] prescribes for
+    frame [i] (once; [0] otherwise). *)
+
+val fired_bad_frames : unit -> int
+
+val fired_request_kills : unit -> int
+
+val fired_client_delays : unit -> int

@@ -443,3 +443,34 @@ let of_analysis ?stats (a : Rtlb.Analysis.t) =
     @
     (* Observability summary, only when the caller traced the run. *)
     match stats with None -> [] | Some s -> [ ("stats", of_stats s) ])
+
+(* What-if output shared by `rtlb whatif --json` and the serve daemon's
+   [whatif] op: per-resource bound deltas against the cached base
+   analysis plus the full edited analysis (whose own ["partial"] flag
+   carries budget expiry), so a served reply and the one-shot CLI are
+   byte-comparable. *)
+let of_whatif ~(base : Rtlb.Analysis.t) ~(edited : Rtlb.Analysis.t) =
+  let lb_list (a : Rtlb.Analysis.t) =
+    List.map
+      (fun (b : Rtlb.Lower_bound.bound) ->
+        (b.Rtlb.Lower_bound.resource, b.Rtlb.Lower_bound.lb))
+      a.Rtlb.Analysis.bounds
+  in
+  let deltas =
+    List.map2
+      (fun (r, lb) (_, lb') ->
+        Obj
+          [
+            ("resource", Str r);
+            ("base_lb", Int lb);
+            ("lb", Int lb');
+            ("delta", Int (lb' - lb));
+          ])
+      (lb_list base) (lb_list edited)
+  in
+  Obj
+    [
+      ("deltas", List deltas);
+      ("partial", Bool (Rtlb.Analysis.is_partial edited));
+      ("edited", of_analysis edited);
+    ]

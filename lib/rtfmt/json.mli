@@ -38,3 +38,9 @@ val of_analysis : ?stats:Rtlb_obs.Stats.t -> Rtlb.Analysis.t -> t
     output is byte-identical to earlier versions. *)
 
 val of_schedule : Rtlb.App.t -> Sched.Schedule.t -> t
+
+val of_whatif : base:Rtlb.Analysis.t -> edited:Rtlb.Analysis.t -> t
+(** What-if reply: per-resource [base_lb]/[lb]/[delta] rows, a
+    top-level [partial] flag, and the full edited analysis under
+    ["edited"] — shared by [rtlb whatif --json] and the serve daemon so
+    both surfaces emit byte-identical results. *)

@@ -1,0 +1,85 @@
+(** JSON-lines request/reply protocol for {!Server}.
+
+    One request object per line; the reply (one line, compact JSON)
+    echoes the request's ["id"] verbatim so clients may pipeline and
+    match replies out of order.  Request shape:
+
+    {v
+    {"id": 7, "op": "analyze", "app": "task T1 compute=3 deadline=36 ...",
+     "engine": "soa", "deadline_ms": 50}
+    {"id": 8, "op": "whatif", "app": "...",
+     "edits": [{"task": 0, "deadline": 40}]}
+    {"id": 9, "op": "sensitivity", "app": "...", "factors": ["0.5", 1, "1.5"]}
+    {"id": 10, "op": "check", "app": "..."}
+    {"id": 11, "op": "ping"}
+    v}
+
+    Unknown fields, unknown ops and malformed payloads are rejected —
+    never silently ignored (the same contract the [RTLB_CHAOS] parser
+    keeps).  Every failure carries a stable [S3xx] code alongside the
+    validation codes E100–E106; see docs/ROBUSTNESS.md for the table. *)
+
+type op = Analyze | Whatif | Sensitivity | Check | Ping | Stats
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+(** Stable error codes: [S300] bad_frame (not JSON / frame too large),
+    [S301] bad_request (bad shape or fields, invalid edit target),
+    [S302] invalid_app (application text fails to parse or host),
+    [S303] overloaded (admission queue full; reply carries
+    [retry_after_ms]), [S304] deadline_expired (reserved — an expired
+    [deadline_ms] budget returns a partial {e result}, not an error),
+    [S305] internal (request crashed even after supervised retries),
+    [S306] draining (daemon is shutting down). *)
+type code =
+  | Bad_frame
+  | Bad_request
+  | Invalid_app
+  | Overloaded
+  | Deadline_expired
+  | Internal
+  | Draining
+
+val code_id : code -> string
+(** ["S300"] .. ["S306"]. *)
+
+val code_name : code -> string
+
+exception Reject of code * string
+(** Raised by request executors to fail with a specific code; never
+    escapes {!Server} (it becomes the structured error reply). *)
+
+type request = {
+  id : Rtfmt.Json.t;  (** Echoed verbatim in the reply; [Null] when absent. *)
+  op : op;
+  app : string;  (** Application file text ({!Rtfmt.Appfile} format). *)
+  engine : [ `Record | `Soa ];
+  deadline_ms : int option;
+      (** Per-request budget, measured from admission; an expired budget
+          yields a reply flagged [partial], never an empty one. *)
+  edits : Rtlb.Incremental.edit list;  (** [whatif] only. *)
+  factors : float list;  (** [sensitivity] only. *)
+}
+
+val request_of_json : Rtfmt.Json.t -> (request, string) result
+(** Strict: unknown fields, wrong types, empty edit/factor lists and
+    op/field mismatches are all [Error] with a message naming the
+    offending field. *)
+
+val error_reply :
+  id:Rtfmt.Json.t -> code -> ?retry_after_ms:int -> string -> Rtfmt.Json.t
+
+val ok_reply :
+  id:Rtfmt.Json.t -> op:op -> ?degraded:bool -> Rtfmt.Json.t -> Rtfmt.Json.t
+(** [degraded] (default false) marks replies whose supervised execution
+    fell back to the retry/heal/degrade ladder yet still produced the
+    exact answer. *)
+
+val json_of_sample : Rtlb.Sensitivity.sample -> Rtfmt.Json.t
+(** Factor as a decimal string ({!Rtfmt.Json} has no float). *)
+
+val json_of_diag : Rtlb.Validate.diag -> Rtfmt.Json.t
+
+val to_line : Rtfmt.Json.t -> string
+(** Compact (single-line) rendering — the wire format. *)

@@ -1,0 +1,483 @@
+(* The bound-query daemon: admission control, worker threads, warm
+   handle cache, supervised execution, graceful drain.
+
+   Life of a request (docs/ROBUSTNESS.md, "The serve daemon"):
+
+     frame -> parse (S300/S301, inline)
+           -> admission (draining -> S306; queue full -> S303+retry hint)
+           -> worker thread: prepare (app parse; S302)
+           -> Supervisor.supervise over the request body (retry with
+              backoff; worker death heals through the full -> reduced ->
+              sequential ladder; survivors are bit-identical answers,
+              marked "degraded": true)
+           -> reply (one line, request id echoed)
+
+   Isolation invariants: a request failure of any kind becomes a
+   structured error reply on its own connection — it never unwinds a
+   worker thread (run_job catches everything) and never leaves a
+   half-mutated handle in the cache (checkout/checkin discipline,
+   lib/serve/cache.ml). *)
+
+module Json = Rtfmt.Json
+module Tracer = Rtlb_obs.Tracer
+module Pool = Rtlb_par.Pool
+module Supervisor = Rtlb_par.Supervisor
+module Chaos = Rtlb_par.Chaos
+
+type config = {
+  cache_capacity : int;
+  queue_capacity : int;
+  workers : int;
+  jobs : int;
+  policy : Supervisor.policy;
+  tracer : Tracer.t;
+}
+
+let default_config =
+  {
+    cache_capacity = 8;
+    queue_capacity = 64;
+    workers = 2;
+    jobs = 2;
+    policy = Supervisor.default_policy;
+    tracer = Tracer.null;
+  }
+
+(* A frame larger than this is rejected as S300 before parsing — a
+   runaway client must not balloon the daemon's heap. *)
+let max_frame_bytes = 8 * 1024 * 1024
+
+type job = {
+  j_req : Protocol.request;
+  j_deadline_ns : int64 option;  (* absolute; fixed at admission *)
+  j_seq : int;  (* admitted-request sequence number (chaos replay key) *)
+  j_reply : string -> unit;
+}
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  queue : job Queue.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable draining : bool;
+  mutable seq : int;
+  mutable threads : Thread.t list;
+}
+
+(* ---- request execution (worker side) ----------------------------- *)
+
+type prepared =
+  | P_analysis of { system : Rtlb.System.t; app : Rtlb.App.t }
+  | P_check of Rtlb.Validate.diag list
+
+let prepare (req : Protocol.request) =
+  match req.Protocol.op with
+  | Protocol.Check -> (
+      try Ok (P_check (Rtfmt.Appfile.check (Rtfmt.Appfile.parse_spec req.app)))
+      with Rtfmt.Appfile.Parse_error (l, m) ->
+        Ok
+          (P_check
+             [
+               {
+                 Rtlb.Validate.d_code = "E100";
+                 d_severity = Rtlb.Validate.Error;
+                 d_subject = "application";
+                 d_message = m;
+                 d_line = (if l > 0 then Some l else None);
+               };
+             ]))
+  | Protocol.Analyze | Protocol.Whatif | Protocol.Sensitivity -> (
+      try
+        let { Rtfmt.Appfile.app; system } = Rtfmt.Appfile.parse req.app in
+        let system =
+          match system with
+          | Some s -> s
+          | None ->
+              Rtlb.System.shared_uniform
+                ~resources:(Rtlb.App.resource_set app)
+        in
+        Ok (P_analysis { system; app })
+      with Rtfmt.Appfile.Parse_error (l, m) ->
+        Error
+          ( Protocol.Invalid_app,
+            if l > 0 then Printf.sprintf "line %d: %s" l m else m ))
+  | Protocol.Ping | Protocol.Stats ->
+      (* answered inline at admission, never queued *)
+      assert false
+
+(* Checkout a warm handle or build one cold.  A cold build under an
+   expired budget yields a partial base analysis, which must never be
+   checked back in — [use] receives [cacheable = false] for it. *)
+let with_handle t ?pool ?deadline_ns ~engine system app use =
+  let key = Cache.key ~engine system app in
+  match Cache.checkout t.cache key with
+  | Some handle -> (
+      match use ~cacheable:true handle with
+      | result ->
+          Cache.checkin t.cache key handle;
+          result
+      | exception e ->
+          Cache.discard t.cache;
+          raise e)
+  | None -> (
+      let handle =
+        Rtlb.Incremental.create ~engine ?pool ?deadline_ns
+          ~tracer:t.cfg.tracer system app
+      in
+      let cacheable =
+        not (Rtlb.Analysis.is_partial (Rtlb.Incremental.base handle))
+      in
+      match use ~cacheable handle with
+      | result ->
+          if cacheable then Cache.checkin t.cache key handle;
+          result
+      | exception e -> raise e)
+
+let exec_prepared t ?pool job prepared =
+  let req = job.j_req in
+  let deadline_ns = job.j_deadline_ns in
+  match prepared with
+  | P_check diags ->
+      let errors = List.length (List.filter (fun d -> d.Rtlb.Validate.d_severity = Rtlb.Validate.Error) diags) in
+      Json.Obj
+        [
+          ("diags", Json.List (List.map Protocol.json_of_diag diags));
+          ("errors", Json.Int errors);
+        ]
+  | P_analysis { system; app } -> (
+      match req.Protocol.op with
+      | Protocol.Analyze ->
+          with_handle t ?pool ?deadline_ns ~engine:req.Protocol.engine system
+            app (fun ~cacheable:_ handle ->
+              Json.of_analysis (Rtlb.Incremental.base handle))
+      | Protocol.Whatif ->
+          with_handle t ?pool ?deadline_ns ~engine:req.Protocol.engine system
+            app (fun ~cacheable:_ handle ->
+              let edited =
+                try
+                  Rtlb.Incremental.edit ?pool ?deadline_ns
+                    ~tracer:t.cfg.tracer handle req.Protocol.edits
+                with Invalid_argument m ->
+                  (* bad task id / constraint-breaking edit: the request
+                     is at fault, not the application *)
+                  raise (Protocol.Reject (Protocol.Bad_request, m))
+              in
+              Json.of_whatif ~base:(Rtlb.Incremental.base handle) ~edited)
+      | Protocol.Sensitivity ->
+          let samples =
+            Rtlb.Sensitivity.deadline_sweep ?pool ?deadline_ns
+              ~tracer:t.cfg.tracer system app ~factors:req.Protocol.factors
+          in
+          Json.Obj
+            [
+              ("samples", Json.List (List.map Protocol.json_of_sample samples));
+              ( "partial",
+                Json.Bool
+                  (List.exists
+                     (fun s -> s.Rtlb.Sensitivity.s_partial)
+                     samples) );
+            ]
+      | Protocol.Check | Protocol.Ping | Protocol.Stats -> assert false)
+
+let run_job t ?pool job =
+  let id = job.j_req.Protocol.id in
+  let reply json = job.j_reply (Protocol.to_line json) in
+  let outcome_reply () =
+    match prepare job.j_req with
+    | Error (code, msg) -> Protocol.error_reply ~id code msg
+    | Ok prepared -> (
+        (* The supervised body returns request-level faults as values so
+           the supervisor only retries genuine crashes (and worker
+           deaths, which walk the heal/degrade ladder). *)
+        let body () =
+          Chaos.on_request job.j_seq;
+          try Ok (exec_prepared t ?pool job prepared) with
+          | Protocol.Reject (code, msg) -> Error (code, msg)
+          | Invalid_argument msg -> Error (Protocol.Invalid_app, msg)
+        in
+        let results, outcome =
+          Supervisor.supervise ~policy:t.cfg.policy ?pool
+            ~tracer:t.cfg.tracer body [| () |]
+        in
+        match results.(0) with
+        | Some (Ok result) ->
+            let degraded =
+              outcome.Supervisor.o_status <> `Complete
+              || outcome.Supervisor.o_level <> Supervisor.Full
+            in
+            if degraded then Tracer.add t.cfg.tracer Tracer.Degraded_replies 1;
+            Protocol.ok_reply ~id ~op:job.j_req.Protocol.op ~degraded result
+        | Some (Error (code, msg)) -> Protocol.error_reply ~id code msg
+        | None ->
+            let detail =
+              match outcome.Supervisor.o_errors with
+              | (_, m) :: _ -> m
+              | [] -> "request dropped"
+            in
+            Protocol.error_reply ~id Protocol.Internal
+              ("request failed after supervised retries: " ^ detail))
+  in
+  let json =
+    try outcome_reply ()
+    with e ->
+      (* Nothing may unwind a worker thread: even a bug in the executor
+         becomes a structured reply and the daemon keeps serving. *)
+      Protocol.error_reply ~id Protocol.Internal (Printexc.to_string e)
+  in
+  try reply json
+  with _ -> () (* client hung up; the reply has nowhere to go *)
+
+(* ---- worker threads ---------------------------------------------- *)
+
+let rec worker_loop t ?pool () =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.draining then None
+    else (
+      Condition.wait t.cond t.mutex;
+      next ())
+  in
+  let job = next () in
+  Mutex.unlock t.mutex;
+  match job with
+  | None -> ()
+  | Some job ->
+      run_job t ?pool job;
+      worker_loop t ?pool ()
+
+let worker t () =
+  if t.cfg.jobs > 1 then
+    Pool.with_pool ~jobs:t.cfg.jobs (fun pool -> worker_loop t ~pool ())
+  else worker_loop t ()
+
+let create ?(config = default_config) () =
+  let t =
+    {
+      cfg = config;
+      cache =
+        Cache.create ~tracer:config.tracer ~capacity:config.cache_capacity ();
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      draining = false;
+      seq = 0;
+      threads = [];
+    }
+  in
+  t.threads <-
+    List.init (max 1 config.workers) (fun _ -> Thread.create (worker t) ());
+  t
+
+let cache t = t.cache
+
+(* ---- admission (connection side) --------------------------------- *)
+
+let stats_snapshot t =
+  Json.Obj
+    (List.map
+       (fun c ->
+         (Tracer.counter_name c, Json.Int (Tracer.counter t.cfg.tracer c)))
+       Tracer.all_counters
+    @ [
+        ("cache_entries", Json.Int (Cache.length t.cache));
+        ("queue_depth", Json.Int (Queue.length t.queue));
+        ("draining", Json.Bool t.draining);
+      ])
+
+(* Hint for S303: clients should back off for roughly the time the
+   standing queue needs to drain one slot per worker. *)
+let retry_hint t = 25 * (1 + (t.cfg.queue_capacity / max 1 t.cfg.workers))
+
+let submit t line reply_line =
+  let tracer = t.cfg.tracer in
+  let reject ~id code ?retry_after_ms msg =
+    Tracer.add tracer Tracer.Requests_rejected 1;
+    reply_line (Protocol.to_line (Protocol.error_reply ~id code ?retry_after_ms msg))
+  in
+  if String.length line > max_frame_bytes then
+    reject ~id:Json.Null Protocol.Bad_frame
+      (Printf.sprintf "frame exceeds %d bytes" max_frame_bytes)
+  else
+    match Json.parse line with
+    | exception Json.Parse_error m ->
+        reject ~id:Json.Null Protocol.Bad_frame ("invalid JSON frame: " ^ m)
+    | frame -> (
+        let id =
+          match frame with
+          | Json.Obj fields ->
+              Option.value ~default:Json.Null (List.assoc_opt "id" fields)
+          | _ -> Json.Null
+        in
+        match Protocol.request_of_json frame with
+        | Error m -> reject ~id Protocol.Bad_request m
+        | Ok req -> (
+            match req.Protocol.op with
+            | Protocol.Ping ->
+                reply_line
+                  (Protocol.to_line
+                     (Protocol.ok_reply ~id ~op:Protocol.Ping
+                        (Json.Obj [ ("pong", Json.Bool true) ])))
+            | Protocol.Stats ->
+                reply_line
+                  (Protocol.to_line
+                     (Protocol.ok_reply ~id ~op:Protocol.Stats
+                        (stats_snapshot t)))
+            | _ ->
+                let j_deadline_ns =
+                  Option.map
+                    (fun ms ->
+                      Int64.add (Pool.now_ns ())
+                        (Int64.mul (Int64.of_int ms) 1_000_000L))
+                    req.Protocol.deadline_ms
+                in
+                Mutex.lock t.mutex;
+                if t.draining then (
+                  Mutex.unlock t.mutex;
+                  reject ~id Protocol.Draining
+                    "daemon is draining; retry against a fresh instance")
+                else if Queue.length t.queue >= t.cfg.queue_capacity then (
+                  Mutex.unlock t.mutex;
+                  reject ~id Protocol.Overloaded
+                    ~retry_after_ms:(retry_hint t) "request queue is full")
+                else begin
+                  let j_seq = t.seq in
+                  t.seq <- j_seq + 1;
+                  Queue.push
+                    { j_req = req; j_deadline_ns; j_seq; j_reply = reply_line }
+                    t.queue;
+                  Tracer.add tracer Tracer.Requests_admitted 1;
+                  Condition.signal t.cond;
+                  Mutex.unlock t.mutex
+                end))
+
+(* ---- drain -------------------------------------------------------- *)
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let join t =
+  let threads = t.threads in
+  t.threads <- [];
+  List.iter Thread.join threads
+
+let shutdown t =
+  drain t;
+  join t
+
+(* ---- front ends --------------------------------------------------- *)
+
+(* Incremental line reader over a raw fd, so the accept/stdio loops can
+   poll a stop flag between reads without losing buffered bytes (mixing
+   select(2) with OCaml's buffered channels would).  [read_line] returns
+   [None] on EOF or when [stop] turns true between chunks. *)
+type line_reader = {
+  lr_fd : Unix.file_descr;
+  lr_buf : Buffer.t;
+  lr_chunk : bytes;
+  mutable lr_eof : bool;
+}
+
+let line_reader fd =
+  { lr_fd = fd; lr_buf = Buffer.create 4096; lr_chunk = Bytes.create 65536; lr_eof = false }
+
+let take_line lr =
+  let s = Buffer.contents lr.lr_buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear lr.lr_buf;
+      Buffer.add_substring lr.lr_buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  | None ->
+      if lr.lr_eof && s <> "" then (
+        Buffer.clear lr.lr_buf;
+        Some s)
+      else None
+
+let rec read_line lr ~stop =
+  match take_line lr with
+  | Some line -> Some line
+  | None ->
+      if lr.lr_eof || stop () then None
+      else (
+        (match Unix.select [ lr.lr_fd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.read lr.lr_fd lr.lr_chunk 0 (Bytes.length lr.lr_chunk) with
+            | 0 -> lr.lr_eof <- true
+            | n -> Buffer.add_subbytes lr.lr_buf lr.lr_chunk 0 n
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        read_line lr ~stop)
+
+let locked_writer fd =
+  let m = Mutex.create () in
+  fun line ->
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        let payload = Bytes.of_string (line ^ "\n") in
+        let rec push off =
+          if off < Bytes.length payload then
+            match Unix.write fd payload off (Bytes.length payload - off) with
+            | n -> push (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        in
+        try push 0 with Unix.Unix_error _ -> ())
+
+let serve_stdio t ~stop =
+  let reply = locked_writer Unix.stdout in
+  let lr = line_reader Unix.stdin in
+  let rec loop () =
+    match read_line lr ~stop with
+    | Some line ->
+        if String.trim line <> "" then submit t line reply;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  shutdown t
+
+let handle_connection t fd () =
+  let reply = locked_writer fd in
+  let lr = line_reader fd in
+  let rec loop () =
+    match read_line lr ~stop:(fun () -> false) with
+    | Some line ->
+        if String.trim line <> "" then submit t line reply;
+        loop ()
+    | None -> ()
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_socket t ~path ~stop =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 64;
+      let rec accept_loop () =
+        if not (stop ()) then (
+          (match Unix.select [ sock ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept sock with
+              | fd, _ -> ignore (Thread.create (handle_connection t fd) ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ())
+      in
+      accept_loop ();
+      (* stop requested: connections still open keep their replies, new
+         frames are refused with S306 while the queue drains *)
+      shutdown t)

@@ -1,0 +1,80 @@
+(** The bound-query daemon: a long-lived, multi-tenant server answering
+    [analyze] / [whatif] / [sensitivity] / [check] requests over
+    JSON-lines ({!Protocol}), built for fault tolerance:
+
+    - {e admission control}: a bounded request queue; a full queue
+      rejects with [S303 overloaded] and a [retry_after_ms] hint rather
+      than building unbounded backlog.
+    - {e warm handles}: per-instance {!Rtlb.Incremental} handles in a
+      fingerprint-keyed LRU ({!Cache}), so repeat tenants skip the cold
+      analysis.
+    - {e isolation}: every request failure — malformed frame, invalid
+      application, crash inside the analysis — becomes a structured
+      error reply on its own connection; worker threads never unwind
+      and cached handles are never poisoned.
+    - {e supervision}: request bodies run under
+      {!Rtlb_par.Supervisor.supervise}; transient crashes retry with
+      backoff, a killed pool domain heals through the
+      full → reduced → sequential ladder, and anything less than a
+      clean run is flagged ["degraded": true] (the answer itself stays
+      bit-identical to the one-shot CLI).
+    - {e anytime budgets}: a request [deadline_ms] bounds its analysis
+      from admission; an expired budget returns a valid reply flagged
+      [partial], never nothing.  Partial results are never cached.
+    - {e graceful drain}: {!serve_stdio} / {!serve_socket} finish
+      in-flight requests, refuse new frames with [S306], and return
+      (the CLI then exits 0).
+
+    Counters ([requests_admitted], [requests_rejected], [evictions],
+    [degraded_replies]) land on the configured tracer; the [stats] op
+    snapshots them for clients. *)
+
+type config = {
+  cache_capacity : int;  (** Warm handles kept (default 8). *)
+  queue_capacity : int;  (** Admission queue bound (default 64). *)
+  workers : int;  (** Worker threads (default 2). *)
+  jobs : int;
+      (** Pool domains per worker (default 2); [<= 1] runs requests on
+          the worker thread itself — no heal/degrade ladder. *)
+  policy : Rtlb_par.Supervisor.policy;
+  tracer : Rtlb_obs.Tracer.t;
+}
+
+val default_config : config
+
+val max_frame_bytes : int
+(** Frames beyond this many bytes are rejected with [S300]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Starts the worker threads immediately. *)
+
+val cache : t -> Cache.t
+
+val submit : t -> string -> (string -> unit) -> unit
+(** [submit t line reply] processes one request frame.  Parse errors,
+    protocol errors, drain refusals and overload rejections are
+    answered synchronously; [ping] and [stats] are answered inline;
+    anything else is enqueued and [reply] is called later (possibly
+    from a worker thread) with the single-line reply.  [reply] must be
+    thread-safe; {!serve_stdio} and {!serve_socket} wrap each sink in a
+    mutex-guarded writer. *)
+
+val drain : t -> unit
+(** Stop admitting ([S306] from now on); queued requests still run. *)
+
+val shutdown : t -> unit
+(** {!drain}, then join the worker threads — returns once every
+    admitted request has been answered. *)
+
+val serve_stdio : t -> stop:(unit -> bool) -> unit
+(** Serve request lines from stdin, replies to stdout, until EOF or
+    [stop ()] turns true (polled at least every 200 ms); then drains
+    and returns.  Used by [rtlb serve --stdio] and the tests. *)
+
+val serve_socket : t -> path:string -> stop:(unit -> bool) -> unit
+(** Listen on a Unix-domain socket, one thread per connection, until
+    [stop ()] turns true; then refuses new frames, finishes in-flight
+    requests (replies flush to their still-open connections), removes
+    the socket file and returns. *)

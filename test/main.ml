@@ -9,4 +9,5 @@ let () =
    @ Test_simulator.suite @ Test_slack.suite @ Test_makespan.suite
    @ Test_mutate.suite @ Test_multiunit.suite @ Test_coverage.suite
    @ Test_par.suite @ Test_validate.suite @ Test_obs.suite
-   @ Test_incremental.suite @ Test_chaos.suite @ Test_soa.suite)
+   @ Test_incremental.suite @ Test_chaos.suite @ Test_soa.suite
+   @ Test_serve.suite)

@@ -501,6 +501,14 @@ let plan_syntax_roundtrip () =
         Chaos.Raise_at { index = 0; times = 2 };
         Chaos.Kill_at_checkpoint 1;
       ];
+      [ Chaos.Bad_frame_at { index = 4 } ];
+      [ Chaos.Kill_request_at { index = 2 } ];
+      [ Chaos.Slow_client_at { index = 6; ms = 15 } ];
+      [
+        Chaos.Bad_frame_at { index = 0 };
+        Chaos.Kill_request_at { index = 1 };
+        Chaos.Slow_client_at { index = 2; ms = 5 };
+      ];
     ];
   (match Chaos.parse "seed=5" with
   | Ok p ->
@@ -513,6 +521,35 @@ let plan_syntax_roundtrip () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "expected %S to be rejected" bad)
     [ ""; "bogus"; "raise@x"; "kill@"; "spawnfail=-1"; "raise@3x"; "seed=no" ]
+
+let plan_syntax_strict () =
+  (* Regression: the DSL used to route directive payloads through
+     [int_of_string_opt], which accepts OCaml integer literals — so a
+     typo like [kill@0x3] silently armed [kill@3] and [seed=1_0]
+     silently became [seed=10] instead of being rejected.  Every
+     malformed spelling must now fail with an error naming the bad
+     token, and nothing may be silently dropped or reinterpreted. *)
+  List.iter
+    (fun (bad, token) ->
+      match Chaos.parse bad with
+      | Ok p ->
+          Alcotest.failf "expected %S to be rejected, got %S" bad
+            (Chaos.to_string p)
+      | Error e ->
+          check_bool
+            (Printf.sprintf "error for %S names the token (%s)" bad e)
+            true
+            (string_contains ~needle:token e))
+    [
+      ("kill@0x3", "kill@0x3");
+      ("slow@1:0x10", "slow@1:0x10");
+      ("spawnfail=0b10", "spawnfail=0b10");
+      ("seed=1_0", "seed=1_0");
+      ("kill@+3", "kill@+3");
+      ("raise@1,killl@2", "killl@2");
+      ("badframe@0o7", "badframe@0o7");
+      ("slowclient@2:1_0", "slowclient@2:1_0");
+    ]
 
 let seeded_plans_deterministic () =
   for seed = 0 to 20 do
@@ -527,6 +564,85 @@ let seeded_plans_deterministic () =
     (List.exists
        (fun s -> Chaos.plan_of_seed s <> Chaos.plan_of_seed (s + 1))
        [ 1; 2; 3; 4; 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Chaos x the packed (SoA) engine                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The chaos suite historically only drove the record engine; the
+   packed engine shares the pool path, so the same faults must heal to
+   the same bit-identical answers (satellite of the serve work — the
+   daemon supervises SoA requests exactly like this). *)
+
+let soa_instance () =
+  let app = Workload.Gen.layered_frames ~seed:5 ~frames:2 ~tasks_per_frame:20 () in
+  (Workload.Gen.frame_system (), app)
+
+let chaos_soa_transient_retry () =
+  let system, app = soa_instance () in
+  let reference = Rtlb.Soa.analyze system app in
+  with_chaos
+    { Chaos.seed = 0; faults = [ Chaos.Raise_at { index = 0; times = 2 } ] }
+    (fun () ->
+      Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let results, o =
+            Supervisor.supervise ~policy:fast_policy ~pool
+              (fun () -> Rtlb.Soa.analyze ~pool system app)
+              [| () |]
+          in
+          check_int "both transient shots fired" 2 (Chaos.fired_transient ());
+          check_bool "supervised SoA run converged" true
+            (o.Supervisor.o_status = `Complete);
+          check_bool "fault-surviving SoA run bit-identical to fault-free"
+            true
+            (results.(0) = Some reference)))
+
+let chaos_soa_worker_kill_heals () =
+  let system, app = soa_instance () in
+  let reference = Rtlb.Soa.analyze system app in
+  (* the serve daemon's killreq path: the request body's worker dies at
+     the start of the computation, the pool heals, the retry answers *)
+  with_chaos
+    { Chaos.seed = 0; faults = [ Chaos.Kill_request_at { index = 0 } ] }
+    (fun () ->
+      Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let results, o =
+            Supervisor.supervise ~policy:fast_policy ~pool
+              (fun () ->
+                Chaos.on_request 0;
+                Rtlb.Soa.analyze ~pool system app)
+              [| () |]
+          in
+          check_int "the kill fired" 1 (Chaos.fired_request_kills ());
+          check_bool "healed SoA run converged" true
+            (o.Supervisor.o_status = `Complete);
+          check_int "no dead workers left" 0 (Pool.dead_workers pool);
+          check_bool "healed SoA run bit-identical to fault-free" true
+            (results.(0) = Some reference)))
+
+let chaos_soa_degrades_exactly () =
+  let system, app = soa_instance () in
+  let reference = Rtlb.Soa.analyze system app in
+  (* no respawn budget: the ladder steps down instead of healing, and
+     the answer must still be exact *)
+  let policy = { fast_policy with Supervisor.max_restarts = 0 } in
+  with_chaos
+    { Chaos.seed = 0; faults = [ Chaos.Kill_request_at { index = 0 } ] }
+    (fun () ->
+      Pool.with_pool ~jobs:test_jobs (fun pool ->
+          let results, o =
+            Supervisor.supervise ~policy ~pool
+              (fun () ->
+                Chaos.on_request 0;
+                Rtlb.Soa.analyze ~pool system app)
+              [| () |]
+          in
+          check_int "the kill fired" 1 (Chaos.fired_request_kills ());
+          check_bool "ladder stepped below Full" true
+            (o.Supervisor.o_level <> Supervisor.Full);
+          check_bool "no slots dropped" true (none_count results = 0);
+          check_bool "degraded SoA run bit-identical to fault-free" true
+            (results.(0) = Some reference)))
 
 let suite =
   [
@@ -558,8 +674,16 @@ let suite =
           atomic_write_failure_keeps_destination;
         Alcotest.test_case "RTLB_CHAOS syntax round-trips" `Quick
           plan_syntax_roundtrip;
+        Alcotest.test_case "RTLB_CHAOS rejects malformed spellings" `Quick
+          plan_syntax_strict;
         Alcotest.test_case "seeded plans are deterministic" `Quick
           seeded_plans_deterministic;
+        Alcotest.test_case "soa engine: transient faults retried" `Quick
+          chaos_soa_transient_retry;
+        Alcotest.test_case "soa engine: worker death healed" `Quick
+          chaos_soa_worker_kill_heals;
+        Alcotest.test_case "soa engine: degraded ladder stays exact" `Quick
+          chaos_soa_degrades_exactly;
         kill_resume_prop;
       ] );
   ]

@@ -1,0 +1,399 @@
+(* Serve-daemon suite: protocol strictness, the warm-handle LRU's
+   checkout/checkin discipline, admission control (overload + drain
+   refusals), per-request deadline budgets, request isolation, and the
+   acceptance storm — 8 concurrent clients replaying a seeded
+   server-side chaos plan (malformed frames, mid-request worker kills,
+   slow clients, transient raises) against one daemon, asserting the
+   daemon survives with zero incorrect answers: every successful reply
+   is bit-identical to the one-shot encoders the CLI uses, every
+   failure is a structured S3xx error. *)
+
+open Helpers
+module Json = Rtfmt.Json
+module Server = Rtlb_serve.Server
+module Protocol = Rtlb_serve.Protocol
+module Cache = Rtlb_serve.Cache
+module Chaos = Rtlb_par.Chaos
+module Tracer = Rtlb_obs.Tracer
+
+let paper = Rtlb.Paper_example.app
+let paper_text = Rtfmt.Appfile.to_string paper
+
+(* Serve resolves a file with no system line to the uniform shared
+   model — the reference computations below must do the same. *)
+let uniform app =
+  Rtlb.System.shared_uniform ~resources:(Rtlb.App.resource_set app)
+
+let with_chaos plan f =
+  Chaos.arm plan;
+  Fun.protect ~finally:Chaos.disarm f
+
+(* Fresh tracer per server: the counters the stats op snapshots must
+   not leak across test cases. *)
+let quick_config () =
+  {
+    Server.default_config with
+    Server.jobs = 2;
+    workers = 2;
+    tracer = Tracer.make ();
+  }
+
+let with_server ?config f =
+  let config = match config with Some c -> c | None -> quick_config () in
+  let t = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.shutdown t) (fun () -> f t)
+
+(* Submit one frame and block until its reply arrives (replies may come
+   from a worker thread). *)
+let request t line =
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  Server.submit t line (fun reply ->
+      Mutex.lock m;
+      slot := Some reply;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while !slot = None do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Json.parse (Option.get !slot)
+
+let frame fields = Protocol.to_line (Json.Obj fields)
+
+let error_code reply =
+  match Json.member "code" (Json.member "error" reply) with
+  | Json.Str c -> c
+  | _ -> "?"
+
+let is_ok reply = Json.member "ok" reply = Json.Bool true
+let result_line reply = Protocol.to_line (Json.member "result" reply)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol strictness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_strict () =
+  let reject line needle =
+    match Protocol.request_of_json (Json.parse line) with
+    | Ok _ -> Alcotest.failf "expected %s to be rejected" line
+    | Error m ->
+        check_bool
+          (Printf.sprintf "error for %s mentions %S (got %S)" line needle m)
+          true
+          (string_contains ~needle m)
+  in
+  reject {|{"op": "analyze"}|} "app";
+  reject {|{"op": "fly", "app": ""}|} "unknown op";
+  reject {|{"op": "analyze", "app": "", "surprise": 1}|} "surprise";
+  reject {|{"op": "analyze", "app": "", "engine": "simd"}|} "simd";
+  reject {|{"op": "analyze", "app": "", "deadline_ms": -1}|} "deadline_ms";
+  reject {|{"op": "whatif", "app": ""}|} "edits";
+  reject {|{"op": "whatif", "app": "", "edits": []}|} "empty";
+  reject {|{"op": "whatif", "app": "", "edits": [{"task": 0}]}|} "one of";
+  reject {|{"op": "sensitivity", "app": "", "factors": ["zero"]}|} "factor";
+  reject {|{"op": "sensitivity", "app": "", "factors": ["-1"]}|} "-1";
+  reject {|{"op": "ping", "app": ""}|} "takes no";
+  reject {|{"op": "analyze", "app": "", "factors": [1]}|} "takes no";
+  match
+    Protocol.request_of_json
+      (Json.parse
+         {|{"id": 9, "op": "whatif", "app": "x", "engine": "soa",
+            "edits": [{"task": 1, "deadline": 12, "release": 2}]}|})
+  with
+  | Error m -> Alcotest.failf "well-formed request rejected: %s" m
+  | Ok req ->
+      check_bool "id echoed" true (req.Protocol.id = Json.Int 9);
+      check_bool "engine decoded" true (req.Protocol.engine = `Soa);
+      check_int "two edits from one object" 2 (List.length req.Protocol.edits)
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cache_lru () =
+  let tracer = Tracer.make () in
+  let cache = Cache.create ~tracer ~capacity:2 () in
+  let system = uniform paper in
+  let handle () = Rtlb.Incremental.create system paper in
+  Cache.checkin cache "a" (handle ());
+  Cache.checkin cache "b" (handle ());
+  Cache.checkin cache "c" (handle ());
+  check_int "capacity bound holds" 2 (Cache.length cache);
+  check_int "one eviction counted" 1 (Tracer.counter tracer Tracer.Evictions);
+  check_bool "least-recently-used key evicted" true
+    (Cache.checkout cache "a" = None);
+  check_bool "fresh key resident" true (Cache.checkout cache "c" <> None);
+  (* checkout removes: a second checkout misses (single-user handles) *)
+  check_bool "checkout removes the entry" true
+    (Cache.checkout cache "c" = None);
+  check_int "only b left" 1 (Cache.length cache);
+  check_bool "engine tags split the key space" true
+    (Cache.key ~engine:`Record system paper
+    <> Cache.key ~engine:`Soa system paper)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control and drain                                         *)
+(* ------------------------------------------------------------------ *)
+
+let overload_rejected () =
+  (* A zero-capacity queue rejects every analysis admission — the
+     deterministic stand-in for a backlogged daemon. *)
+  let config = { (quick_config ()) with Server.queue_capacity = 0 } in
+  with_server ~config (fun t ->
+      let reply =
+        request t (frame [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+      in
+      check_bool "overload reply is an error" false (is_ok reply);
+      check_string "overload code" "S303" (error_code reply);
+      (match Json.member "retry_after_ms" (Json.member "error" reply) with
+      | Json.Int ms -> check_bool "retry hint is positive" true (ms > 0)
+      | _ -> Alcotest.fail "S303 carries retry_after_ms");
+      (* inline ops still answer under overload *)
+      check_bool "ping unaffected" true
+        (is_ok (request t (frame [ ("op", Json.Str "ping") ]))))
+
+let drain_refuses () =
+  with_server (fun t ->
+      let before =
+        request t
+          (frame [ ("id", Json.Int 1); ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+      in
+      check_bool "pre-drain request answered" true (is_ok before);
+      Server.drain t;
+      let after =
+        request t
+          (frame [ ("id", Json.Int 2); ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+      in
+      check_bool "post-drain request refused" false (is_ok after);
+      check_string "drain code" "S306" (error_code after))
+
+let deadline_budget_partial () =
+  with_server (fun t ->
+      let reply =
+        request t
+          (frame
+             [
+               ("op", Json.Str "analyze");
+               ("app", Json.Str paper_text);
+               ("deadline_ms", Json.Int 0);
+             ])
+      in
+      (* an expired budget yields a valid partial reply, not an error *)
+      check_bool "expired budget still answers" true (is_ok reply);
+      check_bool "reply is flagged partial" true
+        (Json.member "partial" (Json.member "result" reply) = Json.Bool true);
+      check_int "partial base analyses are never cached" 0
+        (Cache.length (Server.cache t));
+      let full =
+        request t (frame [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+      in
+      check_bool "full rerun is exhaustive" true
+        (Json.member "partial" (Json.member "result" full) = Json.Bool false);
+      check_int "exhaustive base analyses are cached" 1
+        (Cache.length (Server.cache t)))
+
+(* ------------------------------------------------------------------ *)
+(* Request isolation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let isolation () =
+  with_server (fun t ->
+      let bad_frame = request t "{\"id\": 3, op: broken" in
+      check_string "garbage frame -> S300" "S300" (error_code bad_frame);
+      let bad_app =
+        request t
+          (frame [ ("op", Json.Str "analyze"); ("app", Json.Str "task T1 oops\n") ])
+      in
+      check_string "unparsable app -> S302" "S302" (error_code bad_app);
+      check_bool "S302 names the line" true
+        (string_contains ~needle:"line 1"
+           (match Json.member "message" (Json.member "error" bad_app) with
+           | Json.Str m -> m
+           | _ -> ""));
+      let unhostable =
+        request t
+          (frame
+             [
+               ("op", Json.Str "analyze");
+               ( "app",
+                 Json.Str
+                   "task T1 compute=3 deadline=9 proc=P1 res=r1\nnode N1 proc=P2 cost=5\n"
+               );
+             ])
+      in
+      check_bool "unhostable app is a structured error" false (is_ok unhostable);
+      let bad_edit =
+        request t
+          (frame
+             [
+               ("op", Json.Str "whatif");
+               ("app", Json.Str paper_text);
+               ( "edits",
+                 Json.List [ Json.Obj [ ("task", Json.Int 999); ("deadline", Json.Int 5) ] ] );
+             ])
+      in
+      check_string "out-of-range edit -> S301" "S301" (error_code bad_edit);
+      (* after all of that, the daemon still answers correctly *)
+      let alive =
+        request t (frame [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+      in
+      check_bool "daemon survives its worst clients" true (is_ok alive);
+      check_string "and still answers exactly"
+        (Protocol.to_line (Json.of_analysis (Rtlb.Analysis.run (uniform paper) paper)))
+        (result_line alive))
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance storm: 8 concurrent clients under a seeded chaos plan    *)
+(* ------------------------------------------------------------------ *)
+
+type expect = { e_label : string; e_line : string; e_want : string }
+
+let storm_requests () =
+  let apps =
+    paper
+    :: List.map
+         (fun seed ->
+           Workload.Gen.layered_frames ~seed ~frames:2 ~tasks_per_frame:12 ())
+         [ 3; 4 ]
+  in
+  List.concat_map
+    (fun app ->
+      let text = Rtfmt.Appfile.to_string app in
+      let system = uniform app in
+      let record = Rtlb.Analysis.run system app in
+      let soa = Rtlb.Soa.analyze system app in
+      let d0 = (Rtlb.App.task app 0).Rtlb.Task.deadline in
+      let edits = [ Rtlb.Incremental.Set_deadline { task = 0; deadline = d0 + 7 } ] in
+      let edited = Rtlb.Analysis.run system (Rtlb.Incremental.apply app edits) in
+      [
+        {
+          e_label = "analyze/record";
+          e_line = frame [ ("op", Json.Str "analyze"); ("app", Json.Str text) ];
+          e_want = Protocol.to_line (Json.of_analysis record);
+        };
+        {
+          e_label = "analyze/soa";
+          e_line =
+            frame
+              [
+                ("op", Json.Str "analyze");
+                ("app", Json.Str text);
+                ("engine", Json.Str "soa");
+              ];
+          e_want = Protocol.to_line (Json.of_analysis soa);
+        };
+        {
+          e_label = "whatif";
+          e_line =
+            frame
+              [
+                ("op", Json.Str "whatif");
+                ("app", Json.Str text);
+                ( "edits",
+                  Json.List
+                    [
+                      Json.Obj
+                        [ ("task", Json.Int 0); ("deadline", Json.Int (d0 + 7)) ];
+                    ] );
+              ];
+          e_want = Protocol.to_line (Json.of_whatif ~base:record ~edited);
+        };
+      ])
+    apps
+
+(* Seeds chosen so the two storms together replay every server-side
+   fault class: 11 expands to transient raises + a mid-request worker
+   kill + two bad frames, 1 to slow clients + a mid-request kill + a
+   bad frame (plans are deterministic, see seeded-plan tests). *)
+let storm_with ~seed ~kills ~delays () =
+  let expects = Array.of_list (storm_requests ()) in
+  let clients = 8 and per_client = 5 in
+  let plan = Chaos.server_plan_of_seed ~requests:(clients * per_client) seed in
+  let frame_no = Atomic.make 0 in
+  let sent_garbage = Atomic.make 0 in
+  let failures = Atomic.make [] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> Atomic.set failures (m :: Atomic.get failures))
+      fmt
+  in
+  with_chaos plan (fun () ->
+      with_server (fun t ->
+          let client c =
+            for k = 0 to per_client - 1 do
+              let idx = Atomic.fetch_and_add frame_no 1 in
+              let delay = Chaos.client_delay_ms idx in
+              if delay > 0 then Thread.delay (float_of_int delay /. 1000.0);
+              if Chaos.frame_corrupt idx then begin
+                Atomic.incr sent_garbage;
+                let reply = request t "{\"id\": \"broken\", " in
+                if error_code reply <> "S300" then
+                  fail "client %d frame %d: corrupt frame got %s" c idx
+                    (error_code reply)
+              end
+              else begin
+                let e = expects.(((c * per_client) + k) mod Array.length expects) in
+                let reply = request t e.e_line in
+                if not (is_ok reply) then
+                  fail "client %d frame %d (%s): unexpected error %s" c idx
+                    e.e_label (error_code reply)
+                else if result_line reply <> e.e_want then
+                  fail "client %d frame %d (%s): result diverged" c idx
+                    e.e_label
+              end
+            done
+          in
+          let threads = List.init clients (fun c -> Thread.create client c) in
+          List.iter Thread.join threads;
+          (match Atomic.get failures with
+          | [] -> ()
+          | msgs -> Alcotest.fail (String.concat "\n" msgs));
+          (* the plan's faults really fired *)
+          check_int "every corrupted frame was sent" (Atomic.get sent_garbage)
+            (Chaos.fired_bad_frames ());
+          check_int "mid-request worker kills fired" kills
+            (Chaos.fired_request_kills ());
+          check_int "client stalls fired" delays (Chaos.fired_client_delays ());
+          (* daemon is still alive and exact after the storm *)
+          let alive = request t (frame [ ("op", Json.Str "ping") ]) in
+          check_bool "daemon survived the plan" true (is_ok alive);
+          let stats =
+            request t (frame [ ("op", Json.Str "stats") ])
+          in
+          let counter name =
+            match Json.member name (Json.member "result" stats) with
+            | Json.Int n -> n
+            | _ -> -1
+          in
+          let legit = (clients * per_client) - Atomic.get sent_garbage in
+          check_int "every legitimate frame was admitted" legit
+            (counter "requests_admitted");
+          check_bool "every corrupted frame was rejected" true
+            (counter "requests_rejected" >= Atomic.get sent_garbage)))
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "protocol rejects malformed requests" `Quick
+          protocol_strict;
+        Alcotest.test_case "LRU cache: capacity, eviction, checkout" `Quick
+          cache_lru;
+        Alcotest.test_case "admission: overload -> S303 + retry hint" `Quick
+          overload_rejected;
+        Alcotest.test_case "drain: in-flight finish, new refused (S306)"
+          `Quick drain_refuses;
+        Alcotest.test_case "deadline budget: partial reply, never cached"
+          `Quick deadline_budget_partial;
+        Alcotest.test_case "isolation: bad frames/apps/edits never kill it"
+          `Quick isolation;
+        Alcotest.test_case "storm: 8 clients, kills + raises + bad frames"
+          `Quick
+          (storm_with ~seed:11 ~kills:1 ~delays:0);
+        Alcotest.test_case "storm: 8 clients, slow clients + kill + bad frame"
+          `Quick
+          (storm_with ~seed:1 ~kills:1 ~delays:2);
+      ] );
+  ]
