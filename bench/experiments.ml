@@ -1520,6 +1520,142 @@ let serve_throughput () =
       output_char oc '\n');
   Printf.printf "wrote BENCH_serve.json\n"
 
+(* -- E16: recurrent DAG baselines - long-paths vs the single-path bound
+
+   Tightness of the sporadic-DAG response-time chain on every generator
+   family: per task, [exact <= multi-path <= long-paths <= graham], so
+   the interesting numbers are how much of the Graham slack the
+   schedule-derived bounds recover and how often the multi-path bound is
+   exactly the branch-and-bound optimum.  The closed-form long-paths
+   expression is reported alongside as an estimate (it may undercut the
+   optimum, which is why the sandwich pins the schedule-derived bound
+   instead).  Results land in BENCH_recurrent.json. *)
+
+let recurrent_baselines () =
+  Bench_util.section
+    "E16: recurrent baselines - long-paths / multi-path tightness vs Graham";
+  Printf.printf
+    "Per family and m: mean bounds over every task of 10 random 3-task\n\
+     sets, the fraction of Graham's slack each refinement recovers, and\n\
+     how often the multi-path bound equals the exact makespan (of the\n\
+     tasks where the search finishes).\n";
+  let shapes =
+    [
+      Workload.Gen.Layered { layers = 3; density = 0.5 };
+      Workload.Gen.Series_parallel;
+      Workload.Gen.Fork_join { width = 3 };
+      Workload.Gen.Out_tree;
+      Workload.Gen.In_tree;
+      Workload.Gen.Chain;
+      Workload.Gen.Independent;
+    ]
+  in
+  let t =
+    Rtfmt.Table.create
+      [
+        "shape"; "m"; "tasks"; "mean graham"; "mean long-paths";
+        "mean multi-path"; "mean closed-form"; "mp=exact %"; "ms";
+      ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun m ->
+          let grs = ref [] and hes = ref [] and mps = ref [] in
+          let cfs = ref [] in
+          let exact_hits = ref 0 and exact_known = ref 0 in
+          let n_tasks = ref 0 in
+          let (), ms =
+            Bench_util.time_ms (fun () ->
+                for seed = 1 to 10 do
+                  let config =
+                    {
+                      Workload.Recurrent_gen.default with
+                      seed = (97 * seed) + (13 * m);
+                      shape;
+                      tasks = 3;
+                      vertices = 8;
+                    }
+                  in
+                  let model = Workload.Recurrent_gen.generate config in
+                  List.iter
+                    (fun dt ->
+                      incr n_tasks;
+                      let gr = Baselines.He_long_paths.graham ~m dt in
+                      let he = Baselines.He_long_paths.bound ~m dt in
+                      let mp = Baselines.Multi_path.bound ~m dt in
+                      let cf =
+                        Baselines.He_long_paths.value ~m dt
+                          (Baselines.He_long_paths.paths ~m dt)
+                      in
+                      grs := float_of_int gr :: !grs;
+                      hes := float_of_int he :: !hes;
+                      mps := float_of_int mp :: !mps;
+                      cfs := float_of_int cf :: !cfs;
+                      match
+                        Sched.Makespan.minimum (Recurrent.Unroll.task_app dt)
+                          ~m
+                      with
+                      | None -> ()
+                      | Some exact ->
+                          incr exact_known;
+                          if mp = exact then incr exact_hits)
+                    model.Recurrent.Model.tasks
+                done)
+          in
+          let pct =
+            if !exact_known = 0 then 0.0
+            else 100.0 *. float_of_int !exact_hits /. float_of_int !exact_known
+          in
+          Rtfmt.Table.add_row t
+            [
+              Workload.Gen.shape_name shape;
+              string_of_int m;
+              string_of_int !n_tasks;
+              Printf.sprintf "%.1f" (mean !grs);
+              Printf.sprintf "%.1f" (mean !hes);
+              Printf.sprintf "%.1f" (mean !mps);
+              Printf.sprintf "%.1f" (mean !cfs);
+              Printf.sprintf "%.0f" pct;
+              Printf.sprintf "%.1f" ms;
+            ];
+          rows :=
+            Rtfmt.Json.Obj
+              [
+                ("shape", Rtfmt.Json.Str (Workload.Gen.shape_name shape));
+                ("m", Rtfmt.Json.Int m);
+                ("tasks", Rtfmt.Json.Int !n_tasks);
+                ("mean_graham", Rtfmt.Json.Str (Printf.sprintf "%.3f" (mean !grs)));
+                ( "mean_long_paths",
+                  Rtfmt.Json.Str (Printf.sprintf "%.3f" (mean !hes)) );
+                ( "mean_multi_path",
+                  Rtfmt.Json.Str (Printf.sprintf "%.3f" (mean !mps)) );
+                ( "mean_closed_form",
+                  Rtfmt.Json.Str (Printf.sprintf "%.3f" (mean !cfs)) );
+                ("exact_known", Rtfmt.Json.Int !exact_known);
+                ("multi_path_exact", Rtfmt.Json.Int !exact_hits);
+                ("ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" ms));
+              ]
+            :: !rows)
+        [ 2; 4 ])
+    shapes;
+  Rtfmt.Table.print t;
+  let json =
+    Rtfmt.Json.Obj
+      [
+        ("experiment", Rtfmt.Json.Str "e16-recurrent-baselines");
+        ("seeds", Rtfmt.Json.Int 10);
+        ("tasks_per_set", Rtfmt.Json.Int 3);
+        ("vertices_per_task", Rtfmt.Json.Int 8);
+        ("rows", Rtfmt.Json.List (List.rev !rows));
+      ]
+  in
+  Rtfmt.write_atomic "BENCH_recurrent.json" (fun oc ->
+      output_string oc (Rtfmt.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_recurrent.json\n"
+
 let all () =
   tightness ();
   baselines ();
@@ -1535,4 +1671,5 @@ let all () =
   parallel_scaling ();
   incremental_sweep ();
   soa_scaling ();
-  serve_throughput ()
+  serve_throughput ();
+  recurrent_baselines ()

@@ -1,6 +1,6 @@
 (* Benchmark harness: regenerates every table and figure-derived artefact
    of the paper (sections T1, S8-2..4, F2/F3) and runs the
-   characterisation experiments E1..E15 from DESIGN.md.
+   characterisation experiments E1..E16 from DESIGN.md.
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- paper   -- only the paper reproduction
@@ -36,6 +36,7 @@ let sections =
     ("e13", Experiments.incremental_sweep);
     ("e14", Experiments.soa_scaling);
     ("e15", Experiments.serve_throughput);
+    ("e16", Experiments.recurrent_baselines);
   ]
 
 let experiment_names =

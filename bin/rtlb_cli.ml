@@ -856,6 +856,238 @@ let horn_cmd =
   in
   Cmd.v (Cmd.info "horn" ~doc) Term.(ret (const run $ file_arg $ m_arg))
 
+(* ---- recurrent ---------------------------------------------------- *)
+
+(* Sporadic DAG task sets (lib/recurrent): the modern response-time
+   baselines plus the hyperperiod-unrolling bridge into the paper's
+   one-shot model.  Output mirrors analyze/check: a table by default,
+   machine-readable JSON with --json. *)
+
+let read_rfile path =
+  try Ok (Recurrent.Rfile.parse_file path) with
+  | Recurrent.Rfile.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error m -> Error m
+
+let recurrent_cmd =
+  let open Recurrent in
+  let m_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "m" ] ~docv:"M" ~doc:"Number of identical processors.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let rfile_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let hyperperiod_opt model =
+    match Unroll.hyperperiod model with
+    | h -> Some (h, Unroll.job_count model)
+    | exception Invalid_argument _ -> None
+  in
+  let analyze_run path m json =
+    if m <= 0 then `Error (false, "--m must be positive")
+    else
+      match read_rfile path with
+      | Error e -> `Error (false, e)
+      | Ok model ->
+          let rows =
+            List.map
+              (fun (dt : Model.dtask) ->
+                ( dt,
+                  Model.vol dt,
+                  Model.len dt,
+                  Baselines.He_long_paths.graham ~m dt,
+                  Baselines.He_long_paths.bound ~m dt,
+                  Baselines.Multi_path.bound ~m dt ))
+              model.Model.tasks
+          in
+          let hp = hyperperiod_opt model in
+          if json then
+            print_endline
+              (Rtfmt.Json.to_string
+                 (Rtfmt.Json.Obj
+                    [
+                      ("m", Rtfmt.Json.Int m);
+                      ( "class",
+                        Rtfmt.Json.Str
+                          (Model.class_name (Model.taskset_class model)) );
+                      ( "utilisation",
+                        Rtfmt.Json.Str (Rat.to_string (Model.utilisation model))
+                      );
+                      ( "hyperperiod",
+                        match hp with
+                        | Some (h, _) -> Rtfmt.Json.Int h
+                        | None -> Rtfmt.Json.Null );
+                      ( "jobs_per_hyperperiod",
+                        match hp with
+                        | Some (_, j) -> Rtfmt.Json.Int j
+                        | None -> Rtfmt.Json.Null );
+                      ( "tasks",
+                        Rtfmt.Json.List
+                          (List.map
+                             (fun (dt, vol, len, graham, he, mp) ->
+                               Rtfmt.Json.Obj
+                                 [
+                                   ("name", Rtfmt.Json.Str dt.Model.dt_name);
+                                   ( "vertices",
+                                     Rtfmt.Json.Int
+                                       (Array.length dt.Model.dt_vertices) );
+                                   ("vol", Rtfmt.Json.Int vol);
+                                   ("len", Rtfmt.Json.Int len);
+                                   ("period", Rtfmt.Json.Int dt.Model.dt_period);
+                                   ( "deadline",
+                                     Rtfmt.Json.Int dt.Model.dt_deadline );
+                                   ( "class",
+                                     Rtfmt.Json.Str
+                                       (Model.class_name (Model.classify dt)) );
+                                   ("graham", Rtfmt.Json.Int graham);
+                                   ("long_paths", Rtfmt.Json.Int he);
+                                   ("multi_path", Rtfmt.Json.Int mp);
+                                 ])
+                             rows) );
+                    ]))
+          else begin
+            Printf.printf
+              "recurrent task set: %d task(s), class %s, m = %d\n"
+              (List.length model.Model.tasks)
+              (Model.class_name (Model.taskset_class model))
+              m;
+            (match hp with
+            | Some (h, jobs) ->
+                Printf.printf
+                  "utilisation %s, hyperperiod %d, %d job(s) per hyperperiod\n\n"
+                  (Rat.to_string (Model.utilisation model))
+                  h jobs
+            | None ->
+                Printf.printf
+                  "utilisation %s, hyperperiod overflows int\n\n"
+                  (Rat.to_string (Model.utilisation model)));
+            let table =
+              Rtfmt.Table.create
+                [
+                  "task"; "V"; "vol"; "len"; "T"; "D"; "class"; "graham";
+                  "long-paths"; "multi-path";
+                ]
+            in
+            List.iter
+              (fun (dt, vol, len, graham, he, mp) ->
+                Rtfmt.Table.add_row table
+                  [
+                    dt.Model.dt_name;
+                    string_of_int (Array.length dt.Model.dt_vertices);
+                    string_of_int vol;
+                    string_of_int len;
+                    string_of_int dt.Model.dt_period;
+                    string_of_int dt.Model.dt_deadline;
+                    Model.class_name (Model.classify dt);
+                    string_of_int graham;
+                    string_of_int he;
+                    string_of_int mp;
+                  ])
+              rows;
+            Rtfmt.Table.print table
+          end;
+          `Ok ()
+  in
+  let feasible_run path m json =
+    if m <= 0 then `Error (false, "--m must be positive")
+    else
+      match read_rfile path with
+      | Error e -> `Error (false, e)
+      | Ok model ->
+          let necessary = Baselines.Bonifaci.necessary ~m model in
+          let edf = Baselines.Bonifaci.edf_schedulable ~m model in
+          let dm = Baselines.Bonifaci.dm_schedulable ~m model in
+          let edf_bounds = Baselines.Bonifaci.edf_response_bounds ~m model in
+          let dm_bounds = Baselines.Bonifaci.dm_response_bounds ~m model in
+          let verdict =
+            if not necessary then "infeasible"
+            else if edf then "schedulable under global EDF"
+            else if dm then "schedulable under deadline-monotonic"
+            else "unknown"
+          in
+          if json then
+            print_endline
+              (Rtfmt.Json.to_string
+                 (Rtfmt.Json.Obj
+                    [
+                      ("m", Rtfmt.Json.Int m);
+                      ("necessary", Rtfmt.Json.Bool necessary);
+                      ("edf_schedulable", Rtfmt.Json.Bool edf);
+                      ("dm_schedulable", Rtfmt.Json.Bool dm);
+                      ("verdict", Rtfmt.Json.Str verdict);
+                      ( "tasks",
+                        Rtfmt.Json.List
+                          (List.map
+                             (fun (dt : Model.dtask) ->
+                               let opt name =
+                                 match List.assoc dt.Model.dt_name name with
+                                 | Some r -> Rtfmt.Json.Int r
+                                 | None -> Rtfmt.Json.Null
+                               in
+                               Rtfmt.Json.Obj
+                                 [
+                                   ("name", Rtfmt.Json.Str dt.Model.dt_name);
+                                   ("period", Rtfmt.Json.Int dt.Model.dt_period);
+                                   ( "deadline",
+                                     Rtfmt.Json.Int dt.Model.dt_deadline );
+                                   ("len", Rtfmt.Json.Int (Model.len dt));
+                                   ("vol", Rtfmt.Json.Int (Model.vol dt));
+                                   ("edf_response", opt edf_bounds);
+                                   ("dm_response", opt dm_bounds);
+                                 ])
+                             model.Model.tasks) );
+                    ]))
+          else begin
+            let table =
+              Rtfmt.Table.create
+                [ "task"; "T"; "D"; "len"; "vol"; "R_edf"; "R_dm" ]
+            in
+            let cell = function Some r -> string_of_int r | None -> "-" in
+            List.iter
+              (fun (dt : Model.dtask) ->
+                Rtfmt.Table.add_row table
+                  [
+                    dt.Model.dt_name;
+                    string_of_int dt.Model.dt_period;
+                    string_of_int dt.Model.dt_deadline;
+                    string_of_int (Model.len dt);
+                    string_of_int (Model.vol dt);
+                    cell (List.assoc dt.Model.dt_name edf_bounds);
+                    cell (List.assoc dt.Model.dt_name dm_bounds);
+                  ])
+              model.Model.tasks;
+            Rtfmt.Table.print table;
+            Printf.printf "necessary conditions (len<=D, vol<=m*D, U<=m): %s\n"
+              (if necessary then "pass" else "FAIL");
+            Printf.printf "global EDF schedulable (sufficient): %s\n"
+              (if edf then "yes" else "no claim");
+            Printf.printf "deadline-monotonic schedulable (sufficient): %s\n"
+              (if dm then "yes" else "no claim");
+            Printf.printf "verdict: %s\n" verdict
+          end;
+          `Ok ()
+  in
+  let doc = "Sporadic DAG task sets: response-time bounds and feasibility." in
+  Cmd.group (Cmd.info "recurrent" ~doc)
+    [
+      Cmd.v
+        (Cmd.info "analyze"
+           ~doc:
+             "Per-task volume, critical path and the Graham / long-paths / \
+              multi-path response-time bounds.")
+        Term.(ret (const analyze_run $ rfile_arg $ m_arg $ json_arg));
+      Cmd.v
+        (Cmd.info "feasible"
+           ~doc:
+             "Bonifaci et al. feasibility verdicts: necessary conditions \
+              plus sufficient global-EDF and deadline-monotonic tests.")
+        Term.(ret (const feasible_run $ rfile_arg $ m_arg $ json_arg));
+    ]
+
 (* ---- serve ------------------------------------------------------- *)
 
 (* The long-lived bound-query daemon (lib/serve).  Unlike the one-shot
@@ -980,7 +1212,7 @@ let () =
            [
              analyze_cmd; check_cmd; example_cmd; schedule_cmd; generate_cmd;
              dot_cmd; profile_cmd; sensitivity_cmd; whatif_cmd; timebound_cmd;
-             horn_cmd; critical_cmd; serve_cmd;
+             horn_cmd; critical_cmd; recurrent_cmd; serve_cmd;
            ])
     with
     | Rtlb_par.Chaos.Killed ->

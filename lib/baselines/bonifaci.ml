@@ -1,0 +1,95 @@
+open Recurrent
+
+let ceil_div a b = (a + b - 1) / b
+
+let necessary ~m (ts : Model.t) =
+  if m <= 0 then invalid_arg "Bonifaci.necessary: m must be positive";
+  List.for_all
+    (fun (dt : Model.dtask) -> Model.len dt <= dt.Model.dt_deadline)
+    ts.Model.tasks
+  && List.for_all
+       (fun (dt : Model.dtask) -> Model.vol dt <= m * dt.Model.dt_deadline)
+       ts.Model.tasks
+  && Rat.(Model.utilisation ts <= Rat.of_int m)
+
+(* Interfering workload of task [j] in any window of length [t], assuming
+   every task meets its deadline (the standard inductive premise of
+   response-time analysis): a job of [j] executing inside the window was
+   released after [window start - D_j] and before the window's end, so at
+   most [floor((t + D_j) / T_j) + 1] jobs contribute, each at most its
+   whole volume.  Deliberately conservative (no carve-out for the carry-in
+   and carry-out fractions) — the schedulable verdict must stay sound, and
+   the differential suite checks exactly that direction against the
+   preemptive EDF simulator. *)
+let workload (dt : Model.dtask) t =
+  (((t + dt.Model.dt_deadline) / dt.Model.dt_period) + 1) * Model.vol dt
+
+(* Smallest fixpoint of
+     R = len + ceil((vol - len + sum_j workload_j(R)) / m)
+   not exceeding the deadline.  The right-hand side is monotone in [R]
+   and bounded below by the Graham bound, so iterating from there either
+   reaches a fixpoint or escapes past the deadline. *)
+let response_bound ~m ~interferers (dt : Model.dtask) =
+  let l = Model.len dt and v = Model.vol dt in
+  let rhs r =
+    let interference =
+      List.fold_left (fun acc j -> acc + workload j r) 0 interferers
+    in
+    l + ceil_div (v - l + interference) m
+  in
+  let rec iter r =
+    if r > dt.Model.dt_deadline then None
+    else
+      let r' = rhs r in
+      if r' = r then Some r else iter (max r' (r + 1))
+  in
+  iter (He_long_paths.graham ~m dt)
+
+let others name tasks =
+  List.filter (fun (dt : Model.dtask) -> dt.Model.dt_name <> name) tasks
+
+(* Deadline-monotonic priority: smaller relative deadline first, ties by
+   position in the task list. *)
+let dm_higher_priority (ts : Model.t) (dt : Model.dtask) =
+  let pos t =
+    let rec go i = function
+      | [] -> assert false
+      | (x : Model.dtask) :: rest ->
+          if x.Model.dt_name = t.Model.dt_name then i else go (i + 1) rest
+    in
+    go 0 ts.Model.tasks
+  in
+  List.filter
+    (fun (o : Model.dtask) ->
+      o.Model.dt_name <> dt.Model.dt_name
+      && (o.Model.dt_deadline < dt.Model.dt_deadline
+         || (o.Model.dt_deadline = dt.Model.dt_deadline && pos o < pos dt)))
+    ts.Model.tasks
+
+let edf_response_bounds ~m (ts : Model.t) =
+  List.map
+    (fun (dt : Model.dtask) ->
+      ( dt.Model.dt_name,
+        response_bound ~m ~interferers:(others dt.Model.dt_name ts.Model.tasks)
+          dt ))
+    ts.Model.tasks
+
+let dm_response_bounds ~m (ts : Model.t) =
+  List.map
+    (fun (dt : Model.dtask) ->
+      ( dt.Model.dt_name,
+        response_bound ~m ~interferers:(dm_higher_priority ts dt) dt ))
+    ts.Model.tasks
+
+(* The claimed-schedulable region is restricted to constrained/implicit
+   deadlines: with D > T a task can interfere with its own next release
+   and the single-job fixpoint above does not account for that backlog.
+   Arbitrary-deadline sets therefore never get a positive verdict —
+   conservative, never unsound. *)
+let schedulable_with bounds ~m (ts : Model.t) =
+  necessary ~m ts
+  && Model.taskset_class ts <> Model.Arbitrary
+  && List.for_all (fun (_, r) -> r <> None) (bounds ~m ts)
+
+let edf_schedulable ~m ts = schedulable_with edf_response_bounds ~m ts
+let dm_schedulable ~m ts = schedulable_with dm_response_bounds ~m ts

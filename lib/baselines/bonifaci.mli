@@ -1,0 +1,48 @@
+(** Feasibility and schedulability tests for sporadic DAG task sets on
+    [m] identical processors, after Bonifaci, Marchetti-Spaccamela,
+    Stiller and Wiese (arXiv 1212.2778).
+
+    Three verdicts, from weakest premise to strongest:
+
+    - {!necessary}: conditions {e every} scheduler needs — each critical
+      path fits its relative deadline ([len_i <= D_i]), each task's work
+      fits the window's capacity ([vol_i <= m * D_i]), and the total
+      utilisation fits the platform ([sum vol_i / T_i <= m]).  A set
+      failing any of these is infeasible outright.
+    - {!edf_schedulable}: a sufficient response-time test for global
+      EDF — per task, the smallest fixpoint of
+      [R = len + ceil((vol - len + sum_{j<>i} W_j(R)) / m)] with the
+      conservative interfering workload
+      [W_j(t) = (floor((t + D_j) / T_j) + 1) * vol_j] must stay within
+      the deadline.
+    - {!dm_schedulable}: the same fixpoint under deadline-monotonic
+      priorities (interference from higher-priority tasks only, smaller
+      relative deadline first).  Since the interferer set is a subset of
+      EDF's, [edf_schedulable] implies [dm_schedulable] — a pessimism
+      ordering of the {e tests} (checked in the suite), not a statement
+      about the schedulers.
+
+    Positive verdicts are restricted to constrained/implicit deadline
+    sets; arbitrary-deadline sets are answered conservatively ([false])
+    because the single-job fixpoint ignores self-interference.  Identical
+    processors only — resources, messages and processor types are the
+    documented blind spot, as with the other baselines. *)
+
+val necessary : m:int -> Recurrent.Model.t -> bool
+(** [false] means provably infeasible on [m] processors for any
+    scheduler.  @raise Invalid_argument when [m <= 0]. *)
+
+val edf_schedulable : m:int -> Recurrent.Model.t -> bool
+(** [true] means every legal sporadic arrival sequence meets all
+    deadlines under global preemptive EDF — validated in the suite
+    against the unit-quantum EDF simulator on the unrolled hyperperiod. *)
+
+val dm_schedulable : m:int -> Recurrent.Model.t -> bool
+
+val edf_response_bounds :
+  m:int -> Recurrent.Model.t -> (string * int option) list
+(** Per task, the EDF response-time fixpoint, or [None] when it escapes
+    the deadline (no claim). *)
+
+val dm_response_bounds :
+  m:int -> Recurrent.Model.t -> (string * int option) list

@@ -1,0 +1,172 @@
+open Recurrent
+
+let ceil_div a b = (a + b - 1) / b
+
+type tie = Small_index | Large_index | Heavy | Light
+
+(* Lexicographic preference key applied after the path length itself:
+   larger key wins.  All four are total orders, so every greedy family is
+   deterministic. *)
+let key (dt : Model.dtask) tie v =
+  match tie with
+  | Small_index -> (0, -v)
+  | Large_index -> (0, v)
+  | Heavy -> (dt.Model.dt_vertices.(v).Model.v_wcet, -v)
+  | Light -> (-dt.Model.dt_vertices.(v).Model.v_wcet, -v)
+
+let graham ~m dt =
+  if m <= 0 then invalid_arg "He_long_paths.graham: m must be positive";
+  let l = Model.len dt and v = Model.vol dt in
+  l + ceil_div (v - l) m
+
+(* Heaviest alive path under the tie-break, as (length, vertex list), or
+   [None] when no vertex is alive. *)
+let longest_alive (dt : Model.dtask) tie alive =
+  let n = Array.length dt.Model.dt_vertices in
+  let order =
+    match Model.topological_order ~n ~edges:dt.Model.dt_edges with
+    | Some o -> o
+    | None -> assert false (* the model constructor rejected cycles *)
+  in
+  let preds = Array.make n [] in
+  List.iter (fun (a, b) -> preds.(b) <- a :: preds.(b)) dt.Model.dt_edges;
+  let dist = Array.make n min_int in
+  let back = Array.make n (-1) in
+  Array.iter
+    (fun v ->
+      if alive.(v) then begin
+        let best = ref None in
+        List.iter
+          (fun p ->
+            if alive.(p) && dist.(p) > min_int then
+              match !best with
+              | None -> best := Some p
+              | Some b ->
+                  if
+                    compare (dist.(p), key dt tie p) (dist.(b), key dt tie b)
+                    > 0
+                  then best := Some p)
+          preds.(v);
+        match !best with
+        | None ->
+            dist.(v) <- dt.Model.dt_vertices.(v).Model.v_wcet;
+            back.(v) <- -1
+        | Some b ->
+            dist.(v) <- dist.(b) + dt.Model.dt_vertices.(v).Model.v_wcet;
+            back.(v) <- b
+      end)
+    order;
+  let best = ref None in
+  for v = 0 to n - 1 do
+    if alive.(v) then
+      match !best with
+      | None -> best := Some v
+      | Some b ->
+          if compare (dist.(v), key dt tie v) (dist.(b), key dt tie b) > 0
+          then best := Some v
+  done;
+  match !best with
+  | None -> None
+  | Some e ->
+      let rec walk v acc = if v = -1 then acc else walk back.(v) (v :: acc) in
+      Some (dist.(e), walk e [])
+
+let paths_with ~tie ~m (dt : Model.dtask) =
+  if m <= 0 then invalid_arg "He_long_paths.paths_with: m must be positive";
+  let n = Array.length dt.Model.dt_vertices in
+  let alive = Array.make n true in
+  let rec go i acc =
+    if i >= m then List.rev acc
+    else
+      match longest_alive dt tie alive with
+      | None -> List.rev acc
+      | Some (l, vs) ->
+          List.iter (fun v -> alive.(v) <- false) vs;
+          go (i + 1) (l :: acc)
+  in
+  go 0 []
+
+let paths ~m dt = paths_with ~tie:Small_index ~m dt
+
+let value ~m dt lengths =
+  match lengths with
+  | [] -> 0
+  | l1 :: _ ->
+      let covered = List.fold_left ( + ) 0 lengths in
+      l1 + ceil_div (max 0 (Model.vol dt - covered)) m
+
+(* Priority ranks from the full greedy decomposition (not capped at m):
+   vertices of the heaviest path rank first, in path order, then the
+   heaviest path of the remainder, and so on until every vertex is
+   ranked. *)
+let ranks_with ~tie (dt : Model.dtask) =
+  let n = Array.length dt.Model.dt_vertices in
+  let alive = Array.make n true in
+  let rank = Array.make n 0 in
+  let next = ref 0 in
+  let rec go () =
+    match longest_alive dt tie alive with
+    | None -> ()
+    | Some (_, vs) ->
+        List.iter
+          (fun v ->
+            alive.(v) <- false;
+            rank.(v) <- !next;
+            incr next)
+          vs;
+        go ()
+  in
+  go ();
+  rank
+
+(* Work-conserving list schedule on [m] identical processors under the
+   given priority ranks (lower rank first); returns the makespan.  At
+   every decision instant the earliest-startable highest-priority ready
+   vertex is placed on the earliest-free processor — never idling a
+   processor while something is ready, which is what puts the makespan
+   inside Graham's single-path bound. *)
+let list_makespan ~m (dt : Model.dtask) rank =
+  if m <= 0 then invalid_arg "He_long_paths.list_makespan: m must be positive";
+  let n = Array.length dt.Model.dt_vertices in
+  let preds = Array.make n [] in
+  List.iter (fun (a, b) -> preds.(b) <- a :: preds.(b)) dt.Model.dt_edges;
+  let finish = Array.make n (-1) in
+  let proc_free = Array.make m 0 in
+  let scheduled = ref 0 in
+  let makespan = ref 0 in
+  while !scheduled < n do
+    let proc_t = Array.fold_left min proc_free.(0) proc_free in
+    (* Earliest possible start among ready vertices, then best priority
+       among those achieving it. *)
+    let best = ref None in
+    for v = 0 to n - 1 do
+      if finish.(v) < 0 && List.for_all (fun p -> finish.(p) >= 0) preds.(v)
+      then begin
+        let ready =
+          List.fold_left (fun acc p -> max acc finish.(p)) 0 preds.(v)
+        in
+        let start = max ready proc_t in
+        match !best with
+        | None -> best := Some (start, rank.(v), v)
+        | Some (s, r, _) ->
+            if (start, rank.(v)) < (s, r) then best := Some (start, rank.(v), v)
+      end
+    done;
+    match !best with
+    | None -> assert false (* acyclic, so some unfinished vertex is ready *)
+    | Some (start, _, v) ->
+        let f = start + dt.Model.dt_vertices.(v).Model.v_wcet in
+        finish.(v) <- f;
+        makespan := max !makespan f;
+        (* occupy the earliest-free processor *)
+        let pi = ref 0 in
+        for i = 1 to m - 1 do
+          if proc_free.(i) < proc_free.(!pi) then pi := i
+        done;
+        proc_free.(!pi) <- f;
+        incr scheduled
+  done;
+  !makespan
+
+let makespan_with ~tie ~m dt = list_makespan ~m dt (ranks_with ~tie dt)
+let bound ~m dt = makespan_with ~tie:Small_index ~m dt

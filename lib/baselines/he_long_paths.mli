@@ -1,0 +1,52 @@
+(** Long-paths response-time bound for a sporadic DAG task on [m]
+    identical processors, after He, Sun, Guan et al. (arXiv 2211.08800).
+
+    The classic single-path (Graham) bound charges all work off one
+    critical path against the [m] processors:
+    [R <= len + ceil((vol - len) / m)] — see {!graham}.  The long-paths
+    refinement decomposes the DAG into vertex-disjoint paths greedily
+    (heaviest first, so the first is a critical path) and schedules the
+    task by path priority: {!bound} is the makespan of the
+    work-conserving list schedule that always prefers vertices of
+    heavier paths.  Two facts make it a differential oracle:
+
+    - it is the makespan of an {e actual} schedule, so it never
+      undercuts the exact branch-and-bound optimum, and
+    - it is work-conserving, so Graham's argument caps it by the
+      single-path bound.
+
+    Hence [exact <= bound <= graham] unconditionally — the sandwich legs
+    the qcheck suite pins on random instances.  The closed-form
+    long-paths expression [len_1 + ceil((vol - sum len_i) / m)] is also
+    exposed ({!value}) for tightness comparison in the benchmarks; note
+    it is an estimate, not a per-schedule guarantee.
+
+    Blind spots, as with the other baselines: resources, messages and
+    processor types are ignored; vertices run non-preemptively. *)
+
+type tie = Small_index | Large_index | Heavy | Light
+(** Deterministic preference among equal-length path extensions; the
+    canonical bound uses [Small_index], {!Baselines.Multi_path} takes
+    the best over several. *)
+
+val graham : m:int -> Recurrent.Model.dtask -> int
+(** The classic single-path bound [len + ceil((vol - len) / m)].
+    @raise Invalid_argument when [m <= 0]. *)
+
+val paths : m:int -> Recurrent.Model.dtask -> int list
+(** Greedy vertex-disjoint path lengths, heaviest first (at most [m]);
+    the head is the critical-path length. *)
+
+val paths_with : tie:tie -> m:int -> Recurrent.Model.dtask -> int list
+
+val value : m:int -> Recurrent.Model.dtask -> int list -> int
+(** The closed-form long-paths expression for a disjoint family:
+    [len_1 + ceil(max 0 (vol - sum) / m)]. *)
+
+val makespan_with : tie:tie -> m:int -> Recurrent.Model.dtask -> int
+(** Makespan of the long-path-priority list schedule under the given
+    tie-break. *)
+
+val bound : m:int -> Recurrent.Model.dtask -> int
+(** [makespan_with ~tie:Small_index]: satisfies
+    [exact makespan <= bound <= graham]. *)

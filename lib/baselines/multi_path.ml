@@ -1,0 +1,12 @@
+open Recurrent
+
+let ties = He_long_paths.[ Small_index; Large_index; Heavy; Light ]
+
+let families ~m dt =
+  List.map (fun tie -> He_long_paths.paths_with ~tie ~m dt) ties
+
+let bound ~m (dt : Model.dtask) =
+  List.fold_left
+    (fun acc tie -> min acc (He_long_paths.makespan_with ~tie ~m dt))
+    (He_long_paths.bound ~m dt)
+    ties

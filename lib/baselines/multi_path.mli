@@ -1,0 +1,17 @@
+(** Multi-path response-time bound (arXiv 2310.15471): instead of one
+    long-path decomposition, schedule under {e several} deterministic
+    decompositions (one per {!He_long_paths.tie} preference) and keep
+    the best makespan.
+
+    Each candidate is a valid work-conserving schedule, so the minimum
+    still upper-bounds the exact makespan; and since the canonical
+    decomposition is among the candidates, the multi-path bound never
+    exceeds the long-paths bound — the dominance chain
+    [exact <= multi_path <= long_paths <= graham] of the differential
+    sandwich. *)
+
+val families : m:int -> Recurrent.Model.dtask -> int list list
+(** The candidate disjoint-path families (lengths, heaviest first). *)
+
+val bound : m:int -> Recurrent.Model.dtask -> int
+(** @raise Invalid_argument when [m <= 0]. *)

@@ -55,6 +55,32 @@ let hyperperiod tasks =
              t.pt_period t.pt_name acc))
     1 tasks
 
+(* Same overflow discipline as [lcm] for the derived horizons: both the
+   multi-hyperperiod horizon [cycles * H] and the feasibility-analysis
+   horizon [O_max + 2H] are products/sums of values that individually
+   passed the lcm check, and either can still wrap.  A wrapped horizon is
+   worse than an exception: the job loops below compare releases against
+   it and silently enumerate nothing. *)
+let checked_mul ctx a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a || p <= 0 then invalid_arg ctx else p
+
+let checked_add ctx a b =
+  let s = a + b in
+  if s < 0 then invalid_arg ctx else s
+
+let horizon_of ?(cycles = 1) tasks =
+  if cycles <= 0 then invalid_arg "Periodic.horizon_of: non-positive cycles";
+  let h = hyperperiod tasks in
+  checked_mul
+    (Printf.sprintf
+       "Periodic.horizon_of: %d hyperperiods of %d overflow int; pass an \
+        explicit ~horizon instead"
+       cycles h)
+    cycles h
+
 let utilisation tasks =
   List.fold_left
     (fun acc t -> Rat.add acc (Rat.make t.pt_compute t.pt_period))
@@ -158,7 +184,18 @@ let edf_uniprocessor_feasible tasks =
           let o_max =
             List.fold_left (fun acc t -> max acc t.pt_offset) 0 tasks
           in
-          let horizon = o_max + (2 * h) in
+          (* Checked: with h near max_int/2 the unchecked [o_max + 2*h]
+             wrapped negative, both point loops collected nothing, and the
+             vacuous [for_all] declared any such set feasible. *)
+          let horizon =
+            let ctx =
+              Printf.sprintf
+                "Periodic.edf_uniprocessor_feasible: analysis horizon O_max \
+                 + 2H overflows int (O_max = %d, H = %d)"
+                o_max h
+            in
+            checked_add ctx o_max (checked_mul ctx 2 h)
+          in
           let releases =
             List.concat_map
               (fun t ->

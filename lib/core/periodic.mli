@@ -51,6 +51,13 @@ val ptask :
 val hyperperiod : ptask list -> int
 (** Least common multiple of the periods ([1] for an empty list). *)
 
+val horizon_of : ?cycles:int -> ptask list -> int
+(** [cycles] (default [1]) hyperperiods, with the product overflow-checked
+    under the same discipline as {!hyperperiod} itself — the multi-cycle
+    horizons used to observe steady state for arbitrary-deadline sets
+    must not silently wrap.
+    @raise Invalid_argument on [cycles <= 0] or overflow. *)
+
 val utilisation : ptask list -> Rat.t
 (** [sum C_i / T_i] — with a single processor type, [ceil] of this is the
     classical utilisation bound that {!App} analysis must dominate. *)
@@ -84,4 +91,8 @@ val edf_uniprocessor_feasible : ptask list -> bool
     Connects the classical theory to the paper's bound: for synchronous
     constrained-deadline sets, uniprocessor infeasibility is equivalent
     to the unrolled analysis reporting [LB >= 2] when jobs are
-    preemptive — checked in the suite. *)
+    preemptive — checked in the suite.
+
+    @raise Invalid_argument when the [O_max + 2H] analysis horizon
+      overflows int (previously it wrapped silently and the vacuous
+      window check declared every such set feasible). *)

@@ -1,0 +1,154 @@
+type vertex = { v_name : string; v_wcet : int }
+
+type dtask = {
+  dt_name : string;
+  dt_vertices : vertex array;
+  dt_edges : (int * int) list;
+  dt_period : int;
+  dt_deadline : int;
+  dt_proc : string;
+}
+
+type t = { tasks : dtask list }
+
+type deadline_class = Implicit | Constrained | Arbitrary
+
+let valid_name n =
+  String.length n > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       n
+
+(* Topological order of the vertex DAG, or a cycle error.  Kahn's
+   algorithm; also the workhorse for [len]. *)
+let topological_order ~n ~edges =
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      indeg.(b) <- indeg.(b) + 1;
+      succs.(a) <- b :: succs.(a))
+    edges;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      succs.(v)
+  done;
+  if !seen <> n then None else Some (Array.of_list (List.rev !order))
+
+let dtask ~name ?(proc = "P") ~period ?deadline ~vertices ~edges () =
+  let deadline = Option.value ~default:period deadline in
+  if not (valid_name name) then
+    invalid_arg
+      (Printf.sprintf
+         "Recurrent.Model.dtask: invalid task name %S (letters, digits, _, -)"
+         name);
+  if period <= 0 then
+    invalid_arg ("Recurrent.Model.dtask: non-positive period for " ^ name);
+  if deadline <= 0 then
+    invalid_arg ("Recurrent.Model.dtask: non-positive deadline for " ^ name);
+  if Array.length vertices = 0 then
+    invalid_arg ("Recurrent.Model.dtask: no vertices in " ^ name);
+  let n = Array.length vertices in
+  Array.iter
+    (fun v ->
+      if not (valid_name v.v_name) then
+        invalid_arg
+          (Printf.sprintf "Recurrent.Model.dtask: invalid vertex name %S in %s"
+             v.v_name name);
+      if v.v_wcet < 0 then
+        invalid_arg
+          (Printf.sprintf "Recurrent.Model.dtask: negative wcet on %s.%s" name
+             v.v_name);
+      (* Each vertex must fit the relative deadline on its own, otherwise
+         no job of it can be represented in the one-shot model (and the
+         task is trivially infeasible anyway). *)
+      if v.v_wcet > deadline then
+        invalid_arg
+          (Printf.sprintf
+             "Recurrent.Model.dtask: wcet %d of %s.%s exceeds the relative \
+              deadline %d"
+             v.v_wcet name v.v_name deadline))
+    vertices;
+  let names = Array.to_list (Array.map (fun v -> v.v_name) vertices) in
+  if List.length (List.sort_uniq String.compare names) <> n then
+    invalid_arg ("Recurrent.Model.dtask: duplicate vertex names in " ^ name);
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg
+          (Printf.sprintf "Recurrent.Model.dtask: edge (%d, %d) out of range \
+                           in %s" a b name);
+      if a = b then
+        invalid_arg
+          (Printf.sprintf "Recurrent.Model.dtask: self-loop on vertex %d in %s"
+             a name))
+    edges;
+  (match topological_order ~n ~edges with
+  | Some _ -> ()
+  | None ->
+      invalid_arg ("Recurrent.Model.dtask: vertex graph of " ^ name
+                   ^ " has a cycle"));
+  { dt_name = name; dt_vertices = vertices; dt_edges = edges;
+    dt_period = period; dt_deadline = deadline; dt_proc = proc }
+
+let make ~tasks =
+  if tasks = [] then invalid_arg "Recurrent.Model.make: empty task set";
+  let names = List.map (fun t -> t.dt_name) tasks in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Recurrent.Model.make: duplicate task names";
+  { tasks }
+
+let vol dt = Array.fold_left (fun acc v -> acc + v.v_wcet) 0 dt.dt_vertices
+
+let len dt =
+  let n = Array.length dt.dt_vertices in
+  match topological_order ~n ~edges:dt.dt_edges with
+  | None -> assert false (* constructor rejected cycles *)
+  | Some order ->
+      let dist = Array.make n 0 in
+      let preds = Array.make n [] in
+      List.iter (fun (a, b) -> preds.(b) <- a :: preds.(b)) dt.dt_edges;
+      Array.iter
+        (fun v ->
+          let best = List.fold_left (fun acc p -> max acc dist.(p)) 0 preds.(v) in
+          dist.(v) <- best + dt.dt_vertices.(v).v_wcet)
+        order;
+      Array.fold_left max 0 dist
+
+let classify dt =
+  if dt.dt_deadline = dt.dt_period then Implicit
+  else if dt.dt_deadline < dt.dt_period then Constrained
+  else Arbitrary
+
+let class_name = function
+  | Implicit -> "implicit"
+  | Constrained -> "constrained"
+  | Arbitrary -> "arbitrary"
+
+let taskset_class { tasks } =
+  List.fold_left
+    (fun acc dt ->
+      match (acc, classify dt) with
+      | Arbitrary, _ | _, Arbitrary -> Arbitrary
+      | Constrained, _ | _, Constrained -> Constrained
+      | Implicit, Implicit -> Implicit)
+    Implicit tasks
+
+let utilisation { tasks } =
+  List.fold_left
+    (fun acc dt -> Rat.add acc (Rat.make (vol dt) dt.dt_period))
+    Rat.zero tasks

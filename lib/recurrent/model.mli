@@ -1,0 +1,71 @@
+(** Sporadic DAG tasks — the recurrent generalisation of the paper's
+    one-shot model.
+
+    A task is a DAG of vertices (each a worst-case execution time), a
+    period (minimum inter-arrival time of the sporadic stream) and a
+    relative deadline.  A {e task set} is a list of such tasks.  Deadline
+    regimes follow the literature: {e implicit} ([D = T]), {e constrained}
+    ([D < T]) and {e arbitrary} ([D > T]).
+
+    The model deliberately carries no resources, messages or processor
+    heterogeneity: the modern response-time baselines in [lib/baselines]
+    ({!Baselines.Bonifaci}, {!Baselines.He_long_paths},
+    {!Baselines.Multi_path}) are stated for identical multiprocessors, and
+    {!Unroll} lowers a task set into the richer one-shot model when the
+    paper's full analysis is wanted. *)
+
+type vertex = { v_name : string; v_wcet : int  (** [>= 0]. *) }
+
+type dtask = {
+  dt_name : string;
+  dt_vertices : vertex array;  (** Vertex ids are array indices. *)
+  dt_edges : (int * int) list;  (** Intra-task precedence, acyclic. *)
+  dt_period : int;  (** Minimum inter-arrival time, [> 0]. *)
+  dt_deadline : int;  (** Relative deadline, [> 0]. *)
+  dt_proc : string;  (** Processor type the unrolled jobs run on. *)
+}
+
+type t = { tasks : dtask list }
+
+type deadline_class = Implicit | Constrained | Arbitrary
+
+val dtask :
+  name:string ->
+  ?proc:string ->
+  period:int ->
+  ?deadline:int ->
+  vertices:vertex array ->
+  edges:(int * int) list ->
+  unit ->
+  dtask
+(** [deadline] defaults to the period (implicit); [proc] to ["P"].
+    Names are restricted to [\[A-Za-z0-9_-\]+] so the ["task.vertex@k"]
+    job names minted by {!Unroll} stay unambiguous.
+    @raise Invalid_argument on non-positive period/deadline, empty or
+      duplicate vertices, a vertex wcet that is negative or exceeds the
+      relative deadline, out-of-range or self-loop edges, or a cycle. *)
+
+val make : tasks:dtask list -> t
+(** @raise Invalid_argument on an empty list or duplicate task names. *)
+
+val vol : dtask -> int
+(** Total work: sum of all vertex wcets. *)
+
+val len : dtask -> int
+(** Critical-path length: the heaviest vertex-weighted path. *)
+
+val classify : dtask -> deadline_class
+
+val taskset_class : t -> deadline_class
+(** The least restrictive regime present ([Arbitrary] dominates
+    [Constrained] dominates [Implicit]). *)
+
+val class_name : deadline_class -> string
+
+val utilisation : t -> Rat.t
+(** [sum vol_i / T_i] — a task set with [U > m] is infeasible on [m]
+    unit-speed processors. *)
+
+val topological_order : n:int -> edges:(int * int) list -> int array option
+(** Kahn topological order of an [n]-vertex edge list, [None] on a
+    cycle.  Exposed for the path computations in [lib/baselines]. *)

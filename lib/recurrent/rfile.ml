@@ -1,0 +1,146 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+type building = {
+  b_line : int;
+  b_name : string;
+  b_proc : string;
+  b_period : int;
+  b_deadline : int option;
+  b_vertices : (string * int) list;  (* reversed *)
+  b_edges : (string * string * int) list;  (* src, dst, line; reversed *)
+}
+
+let finish b =
+  let vertices =
+    Array.of_list
+      (List.rev_map
+         (fun (n, w) -> { Model.v_name = n; v_wcet = w })
+         b.b_vertices)
+  in
+  let index name =
+    let rec go i =
+      if i >= Array.length vertices then None
+      else if String.equal vertices.(i).Model.v_name name then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let edges =
+    List.rev_map
+      (fun (s, d, line) ->
+        match (index s, index d) with
+        | Some a, Some b -> (a, b)
+        | None, _ -> fail line "unknown vertex %s in edge" s
+        | _, None -> fail line "unknown vertex %s in edge" d)
+      b.b_edges
+  in
+  try
+    Model.dtask ~name:b.b_name ~proc:b.b_proc ~period:b.b_period
+      ?deadline:b.b_deadline ~vertices ~edges ()
+  with Invalid_argument msg -> raise (Parse_error (b.b_line, msg))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let keyval line tok =
+    match String.index_opt tok '=' with
+    | Some i ->
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+    | None -> fail line "expected key=value, got %S" tok
+  in
+  let int_of line key v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail line "%s expects an integer, got %S" key v
+  in
+  let rec go lineno current acc = function
+    | [] ->
+        let acc = match current with None -> acc | Some b -> finish b :: acc in
+        (match List.rev acc with
+        | [] -> fail lineno "no tasks in file"
+        | tasks -> (
+            try Model.make ~tasks
+            with Invalid_argument msg -> raise (Parse_error (lineno, msg))))
+    | raw :: rest -> (
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then go (lineno + 1) current acc rest
+        else
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | "task" :: name :: kvs ->
+              let acc =
+                match current with None -> acc | Some b -> finish b :: acc
+              in
+              let b =
+                List.fold_left
+                  (fun b tok ->
+                    match keyval lineno tok with
+                    | "period", v ->
+                        { b with b_period = int_of lineno "period" v }
+                    | "deadline", v ->
+                        { b with b_deadline = Some (int_of lineno "deadline" v) }
+                    | "proc", v -> { b with b_proc = v }
+                    | k, _ -> fail lineno "unknown task attribute %S" k)
+                  {
+                    b_line = lineno;
+                    b_name = name;
+                    b_proc = "P";
+                    b_period = 0;
+                    b_deadline = None;
+                    b_vertices = [];
+                    b_edges = [];
+                  }
+                  kvs
+              in
+              if b.b_period = 0 then fail lineno "task %s has no period" name;
+              go (lineno + 1) (Some b) acc rest
+          | "vertex" :: name :: wcet :: [] -> (
+              match current with
+              | None -> fail lineno "vertex before any task line"
+              | Some b ->
+                  if List.mem_assoc name b.b_vertices then
+                    fail lineno "duplicate vertex %s" name;
+                  let w = int_of lineno "wcet" wcet in
+                  go (lineno + 1)
+                    (Some { b with b_vertices = (name, w) :: b.b_vertices })
+                    acc rest)
+          | "edge" :: src :: dst :: [] -> (
+              match current with
+              | None -> fail lineno "edge before any task line"
+              | Some b ->
+                  go (lineno + 1)
+                    (Some { b with b_edges = (src, dst, lineno) :: b.b_edges })
+                    acc rest)
+          | tok :: _ -> fail lineno "unknown directive %S" tok
+          | [] -> go (lineno + 1) current acc rest)
+  in
+  go 1 None [] lines
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let to_string (m : Model.t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (dt : Model.dtask) ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %s period=%d deadline=%d proc=%s\n"
+           dt.Model.dt_name dt.Model.dt_period dt.Model.dt_deadline
+           dt.Model.dt_proc);
+      Array.iter
+        (fun (v : Model.vertex) ->
+          Buffer.add_string buf
+            (Printf.sprintf "vertex %s %d\n" v.Model.v_name v.Model.v_wcet))
+        dt.Model.dt_vertices;
+      List.iter
+        (fun (a, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf "edge %s %s\n" dt.Model.dt_vertices.(a).Model.v_name
+               dt.Model.dt_vertices.(b).Model.v_name))
+        dt.Model.dt_edges)
+    m.Model.tasks;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Line-oriented text format for sporadic DAG task sets, in the style of
+    {!Rtfmt.Appfile}:
+
+    {v
+    # video pipeline
+    task flow period=12 deadline=10 proc=P
+    vertex read 2
+    vertex filter 3
+    edge read filter
+    task tick period=6
+    vertex t 2
+    v}
+
+    A [task NAME period=N \[deadline=N\] \[proc=S\]] line opens a task;
+    subsequent [vertex NAME WCET] and [edge SRC DST] lines belong to it.
+    Deadline defaults to the period.  Blank lines and [#] comments are
+    ignored.  {!parse} and {!to_string} round-trip. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Model.t
+(** @raise Parse_error on malformed input or model-level violations
+      (cycles, duplicate names, wcet exceeding the deadline, ...) —
+      model errors are reported at the offending task's [task] line,
+      edge-name errors at the [edge] line. *)
+
+val parse_file : string -> Model.t
+
+val to_string : Model.t -> string
+(** Canonical rendering: [parse (to_string m)] equals [m] up to the
+    edge order produced by the parser. *)

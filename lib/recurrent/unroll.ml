@@ -1,0 +1,53 @@
+open Rtlb
+
+let ptasks_of ?(preemptive = false) (m : Model.t) =
+  List.concat_map
+    (fun (dt : Model.dtask) ->
+      Array.to_list
+        (Array.map
+           (fun (v : Model.vertex) ->
+             Periodic.ptask
+               ~name:(dt.Model.dt_name ^ "." ^ v.Model.v_name)
+               ~period:dt.Model.dt_period ~compute:v.Model.v_wcet
+               ~deadline:dt.Model.dt_deadline ~proc:dt.Model.dt_proc
+               ~preemptive ())
+           dt.Model.dt_vertices))
+    m.Model.tasks
+
+let pedges_of (m : Model.t) =
+  List.concat_map
+    (fun (dt : Model.dtask) ->
+      List.map
+        (fun (a, b) ->
+          ( dt.Model.dt_name ^ "." ^ dt.Model.dt_vertices.(a).Model.v_name,
+            dt.Model.dt_name ^ "." ^ dt.Model.dt_vertices.(b).Model.v_name,
+            0 ))
+        dt.Model.dt_edges)
+    m.Model.tasks
+
+let hyperperiod m = Periodic.hyperperiod (ptasks_of m)
+let horizon ?cycles m = Periodic.horizon_of ?cycles (ptasks_of m)
+
+let job_count ?cycles m =
+  Periodic.job_count ~horizon:(horizon ?cycles m) (ptasks_of m)
+
+let to_app ?cycles ?preemptive m =
+  let tasks = ptasks_of ?preemptive m in
+  Periodic.unroll ~horizon:(Periodic.horizon_of ?cycles tasks) ~tasks
+    ~edges:(pedges_of m) ()
+
+(* One activation of a single task in isolation: the DAG itself as a
+   one-shot application (all releases 0, common absolute deadline D).
+   This is what the intra-task response-time bounds and the exact
+   branch-and-bound makespan reason about. *)
+let task_app (dt : Model.dtask) =
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i (v : Model.vertex) ->
+           Task.make ~id:i ~name:v.Model.v_name ~compute:v.Model.v_wcet
+             ~deadline:dt.Model.dt_deadline ~proc:dt.Model.dt_proc ())
+         dt.Model.dt_vertices)
+  in
+  let edges = List.map (fun (a, b) -> (a, b, 0)) dt.Model.dt_edges in
+  App.make ~tasks ~edges

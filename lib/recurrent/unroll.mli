@@ -1,0 +1,37 @@
+(** Hyperperiod unrolling: lower a sporadic task set into the paper's
+    one-shot DAG model.
+
+    Every vertex of every task becomes a {!Rtlb.Periodic.ptask} named
+    ["task.vertex"] with the task's period and relative deadline, and the
+    intra-task edges become zero-message periodic edges (equal periods,
+    so the sample-and-hold pairing connects job [k] to job [k] — exactly
+    the job-level precedence of the sporadic DAG semantics).  The
+    synchronous unrolling is the densest legal sporadic arrival sequence,
+    so bounds computed on it are meaningful for the steady state, and its
+    hyperperiod arithmetic inherits {!Rtlb.Periodic}'s overflow
+    detection. *)
+
+val hyperperiod : Model.t -> int
+(** Lcm of the task periods.  @raise Invalid_argument on int overflow. *)
+
+val horizon : ?cycles:int -> Model.t -> int
+(** [cycles] hyperperiods (default [1]), overflow-checked
+    ({!Rtlb.Periodic.horizon_of}); arbitrary-deadline sets typically need
+    [cycles >= 2] to observe a steady state. *)
+
+val job_count : ?cycles:int -> Model.t -> int
+(** Jobs {!to_app} would materialise: one per vertex per period. *)
+
+val to_app : ?cycles:int -> ?preemptive:bool -> Model.t -> Rtlb.App.t
+(** Materialise all jobs released in [cycles] hyperperiods (default [1])
+    as a one-shot application.  [preemptive] (default [false]) marks
+    every job preemptive — use it when validating against the preemptive
+    EDF simulator.  Job ["t.v@k"] releases at [k * T_t] with absolute
+    deadline [k * T_t + D_t].
+    @raise Invalid_argument on horizon overflow. *)
+
+val task_app : Model.dtask -> Rtlb.App.t
+(** One activation of one task in isolation: the task's DAG as a
+    one-shot application (releases [0], every vertex deadline [D]) — the
+    object the intra-task response-time bounds and the exact makespan
+    search reason about. *)

@@ -1,0 +1,41 @@
+(** Recurrent variants of every one-shot generator family: each sporadic
+    DAG task's vertex graph is drawn from {!Gen.generate} (any
+    {!Gen.shape}), and the rate parameters are derived from the drawn
+    volume so utilisation is controlled by one knob.
+
+    Per task [i], a fresh one-shot instance (seeded from [seed] and [i],
+    single processor type, no resources/messages/releases) supplies the
+    vertex wcets and the precedence edges; the period is
+    [stretch * vol] rounded up — by default onto the [2^k / 3*2^k] grid,
+    which keeps any subset's hyperperiod within [3x] the largest period
+    so unrolled horizons stay small.  Per-task utilisation is therefore
+    about [1 / stretch] and the set's about [tasks / stretch]. *)
+
+type deadline_model =
+  | Implicit  (** [D = T]. *)
+  | Constrained of float
+      (** [D = f * T] (clamped to [\[max wcet, T\]]) — [f < 1] exercises
+          the constrained regime, including infeasible sets with
+          [D < len]. *)
+  | Arbitrary of float  (** [D = f * T], forced strictly above [T]. *)
+
+type config = {
+  seed : int;
+  tasks : int;
+  shape : Gen.shape;
+  vertices : int;  (** Per task; [Gauss]/[Fft] keep intrinsic sizes. *)
+  wcet_range : int * int;
+  period_stretch : float;  (** [>= 1]; per-task utilisation [~ 1/stretch]. *)
+  deadline_model : deadline_model;
+  snap_periods : bool;  (** Round periods onto the lcm-friendly grid. *)
+}
+
+val default : config
+(** 3 layered tasks of 8 vertices, wcets 1..9, stretch 2, implicit
+    deadlines, snapped periods. *)
+
+val generate : config -> Recurrent.Model.t
+(** Deterministic in [config]. *)
+
+val snap : int -> int
+(** The period grid: smallest [2^k] or [3 * 2^k] that is [>= p]. *)

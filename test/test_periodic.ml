@@ -248,12 +248,83 @@ let prop_tests =
         Rtlb.Periodic.edf_uniprocessor_feasible tasks = (lb <= 1));
   ]
 
+(* One job per period, exactly, including at the hyperperiod boundary:
+   for any horizon that is a whole number of hyperperiods, every task has
+   horizon/period jobs — the release at the boundary itself belongs to
+   the next cycle.  The recurrent unroller leans on this invariant, so
+   pin it across offsets and multi-cycle horizons. *)
+let one_job_per_period () =
+  let t ~offset = pt ~name:"t" ~period:6 ~offset ~compute:1 () in
+  for offset = 0 to 5 do
+    let tasks = [ t ~offset ] in
+    check_int "hyperperiod is the period" 6 (Rtlb.Periodic.hyperperiod tasks);
+    check_int
+      (Printf.sprintf "one job at offset %d" offset)
+      1
+      (Rtlb.Periodic.job_count tasks);
+    let app = Rtlb.Periodic.unroll ~tasks ~edges:[] () in
+    check_int "unrolled app has one task" 1 (Rtlb.App.n_tasks app);
+    check_int "job released at the offset" offset
+      (Rtlb.App.task app 0).Rtlb.Task.release;
+    (* three hyperperiods: three jobs, one per period, none at 3H *)
+    let h3 = Rtlb.Periodic.horizon_of ~cycles:3 tasks in
+    check_int "3 cycles horizon" 18 h3;
+    check_int
+      (Printf.sprintf "three jobs at offset %d" offset)
+      3
+      (Rtlb.Periodic.job_count ~horizon:h3 tasks)
+  done;
+  (* the boundary release belongs to the next cycle *)
+  check_int "release at horizon excluded" 2
+    (Rtlb.Periodic.job_count ~horizon:12
+       [ pt ~name:"t" ~period:6 ~compute:1 () ]);
+  check_int "release just inside included" 3
+    (Rtlb.Periodic.job_count ~horizon:13
+       [ pt ~name:"t" ~period:6 ~compute:1 () ])
+
+let horizon_of_overflow () =
+  let tasks = [ pt ~name:"t" ~period:(max_int / 2) ~compute:1 () ] in
+  (match Rtlb.Periodic.horizon_of ~cycles:4 tasks with
+  | exception Invalid_argument msg ->
+      check_bool "overflow reported" true
+        (string_contains ~needle:"overflow" msg)
+  | h -> Alcotest.fail (Printf.sprintf "expected overflow, got %d" h));
+  (match Rtlb.Periodic.horizon_of ~cycles:0 tasks with
+  | exception Invalid_argument _ -> ()
+  | h -> Alcotest.fail (Printf.sprintf "expected cycles error, got %d" h));
+  check_int "single cycle is the hyperperiod" (max_int / 2)
+    (Rtlb.Periodic.horizon_of tasks)
+
+(* Fail-before-fix: the O_max + 2H feasibility horizon used to wrap for
+   hyperperiods near max_int/2; both point loops then collected nothing
+   and the vacuous window check declared this demonstrably infeasible
+   set (both tasks demand 2^60 by t = 2^60, total 2^61 > 2^60) EDF
+   feasible.  Now the overflow raises. *)
+let edf_horizon_overflow () =
+  let big = 1 lsl 61 in
+  let tasks =
+    [
+      pt ~name:"a" ~period:big ~compute:(big / 2) ~deadline:(big / 2) ();
+      pt ~name:"b" ~period:big ~compute:(big / 2) ~deadline:(big / 2) ();
+    ]
+  in
+  match Rtlb.Periodic.edf_uniprocessor_feasible tasks with
+  | exception Invalid_argument msg ->
+      check_bool "overflow reported" true
+        (string_contains ~needle:"overflow" msg)
+  | verdict ->
+      Alcotest.fail
+        (Printf.sprintf "expected horizon overflow, got verdict %b" verdict)
+
 let suite =
   [
     ( "periodic",
       [
         Alcotest.test_case "hyperperiod" `Quick hyperperiod_lcm;
         Alcotest.test_case "hyperperiod overflow" `Quick hyperperiod_overflow;
+        Alcotest.test_case "one job per period" `Quick one_job_per_period;
+        Alcotest.test_case "horizon_of overflow" `Quick horizon_of_overflow;
+        Alcotest.test_case "EDF horizon overflow" `Quick edf_horizon_overflow;
         Alcotest.test_case "utilisation" `Quick utilisation_sum;
         Alcotest.test_case "ptask validation" `Quick ptask_validation;
         Alcotest.test_case "unroll counts" `Quick unroll_counts;

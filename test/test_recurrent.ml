@@ -1,0 +1,361 @@
+(* Sporadic DAG model, baselines and the differential "sandwich":
+   worked examples reproduced exactly, rfile round-trips, unroll-bridge
+   invariants, and qcheck properties pinning
+   [lower bound <= exact <= multi-path <= long-paths <= graham] plus the
+   feasibility-test agreement directions against the exact scheduler and
+   the preemptive EDF simulator. *)
+
+open Helpers
+open Recurrent
+
+let vtx name w = { Model.v_name = name; v_wcet = w }
+
+let chain name k w =
+  Array.init k (fun i -> vtx (Printf.sprintf "%s%d" name i) w)
+
+(* Two parallel chains of 5 unit vertices: the decomposition covers the
+   whole DAG, so the long-paths schedule is exact while the single-path
+   bound overcharges. *)
+let two_chains =
+  Model.dtask ~name:"two_chains" ~period:20
+    ~vertices:(Array.append (chain "a" 5 1) (chain "b" 5 1))
+    ~edges:
+      (List.init 4 (fun i -> (i, i + 1))
+      @ List.init 4 (fun i -> (5 + i, 5 + i + 1)))
+    ()
+
+(* Star: root(1) fanning out to 9 unit children. *)
+let star =
+  Model.dtask ~name:"star" ~period:20
+    ~vertices:(Array.init 10 (fun i -> vtx (Printf.sprintf "s%d" i) 1))
+    ~edges:(List.init 9 (fun i -> (0, i + 1)))
+    ()
+
+let worked_two_chains () =
+  check_int "len" 5 (Model.len two_chains);
+  check_int "vol" 10 (Model.vol two_chains);
+  check_int "graham" 8 (Baselines.He_long_paths.graham ~m:2 two_chains);
+  check_int "long-paths" 5 (Baselines.He_long_paths.bound ~m:2 two_chains);
+  check_int "multi-path" 5 (Baselines.Multi_path.bound ~m:2 two_chains);
+  check_int_list "paths" [ 5; 5 ]
+    (Baselines.He_long_paths.paths ~m:2 two_chains);
+  check_int "closed form" 5
+    (Baselines.He_long_paths.value ~m:2 two_chains [ 5; 5 ])
+
+let worked_star () =
+  check_int "len" 2 (Model.len star);
+  check_int "graham" 6 (Baselines.He_long_paths.graham ~m:2 star);
+  check_int "long-paths" 6 (Baselines.He_long_paths.bound ~m:2 star);
+  check_int "multi-path" 6 (Baselines.Multi_path.bound ~m:2 star);
+  (* on one processor every bound degenerates to the volume *)
+  check_int "m=1 graham" 10 (Baselines.He_long_paths.graham ~m:1 star);
+  check_int "m=1 long-paths" 10 (Baselines.He_long_paths.bound ~m:1 star)
+
+(* Bonifaci worked example: tau1 = 2-vertex unit chain, T=4, D=3;
+   tau2 = 3 independent unit vertices, T=4, D=4; m=2.  Necessary
+   conditions hold (U = 5/4), DM certifies both tasks (R = 2, 4) but the
+   EDF test's symmetric interference pushes tau1 past its deadline. *)
+let bonifaci_set =
+  Model.make
+    ~tasks:
+      [
+        Model.dtask ~name:"tau1" ~period:4 ~deadline:3
+          ~vertices:(chain "c" 2 1) ~edges:[ (0, 1) ] ();
+        Model.dtask ~name:"tau2" ~period:4
+          ~vertices:(chain "p" 3 1) ~edges:[] ();
+      ]
+
+let worked_bonifaci () =
+  check_bool "necessary" true (Baselines.Bonifaci.necessary ~m:2 bonifaci_set);
+  check_bool "edf" false (Baselines.Bonifaci.edf_schedulable ~m:2 bonifaci_set);
+  check_bool "dm" true (Baselines.Bonifaci.dm_schedulable ~m:2 bonifaci_set);
+  Alcotest.(check (list (pair string (option int))))
+    "edf bounds"
+    [ ("tau1", None); ("tau2", Some 4) ]
+    (Baselines.Bonifaci.edf_response_bounds ~m:2 bonifaci_set);
+  Alcotest.(check (list (pair string (option int))))
+    "dm bounds"
+    [ ("tau1", Some 2); ("tau2", Some 4) ]
+    (Baselines.Bonifaci.dm_response_bounds ~m:2 bonifaci_set);
+  (* on one processor even the necessary conditions fail: U = 5/4 > 1 *)
+  check_bool "m=1 necessary" false
+    (Baselines.Bonifaci.necessary ~m:1 bonifaci_set)
+
+let classify_cases () =
+  check_string "implicit" "implicit" (Model.class_name (Model.classify star));
+  let c =
+    Model.dtask ~name:"c" ~period:10 ~deadline:7 ~vertices:(chain "v" 1 1)
+      ~edges:[] ()
+  in
+  check_string "constrained" "constrained"
+    (Model.class_name (Model.classify c));
+  let a =
+    Model.dtask ~name:"a" ~period:10 ~deadline:15 ~vertices:(chain "v" 1 1)
+      ~edges:[] ()
+  in
+  check_string "arbitrary" "arbitrary" (Model.class_name (Model.classify a));
+  check_string "taskset takes the worst" "arbitrary"
+    (Model.class_name (Model.taskset_class (Model.make ~tasks:[ c; a ])));
+  check_string "utilisation" "1/10"
+    (Rat.to_string (Model.utilisation (Model.make ~tasks:[ c ])))
+
+let model_rejects () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "cycle" (fun () ->
+      Model.dtask ~name:"t" ~period:4 ~vertices:(chain "v" 2 1)
+        ~edges:[ (0, 1); (1, 0) ] ());
+  expect_invalid "wcet over deadline" (fun () ->
+      Model.dtask ~name:"t" ~period:4 ~deadline:2 ~vertices:(chain "v" 1 3)
+        ~edges:[] ());
+  expect_invalid "duplicate vertex" (fun () ->
+      Model.dtask ~name:"t" ~period:4
+        ~vertices:[| vtx "v" 1; vtx "v" 1 |]
+        ~edges:[] ());
+  expect_invalid "self loop" (fun () ->
+      Model.dtask ~name:"t" ~period:4 ~vertices:(chain "v" 1 1)
+        ~edges:[ (0, 0) ] ());
+  expect_invalid "duplicate task" (fun () ->
+      Model.make
+        ~tasks:
+          [
+            Model.dtask ~name:"t" ~period:4 ~vertices:(chain "v" 1 1)
+              ~edges:[] ();
+            Model.dtask ~name:"t" ~period:8 ~vertices:(chain "w" 1 1)
+              ~edges:[] ();
+          ])
+
+(* ---- rfile ---- *)
+
+let rfile_text =
+  "# comment\n\
+   task flow period=12 deadline=10 proc=P\n\
+   vertex read 1\n\
+   vertex filter 2\n\
+   edge read filter\n\
+   \n\
+   task tick period=6\n\
+   vertex poll 1\n"
+
+let rfile_parse () =
+  let m = Rfile.parse rfile_text in
+  check_int "tasks" 2 (List.length m.Model.tasks);
+  let flow = List.hd m.Model.tasks in
+  check_string "name" "flow" flow.Model.dt_name;
+  check_int "period" 12 flow.Model.dt_period;
+  check_int "deadline" 10 flow.Model.dt_deadline;
+  check_int "vol" 3 (Model.vol flow);
+  check_int "len" 3 (Model.len flow);
+  let tick = List.nth m.Model.tasks 1 in
+  check_int "deadline defaults to period" 6 tick.Model.dt_deadline
+
+let rfile_round_trip () =
+  let m = Rfile.parse rfile_text in
+  let m' = Rfile.parse (Rfile.to_string m) in
+  check_string "canonical form is a fixpoint" (Rfile.to_string m)
+    (Rfile.to_string m')
+
+let rfile_errors () =
+  let expect_line name line text =
+    match Rfile.parse text with
+    | exception Rfile.Parse_error (l, _) ->
+        check_int (name ^ ": line") line l
+    | _ -> Alcotest.fail (name ^ ": expected Parse_error")
+  in
+  expect_line "vertex before task" 1 "vertex v 1\n";
+  expect_line "bad period" 2 "# c\ntask t period=0\nvertex v 1\n";
+  expect_line "unknown edge endpoint" 4
+    "task t period=4\nvertex a 1\nvertex b 1\nedge a missing\n";
+  expect_line "cyclic task reported at its task line" 1
+    "task t period=8\nvertex a 1\nvertex b 1\nedge a b\nedge b a\n";
+  expect_line "empty task" 1 "task t period=4\n"
+
+(* ---- unroll bridge ---- *)
+
+let unroll_bridge () =
+  let m = Rfile.parse rfile_text in
+  check_int "hyperperiod" 12 (Unroll.hyperperiod m);
+  check_int "horizon x3" 36 (Unroll.horizon ~cycles:3 m);
+  (* flow: 2 vertices x 1 job; tick: 1 vertex x 2 jobs *)
+  check_int "jobs" 4 (Unroll.job_count m);
+  check_int "jobs x3" 12 (Unroll.job_count ~cycles:3 m);
+  let app = Unroll.to_app m in
+  check_int "app tasks = jobs" 4 (Rtlb.App.n_tasks app);
+  (* job k of a vertex releases at k*T with absolute deadline k*T + D *)
+  let by_name = Hashtbl.create 8 in
+  for i = 0 to Rtlb.App.n_tasks app - 1 do
+    let t = Rtlb.App.task app i in
+    Hashtbl.replace by_name t.Rtlb.Task.name t
+  done;
+  let job name = Hashtbl.find by_name name in
+  check_int "tick.poll@1 release" 6 (job "tick.poll@1").Rtlb.Task.release;
+  check_int "tick.poll@1 deadline" 12 (job "tick.poll@1").Rtlb.Task.deadline;
+  check_int "flow.read@0 deadline" 10 (job "flow.read@0").Rtlb.Task.deadline;
+  (* the one-task app exposes exactly the task's DAG *)
+  let ta = Unroll.task_app two_chains in
+  check_int "task_app size" 10 (Rtlb.App.n_tasks ta);
+  (match Sched.Makespan.minimum ta ~m:2 with
+  | Some e -> check_int "two_chains exact" 5 e
+  | None -> Alcotest.fail "exact search gave up on two_chains")
+
+(* ---- qcheck: recurrent instances ---- *)
+
+type rinstance = {
+  rconfig : Workload.Recurrent_gen.config;
+  rm : int;
+  model : Model.t;
+}
+
+let rconfig_gen ~deadlines =
+  let open QCheck2.Gen in
+  let* seed = int_bound 1_000_000 in
+  let* tasks = int_range 1 3 in
+  let* shape = oneofl shapes in
+  let* vertices = int_range 2 8 in
+  let* period_stretch = oneofl [ 1.0; 1.5; 2.0; 3.0 ] in
+  let* deadline_model = oneofl deadlines in
+  let* rm = int_range 1 4 in
+  let rconfig =
+    {
+      Workload.Recurrent_gen.default with
+      seed;
+      tasks;
+      shape;
+      vertices;
+      period_stretch;
+      deadline_model;
+    }
+  in
+  return { rconfig; rm; model = Workload.Recurrent_gen.generate rconfig }
+
+let print_rinstance i =
+  Printf.sprintf "seed=%d shape=%s tasks=%d vertices=%d stretch=%f m=%d\n%s"
+    i.rconfig.Workload.Recurrent_gen.seed
+    (Workload.Gen.shape_name i.rconfig.Workload.Recurrent_gen.shape)
+    i.rconfig.Workload.Recurrent_gen.tasks
+    i.rconfig.Workload.Recurrent_gen.vertices
+    i.rconfig.Workload.Recurrent_gen.period_stretch i.rm
+    (Rfile.to_string i.model)
+
+let arb_rinstance ~deadlines =
+  QCheck.make ~print:print_rinstance (fun st ->
+      QCheck2.Gen.generate1 ~rand:st (rconfig_gen ~deadlines))
+
+let all_deadlines =
+  Workload.Recurrent_gen.
+    [ Implicit; Constrained 0.8; Constrained 0.5; Arbitrary 1.5 ]
+
+(* The differential sandwich, per task:
+   [tb_omega <= exact <= multi-path <= long-paths <= graham].  The exact
+   branch-and-bound search occasionally hits its node limit (None); the
+   analytic legs are still checked then. *)
+let sandwich system_name system i =
+  List.for_all
+    (fun dt ->
+      let m = i.rm in
+      let he = Baselines.He_long_paths.bound ~m dt in
+      let mp = Baselines.Multi_path.bound ~m dt in
+      let gr = Baselines.He_long_paths.graham ~m dt in
+      if not (mp <= he && he <= gr) then
+        QCheck.Test.fail_reportf "%s: analytic legs: mp=%d he=%d gr=%d"
+          system_name mp he gr;
+      let app = Unroll.task_app dt in
+      match Sched.Makespan.minimum app ~m with
+      | None -> true
+      | Some exact ->
+          let tb =
+            match
+              Rtlb.Time_bound.minimum_completion_time system app
+                ~capacity:(fun _ -> m)
+            with
+            | Some t -> t.Rtlb.Time_bound.tb_omega
+            | None -> 0
+          in
+          if not (tb <= exact && exact <= mp) then
+            QCheck.Test.fail_reportf
+              "%s: tb=%d exact=%d mp=%d he=%d gr=%d (task %s)" system_name tb
+              exact mp he gr dt.Model.dt_name;
+          true)
+    i.model.Model.tasks
+
+let shared_system = Rtlb.System.shared ~costs:[ ("P", 1) ]
+
+let dedicated_system =
+  Rtlb.System.dedicated [ Rtlb.System.node_type ~name:"N" ~proc:"P" () ]
+
+(* Feasibility agreement: a concrete non-preemptive schedule of the
+   unrolled hyperperiod refutes any "infeasible" verdict, and a positive
+   EDF claim must survive the preemptive EDF simulator on the densest
+   arrival sequence. *)
+let feasibility_agreement i =
+  let m = i.rm in
+  let model = i.model in
+  (match
+     Sched.Search.backtracking_feasible (Unroll.to_app model)
+       (Sched.Platform.shared ~procs:[ ("P", m) ] ~resources:[])
+   with
+  | Some _ when not (Baselines.Bonifaci.necessary ~m model) ->
+      QCheck.Test.fail_reportf
+        "exact schedule exists but necessary conditions fail (m=%d)" m
+  | _ -> ());
+  if Baselines.Bonifaci.edf_schedulable ~m model then begin
+    if not (Baselines.Bonifaci.dm_schedulable ~m model) then
+      QCheck.Test.fail_reportf "EDF test passed but DM test failed (m=%d)" m;
+    if
+      not
+        (Sched.Preemptive.feasible
+           (Unroll.to_app ~preemptive:true model)
+           ~procs:[ ("P", m) ])
+    then
+      QCheck.Test.fail_reportf "EDF claim refuted by the simulator (m=%d)" m
+  end;
+  true
+
+let round_trip i =
+  let s = Rfile.to_string i.model in
+  let m' = Rfile.parse s in
+  if Rfile.to_string m' <> s then
+    QCheck.Test.fail_reportf "rfile round-trip changed the model";
+  (* unroll commutes with the round-trip *)
+  if Unroll.job_count m' <> Unroll.job_count i.model then
+    QCheck.Test.fail_reportf "round-trip changed the job count";
+  true
+
+let prop_tests =
+  [
+    qtest ~count:200 "sandwich holds (shared system)"
+      (arb_rinstance ~deadlines:all_deadlines)
+      (sandwich "shared" shared_system);
+    qtest ~count:200 "sandwich holds (dedicated system)"
+      (arb_rinstance ~deadlines:all_deadlines)
+      (sandwich "dedicated" dedicated_system);
+    qtest ~count:120 "feasibility tests agree with the schedulers"
+      (arb_rinstance
+         ~deadlines:
+           Workload.Recurrent_gen.[ Implicit; Constrained 0.8 ])
+      feasibility_agreement;
+    qtest ~count:200 "rfile round-trip, unroll commutes"
+      (arb_rinstance ~deadlines:all_deadlines)
+      round_trip;
+  ]
+
+let suite =
+  [
+    ( "recurrent",
+      [
+        Alcotest.test_case "worked example: two chains" `Quick
+          worked_two_chains;
+        Alcotest.test_case "worked example: star" `Quick worked_star;
+        Alcotest.test_case "worked example: bonifaci" `Quick worked_bonifaci;
+        Alcotest.test_case "deadline classes" `Quick classify_cases;
+        Alcotest.test_case "model validation" `Quick model_rejects;
+        Alcotest.test_case "rfile parse" `Quick rfile_parse;
+        Alcotest.test_case "rfile round-trip" `Quick rfile_round_trip;
+        Alcotest.test_case "rfile errors" `Quick rfile_errors;
+        Alcotest.test_case "unroll bridge" `Quick unroll_bridge;
+      ]
+      @ prop_tests );
+  ]
