@@ -1370,13 +1370,22 @@ let soa_scaling () =
 (* [all] lives at the end of the file so it can name every experiment,
    including E15 below. *)
 
-(* -- E15: serve daemon throughput/latency under concurrent load ------
+(* -- E15: serve daemon throughput/latency under multi-process load ---
 
-   The acceptance experiment for the bound-query daemon: an in-process
-   server (2 worker threads x 2-domain pools, LRU-cached warm handles)
-   answers a mixed analyze/whatif workload from 8 concurrent clients.
-   Reports throughput and p50/p99 request latency plus the serve
-   counters, into BENCH_serve.json. *)
+   The acceptance experiment for the bound-query daemon: the server
+   (2 worker threads x 2-domain pools, LRU-cached warm handles,
+   priority admission + what-if coalescing) answers a mixed warm/cold
+   analyze/whatif workload over its Unix socket from 8 forked tenant
+   processes — real connections, real frames, no shared address space
+   with the daemon.  Each tenant pipelines bursts (send-all, then time
+   every reply individually), which is what lets the daemon coalesce
+   compatible what-ifs.  Reports throughput, overall and per-tenant
+   p50/p99 request latency, and the serve counters, into
+   BENCH_serve.json.
+
+   Fork discipline: every tenant process is forked BEFORE the server
+   (and its worker/acceptor threads) exists, so children never inherit
+   a threaded runtime; they retry-connect while the daemon binds. *)
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -1385,13 +1394,18 @@ let percentile sorted p =
 let serve_throughput () =
   Bench_util.section "E15: serve daemon throughput and latency";
   let module Server = Rtlb_serve.Server in
-  let module Protocol = Rtlb_serve.Protocol in
-  let tracer = Rtlb_obs.Tracer.make () in
-  let config =
-    { Server.default_config with Server.jobs = 2; workers = 2; tracer }
+  let module Client = Rtlb_serve.Client in
+  let now_ns () = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
+  let sock_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rtlb-bench-%d.sock" (Unix.getpid ()))
   in
-  let server = Server.create ~config () in
-  let frame fields = Protocol.to_line (Rtfmt.Json.Obj fields) in
+  (* Request templates: field lists so each tenant can stamp its own
+     "tenant" field in.  Mixed warm/cold: 4 generated 80-task apps x
+     {record analyze, soa analyze, record whatif} — first touch is a
+     cold build, repeats hit the warm LRU, and concurrent what-ifs on
+     the same text coalesce. *)
   let requests =
     List.concat_map
       (fun seed ->
@@ -1401,80 +1415,178 @@ let serve_throughput () =
         let text = Rtfmt.Appfile.to_string app in
         let d0 = (Rtlb.App.task app 0).Rtlb.Task.deadline in
         [
-          frame
-            [ ("op", Rtfmt.Json.Str "analyze"); ("app", Rtfmt.Json.Str text) ];
-          frame
-            [
-              ("op", Rtfmt.Json.Str "analyze");
-              ("app", Rtfmt.Json.Str text);
-              ("engine", Rtfmt.Json.Str "soa");
-            ];
-          frame
-            [
-              ("op", Rtfmt.Json.Str "whatif");
-              ("app", Rtfmt.Json.Str text);
-              ( "edits",
-                Rtfmt.Json.List
-                  [
-                    Rtfmt.Json.Obj
-                      [
-                        ("task", Rtfmt.Json.Int 0);
-                        ("deadline", Rtfmt.Json.Int (d0 + 5));
-                      ];
-                  ] );
-            ];
+          [ ("op", Rtfmt.Json.Str "analyze"); ("app", Rtfmt.Json.Str text) ];
+          [
+            ("op", Rtfmt.Json.Str "analyze");
+            ("app", Rtfmt.Json.Str text);
+            ("engine", Rtfmt.Json.Str "soa");
+          ];
+          [
+            ("op", Rtfmt.Json.Str "whatif");
+            ("app", Rtfmt.Json.Str text);
+            ( "edits",
+              Rtfmt.Json.List
+                [
+                  Rtfmt.Json.Obj
+                    [
+                      ("task", Rtfmt.Json.Int 0);
+                      ("deadline", Rtfmt.Json.Int (d0 + 5));
+                    ];
+                ] );
+          ];
         ])
       [ 3; 4; 5; 6 ]
   in
   let requests = Array.of_list requests in
-  let clients = 8 and per_client = 25 in
-  let latencies_ns = Array.make (clients * per_client) 0.0 in
-  let errors = Atomic.make 0 in
-  let request line =
-    let m = Mutex.create () and c = Condition.create () in
-    let slot = ref None in
-    Server.submit server line (fun reply ->
-        Mutex.lock m;
-        slot := Some reply;
-        Condition.signal c;
-        Mutex.unlock m);
-    Mutex.lock m;
-    while !slot = None do
-      Condition.wait c m
-    done;
-    Mutex.unlock m;
-    Option.get !slot
-  in
-  let client c =
-    for k = 0 to per_client - 1 do
-      let line = requests.(((c * per_client) + k) mod Array.length requests) in
-      let t0 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
-      let reply = request line in
-      let t1 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
-      latencies_ns.((c * per_client) + k) <-
-        Int64.to_float (Int64.sub t1 t0);
-      if not (String.length reply > 12 && String.sub reply 0 1 = "{") then
-        Atomic.incr errors;
-      match Rtfmt.Json.member "ok" (Rtfmt.Json.parse reply) with
-      | Rtfmt.Json.Bool true -> ()
-      | _ -> Atomic.incr errors
-    done
-  in
-  let t0 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
-  let threads = List.init clients (fun c -> Thread.create client c) in
-  List.iter Thread.join threads;
-  let t1 = Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic in
-  Server.shutdown server;
-  let wall_ms = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
+  let clients = 8 and per_client = 100 and burst = 100 in
   let total = clients * per_client in
-  Array.sort compare latencies_ns;
-  let p50 = percentile latencies_ns 50 /. 1e6 in
-  let p99 = percentile latencies_ns 99 /. 1e6 in
+  let child c write_fd =
+    (* tenant process: retry-connect, pipeline bursts, report one
+       "<latency_ns> <ok>" line per request on its pipe *)
+    let oc = Unix.out_channel_of_descr write_fd in
+    let exit_code =
+      match Client.connect_unix ~retry_for:10.0 sock_path with
+      | exception _ -> 1
+      | client ->
+          let tenant = Printf.sprintf "tenant-%d" c in
+          let k = ref 0 in
+          while !k < per_client do
+            let m = min burst (per_client - !k) in
+            let frames =
+              List.init m (fun i ->
+                  let idx =
+                    ((c * per_client) + !k + i) mod Array.length requests
+                  in
+                  Rtfmt.Json.Obj
+                    (("tenant", Rtfmt.Json.Str tenant) :: requests.(idx)))
+            in
+            let t_burst = now_ns () in
+            let sent =
+              List.map (fun id -> (id, t_burst)) (Client.send_batch client frames)
+            in
+            List.iter
+              (fun (id, t0) ->
+                let ok =
+                  match id with
+                  | Error _ -> false
+                  | Ok id -> (
+                      match Client.recv_raw client id with
+                      | Error _ -> false
+                      | Ok line ->
+                          (* "ok" is the field right after the echoed id *)
+                          let marker = "\"ok\": true," in
+                          let ml = String.length marker in
+                          let rec find i =
+                            i + ml <= String.length line
+                            && (String.sub line i ml = marker || find (i + 1))
+                          in
+                          find 0)
+                in
+                let lat = Int64.to_float (Int64.sub (now_ns ()) t0) in
+                Printf.fprintf oc "%.0f %d\n" lat (if ok then 1 else 0))
+              sent;
+            k := !k + m
+          done;
+          Client.close client;
+          0
+    in
+    close_out oc;
+    exit_code
+  in
+  (* fork all tenants first — the daemon's threads come afterwards *)
+  let pipes = Array.init clients (fun _ -> Unix.pipe ()) in
+  let pids =
+    Array.init clients (fun c ->
+        match Unix.fork () with
+        | 0 ->
+            let code =
+              try
+                Array.iteri
+                  (fun i (r, w) ->
+                    Unix.close r;
+                    if i <> c then Unix.close w)
+                  pipes;
+                child c (snd pipes.(c))
+              with _ -> 1
+            in
+            Unix._exit code
+        | pid -> pid)
+  in
+  Array.iter (fun (_, w) -> Unix.close w) pipes;
+  let tracer = Rtlb_obs.Tracer.make () in
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 1;
+      workers = 1;
+      queue_capacity = 2 * total;  (* fully pipelined tenants all fit *)
+      tracer;
+    }
+  in
+  let server = Server.create ~config () in
+  let stop = Atomic.make false in
+  (* throughput clock starts when the listener is actually ready — the
+     tenants are retry-connecting already *)
+  let t0 = ref (now_ns ()) in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Server.serve server
+          ~on_ready:(fun _ -> t0 := now_ns ())
+          ~endpoints:[ Server.Unix_path sock_path ]
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+      ()
+  in
+  (* drain every tenant's result pipe (EOF = tenant done) *)
+  let per_tenant =
+    Array.map
+      (fun (r, _) ->
+        let ic = Unix.in_channel_of_descr r in
+        let rows = ref [] in
+        (try
+           while true do
+             match String.split_on_char ' ' (input_line ic) with
+             | [ lat; ok ] -> rows := (float_of_string lat, ok = "1") :: !rows
+             | _ -> ()
+           done
+         with End_of_file | Failure _ -> ());
+        close_in ic;
+        List.rev !rows)
+      pipes
+  in
+  let t1 = now_ns () in
+  let failed_children =
+    Array.fold_left
+      (fun acc pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> acc
+        | _ -> acc + 1)
+      0 pids
+  in
+  Atomic.set stop true;
+  Thread.join server_thread;
+  let wall_ms = Int64.to_float (Int64.sub t1 !t0) /. 1e6 in
+  let all_rows = Array.to_list per_tenant |> List.concat in
+  let errors =
+    (if List.length all_rows < total then total - List.length all_rows else 0)
+    + List.length (List.filter (fun (_, ok) -> not ok) all_rows)
+    + failed_children
+  in
+  let sorted_ms rows =
+    let a = Array.of_list (List.map (fun (lat, _) -> lat /. 1e6) rows) in
+    Array.sort compare a;
+    a
+  in
+  let latencies_ms = sorted_ms all_rows in
+  let p50 = percentile latencies_ms 50 in
+  let p99 = percentile latencies_ms 99 in
   let throughput = float_of_int total /. (wall_ms /. 1000.0) in
   let c name = Rtlb_obs.Tracer.counter tracer name in
   let t = Rtfmt.Table.create [ "metric"; "value" ] in
+  Rtfmt.Table.add_row t [ "tenant processes"; string_of_int clients ];
   Rtfmt.Table.add_row t [ "requests"; string_of_int total ];
-  Rtfmt.Table.add_row t [ "errors"; string_of_int (Atomic.get errors) ];
+  Rtfmt.Table.add_row t [ "errors"; string_of_int errors ];
   Rtfmt.Table.add_row t [ "wall ms"; Printf.sprintf "%.1f" wall_ms ];
   Rtfmt.Table.add_row t [ "req/s"; Printf.sprintf "%.0f" throughput ];
   Rtfmt.Table.add_row t [ "p50 ms"; Printf.sprintf "%.2f" p50 ];
@@ -1482,25 +1594,44 @@ let serve_throughput () =
   Rtfmt.Table.add_row t
     [ "admitted"; string_of_int (c Rtlb_obs.Tracer.Requests_admitted) ];
   Rtfmt.Table.add_row t
+    [ "coalesced"; string_of_int (c Rtlb_obs.Tracer.Coalesced_queries) ];
+  Rtfmt.Table.add_row t
     [ "cache hits"; string_of_int (c Rtlb_obs.Tracer.Cache_hits) ];
   Rtfmt.Table.add_row t
     [ "evictions"; string_of_int (c Rtlb_obs.Tracer.Evictions) ];
   Rtfmt.Table.print t;
-  if Atomic.get errors > 0 then begin
-    prerr_endline "e15: concurrent serve run produced error replies";
+  if errors > 0 then begin
+    prerr_endline "e15: multi-process serve run produced error replies";
     exit 1
   end;
+  let tenant_json =
+    List.init clients (fun cidx ->
+        let rows = per_tenant.(cidx) in
+        let ms = sorted_ms rows in
+        Rtfmt.Json.Obj
+          [
+            ("tenant", Rtfmt.Json.Str (Printf.sprintf "tenant-%d" cidx));
+            ("requests", Rtfmt.Json.Int (List.length rows));
+            ( "p50_ms",
+              Rtfmt.Json.Str (Printf.sprintf "%.3f" (percentile ms 50)) );
+            ( "p99_ms",
+              Rtfmt.Json.Str (Printf.sprintf "%.3f" (percentile ms 99)) );
+          ])
+  in
   let json =
     Rtfmt.Json.Obj
       [
         ("experiment", Rtfmt.Json.Str "e15-serve-throughput");
+        ("transport", Rtfmt.Json.Str "unix-socket, 8 forked tenant processes");
         ("clients", Rtfmt.Json.Int clients);
         ("requests", Rtfmt.Json.Int total);
+        ("burst", Rtfmt.Json.Int burst);
         ("workers", Rtfmt.Json.Int config.Server.workers);
         ("jobs", Rtfmt.Json.Int config.Server.jobs);
         ("throughput_rps", Rtfmt.Json.Str (Printf.sprintf "%.1f" throughput));
         ("p50_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" p50));
         ("p99_ms", Rtfmt.Json.Str (Printf.sprintf "%.3f" p99));
+        ("tenants", Rtfmt.Json.List tenant_json);
         ( "counters",
           Rtfmt.Json.Obj
             [
@@ -1508,6 +1639,10 @@ let serve_throughput () =
                 Rtfmt.Json.Int (c Rtlb_obs.Tracer.Requests_admitted) );
               ( "requests_rejected",
                 Rtfmt.Json.Int (c Rtlb_obs.Tracer.Requests_rejected) );
+              ( "coalesced_queries",
+                Rtfmt.Json.Int (c Rtlb_obs.Tracer.Coalesced_queries) );
+              ( "quota_rejections",
+                Rtfmt.Json.Int (c Rtlb_obs.Tracer.Quota_rejections) );
               ("evictions", Rtfmt.Json.Int (c Rtlb_obs.Tracer.Evictions));
               ( "degraded_replies",
                 Rtfmt.Json.Int (c Rtlb_obs.Tracer.Degraded_replies) );

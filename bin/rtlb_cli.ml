@@ -1102,6 +1102,24 @@ let serve_cmd =
     let doc = "Listen on a Unix-domain socket at $(docv) (JSON-lines)." in
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
   in
+  let tcp_arg =
+    let doc =
+      "Listen on TCP at $(docv) (HOST:PORT, e.g. 127.0.0.1:7350; port 0 \
+       binds an ephemeral port).  May be combined with $(b,--socket) to \
+       serve both transports at once."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let quota_arg =
+    let doc =
+      "Per-tenant token-bucket quota, $(docv) as RATE[:BURST] \
+       (requests/second, sustained; burst defaults to 2*RATE rounded up). \
+       Over-quota requests are rejected with $(b,S307 quota_exceeded) and \
+       a retry-after hint; requests without a \"tenant\" field share the \
+       anonymous bucket."
+    in
+    Arg.(value & opt (some string) None & info [ "quota" ] ~docv:"SPEC" ~doc)
+  in
   let stdio_arg =
     let doc =
       "Serve stdin/stdout instead of a socket (one request per line; \
@@ -1124,12 +1142,56 @@ let serve_cmd =
     let doc = "Worker threads answering requests concurrently." in
     Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
   in
-  let run socket stdio cache queue workers jobs =
-    match (socket, stdio) with
-    | None, false ->
-        `Error (true, "one of --socket PATH or --stdio is required")
-    | Some _, true -> `Error (true, "--socket and --stdio are exclusive")
-    | socket, _ ->
+  let parse_tcp spec =
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "--tcp %S: expected HOST:PORT" spec)
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 && host <> "" ->
+            Ok (Rtlb_serve.Server.Tcp (host, p))
+        | _ -> Error (Printf.sprintf "--tcp %S: expected HOST:PORT" spec))
+  in
+  let parse_quota spec =
+    let bad () =
+      Error
+        (Printf.sprintf
+           "--quota %S: expected RATE[:BURST] with RATE > 0, BURST >= 1" spec)
+    in
+    let rate_s, burst_s =
+      match String.index_opt spec ':' with
+      | None -> (spec, None)
+      | Some i ->
+          ( String.sub spec 0 i,
+            Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    in
+    match float_of_string_opt rate_s with
+    | Some rate when Float.is_finite rate && rate > 0.0 -> (
+        let burst =
+          match burst_s with
+          | None -> Some (Float.max 1.0 (Float.ceil (2.0 *. rate)))
+          | Some s -> (
+              match float_of_string_opt s with
+              | Some b when Float.is_finite b && b >= 1.0 -> Some b
+              | _ -> None)
+        in
+        match burst with
+        | Some burst ->
+            Ok (Rtlb_serve.Quota.create ~rate_per_s:rate ~burst ())
+        | None -> bad ())
+    | _ -> bad ()
+  in
+  let run socket tcp quota stdio cache queue workers jobs =
+    let tcp = Option.map parse_tcp tcp in
+    let quota = Option.map parse_quota quota in
+    match (socket, tcp, quota, stdio) with
+    | None, None, _, false ->
+        `Error (true, "one of --socket PATH, --tcp HOST:PORT or --stdio is required")
+    | (Some _, _, _, true | _, Some _, _, true) ->
+        `Error (true, "--stdio is exclusive with --socket and --tcp")
+    | _, Some (Error e), _, _ | _, _, Some (Error e), _ -> `Error (true, e)
+    | socket, tcp, quota, _ ->
         (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
          with Invalid_argument _ | Sys_error _ -> ());
         let stop = Atomic.make false in
@@ -1160,25 +1222,46 @@ let serve_cmd =
             workers = max 1 workers;
             jobs;
             tracer = Rtlb_obs.Tracer.make ();
+            quota =
+              (match quota with Some (Ok q) -> Some q | _ -> None);
           }
         in
         let server = Rtlb_serve.Server.create ~config () in
         let stop () = Atomic.get stop in
-        (match socket with
-        | Some path -> Rtlb_serve.Server.serve_socket server ~path ~stop
-        | None -> Rtlb_serve.Server.serve_stdio server ~stop);
+        let endpoints =
+          (match socket with
+          | Some path -> [ Rtlb_serve.Server.Unix_path path ]
+          | None -> [])
+          @ (match tcp with Some (Ok ep) -> [ ep ] | _ -> [])
+        in
+        (match endpoints with
+        | [] -> Rtlb_serve.Server.serve_stdio server ~stop
+        | endpoints ->
+            let on_ready addrs =
+              List.iter
+                (fun addr ->
+                  match addr with
+                  | Unix.ADDR_INET (host, port) ->
+                      Printf.eprintf "rtlb serve: listening on %s:%d\n%!"
+                        (Unix.string_of_inet_addr host)
+                        port
+                  | Unix.ADDR_UNIX path ->
+                      Printf.eprintf "rtlb serve: listening on %s\n%!" path)
+                addrs
+            in
+            Rtlb_serve.Server.serve server ~on_ready ~endpoints ~stop ());
         `Ok ()
   in
   let doc =
     "Run the long-lived bound-query daemon (JSON-lines over a Unix \
-     socket or stdio)."
+     socket, TCP, or stdio; optional per-tenant quotas)."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run $ socket_arg $ stdio_arg $ cache_arg $ queue_arg
-       $ workers_arg $ jobs_arg))
+        (const run $ socket_arg $ tcp_arg $ quota_arg $ stdio_arg $ cache_arg
+       $ queue_arg $ workers_arg $ jobs_arg))
 
 (* ---- dot -------------------------------------------------------- *)
 

@@ -15,8 +15,10 @@ type counter =
   | Requests_rejected
   | Evictions
   | Degraded_replies
+  | Coalesced_queries
+  | Quota_rejections
 
-let n_counters = 16
+let n_counters = 18
 
 let counter_index = function
   | Tasks_scanned -> 0
@@ -35,6 +37,8 @@ let counter_index = function
   | Requests_rejected -> 13
   | Evictions -> 14
   | Degraded_replies -> 15
+  | Coalesced_queries -> 16
+  | Quota_rejections -> 17
 
 let counter_name = function
   | Tasks_scanned -> "tasks_scanned"
@@ -53,13 +57,16 @@ let counter_name = function
   | Requests_rejected -> "requests_rejected"
   | Evictions -> "evictions"
   | Degraded_replies -> "degraded_replies"
+  | Coalesced_queries -> "coalesced_queries"
+  | Quota_rejections -> "quota_rejections"
 
 let all_counters =
   [
     Tasks_scanned; Candidate_intervals; Theta_evals; Chunks_claimed;
     Deadline_cancels; Cache_hits; Cone_tasks; Worker_errors; Retries;
     Worker_restarts; Checkpoints_written; Resumes; Requests_admitted;
-    Requests_rejected; Evictions; Degraded_replies;
+    Requests_rejected; Evictions; Degraded_replies; Coalesced_queries;
+    Quota_rejections;
   ]
 
 type event = {

@@ -62,7 +62,14 @@
       crash-isolation drops).
     - [Degraded_replies]: successful serve-daemon replies whose
       supervised execution was less than a clean full-parallel run
-      (retries exhausted into the degradation ladder). *)
+      (retries exhausted into the degradation ladder).
+    - [Coalesced_queries]: serve-daemon what-if queries that rode on
+      another compatible query's batch (same engine and application
+      text) instead of dequeuing separately — a batch of [n] bumps this
+      by [n - 1].
+    - [Quota_rejections]: serve-daemon frames refused with
+      [S307 quota_exceeded] because the requesting tenant's token
+      bucket was empty (also counted in [Requests_rejected]). *)
 type counter =
   | Tasks_scanned
   | Candidate_intervals
@@ -80,6 +87,8 @@ type counter =
   | Requests_rejected
   | Evictions
   | Degraded_replies
+  | Coalesced_queries
+  | Quota_rejections
 
 val counter_name : counter -> string
 (** Stable snake_case name, used by stats tables and JSON output. *)

@@ -22,6 +22,7 @@ type fault =
   | Bad_frame_at of { index : int }
   | Kill_request_at of { index : int }
   | Slow_client_at of { index : int; ms : int }
+  | Tenant_flood_at of { index : int; burst : int }
 
 type plan = { seed : int; faults : fault list }
 
@@ -35,6 +36,7 @@ let n_slow = Atomic.make 0
 let n_bad_frames = Atomic.make 0
 let n_request_kills = Atomic.make 0
 let n_client_delays = Atomic.make 0
+let n_tenant_floods = Atomic.make 0
 
 (* Server-side directives are keyed by request (or frame) sequence
    number, not pool work-item index; the serve layer and chaos-aware
@@ -44,6 +46,7 @@ let n_client_delays = Atomic.make 0
 let bad_frames : (int * int Atomic.t) list ref = ref []
 let request_kills : (int * int Atomic.t) list ref = ref []
 let client_delays : (int * int * int Atomic.t) list ref = ref []
+let tenant_floods : (int * int * int Atomic.t) list ref = ref []
 
 (* Claim one shot from a bounded budget; false once exhausted. *)
 let take budget =
@@ -64,9 +67,11 @@ let disarm () =
   Atomic.set n_bad_frames 0;
   Atomic.set n_request_kills 0;
   Atomic.set n_client_delays 0;
+  Atomic.set n_tenant_floods 0;
   bad_frames := [];
   request_kills := [];
   client_delays := [];
+  tenant_floods := [];
   Pool.For_testing.reset ()
 
 let arm plan =
@@ -89,6 +94,9 @@ let arm plan =
             None
         | Slow_client_at { index; ms } ->
             client_delays := (index, ms, Atomic.make 1) :: !client_delays;
+            None
+        | Tenant_flood_at { index; burst } ->
+            tenant_floods := (index, burst, Atomic.make 1) :: !tenant_floods;
             None
         | Raise_at { index; times } ->
             let budget = Atomic.make times in
@@ -127,6 +135,7 @@ let fired_slow () = Atomic.get n_slow
 let fired_bad_frames () = Atomic.get n_bad_frames
 let fired_request_kills () = Atomic.get n_request_kills
 let fired_client_delays () = Atomic.get n_client_delays
+let fired_tenant_floods () = Atomic.get n_tenant_floods
 
 (* ---- server-side hooks -------------------------------------------- *)
 
@@ -142,6 +151,13 @@ let client_delay_ms index =
   | Some (_, ms, budget) when take budget ->
       Atomic.incr n_client_delays;
       ms
+  | _ -> 0
+
+let tenant_flood_burst index =
+  match List.find_opt (fun (i, _, _) -> i = index) !tenant_floods with
+  | Some (_, burst, budget) when take budget ->
+      Atomic.incr n_tenant_floods;
+      burst
   | _ -> 0
 
 let on_request index =
@@ -217,6 +233,8 @@ let fault_to_string = function
   | Bad_frame_at { index } -> Printf.sprintf "badframe@%d" index
   | Kill_request_at { index } -> Printf.sprintf "killreq@%d" index
   | Slow_client_at { index; ms } -> Printf.sprintf "slowclient@%d:%d" index ms
+  | Tenant_flood_at { index; burst } ->
+      Printf.sprintf "tenantflood@%d:%d" index burst
 
 let to_string plan =
   match plan.faults with
@@ -313,6 +331,19 @@ let parse s =
                         Result.map
                           (fun ms -> `Fault (Slow_client_at { index; ms }))
                           (parse_int "slowclient ms" ms)))
+            | "tenantflood" -> (
+                match String.index_opt v ':' with
+                | None ->
+                    Result.map
+                      (fun index -> `Fault (Tenant_flood_at { index; burst = 8 }))
+                      (parse_int "tenantflood" v)
+                | Some j ->
+                    let idx = String.sub v 0 j
+                    and burst = String.sub v (j + 1) (String.length v - j - 1) in
+                    Result.bind (parse_int "tenantflood" idx) (fun index ->
+                        Result.map
+                          (fun burst -> `Fault (Tenant_flood_at { index; burst }))
+                          (parse_int "tenantflood burst" burst)))
             | _ -> Error (Printf.sprintf "unknown chaos token %S" tok)))
   in
   let tokens =

@@ -52,6 +52,11 @@ type fault =
       (** Server-side: a chaos-aware client stalls [ms] milliseconds
           mid-frame while sending its [index]-th request
           ({!client_delay_ms}) — a slow client, not a failure. *)
+  | Tenant_flood_at of { index : int; burst : int }
+      (** Server-side: a chaos-aware client fires [burst] extra
+          back-to-back requests under one tenant at frame [index]
+          ({!tenant_flood_burst}), once — with a quota armed, the
+          daemon must shed the excess with [S307], never crash. *)
 
 type plan = { seed : int; faults : fault list }
 
@@ -69,7 +74,7 @@ val parse : string -> (plan, string) result
 (** The [RTLB_CHAOS] mini-language: comma-separated
     [spawnfail=N | raise@I | raise@IxN | kill@I | slow@I | slow@I:S |
     killckpt@N | badframe@I | killreq@I | slowclient@I | slowclient@I:MS
-    | seed=N].  A lone [seed=N] expands via {!plan_of_seed}.  Integer
+    | tenantflood@I | tenantflood@I:N | seed=N].  A lone [seed=N] expands via {!plan_of_seed}.  Integer
     payloads are strictly decimal; any other spelling — including OCaml
     literal forms like [0x3] or [1_0] — is rejected with an error
     naming the offending token, never silently reinterpreted. *)
@@ -123,8 +128,14 @@ val client_delay_ms : int -> int
 (** The stall in milliseconds an armed [slowclient@i:MS] prescribes for
     frame [i] (once; [0] otherwise). *)
 
+val tenant_flood_burst : int -> int
+(** The number of extra same-tenant requests an armed [tenantflood@i:N]
+    prescribes at frame [i] (once; [0] otherwise). *)
+
 val fired_bad_frames : unit -> int
 
 val fired_request_kills : unit -> int
 
 val fired_client_delays : unit -> int
+
+val fired_tenant_floods : unit -> int

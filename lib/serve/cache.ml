@@ -33,6 +33,12 @@ let key ~engine system app =
   (match engine with `Record -> "record:" | `Soa -> "soa:")
   ^ Rtlb.Incremental.instance_fingerprint system app
 
+let mem t k =
+  Mutex.lock t.mutex;
+  let found = List.exists (fun e -> e.e_key = k) t.entries in
+  Mutex.unlock t.mutex;
+  found
+
 let checkout t k =
   Mutex.lock t.mutex;
   let found = ref None in

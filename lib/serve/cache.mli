@@ -23,6 +23,12 @@ val key : engine:[ `Record | `Soa ] -> Rtlb.System.t -> Rtlb.App.t -> string
 (** Cache key: engine tag + {!Rtlb.Incremental.instance_fingerprint} —
     the two engines never share handles. *)
 
+val mem : t -> string -> bool
+(** Is a handle for this key resident right now?  Advisory only — a
+    concurrent {!checkout} can win the race; used for warm/cold
+    priority classification, where a stale answer merely misfiles one
+    request. *)
+
 val checkout : t -> string -> Rtlb.Incremental.t option
 (** Remove and return the handle for a key, if resident. *)
 

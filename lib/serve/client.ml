@@ -1,0 +1,184 @@
+(* Minimal JSON-lines client for the bound-query daemon.
+
+   One connection, one thread: writes loop on short writes (the server
+   side of the same discipline lives in Server.locked_writer) and reads
+   go through Line_reader, so an oversized or torn reply is detected
+   rather than silently mangled.  Replies are matched to requests by
+   the echoed "id"; out-of-order arrivals (possible under pipelining
+   with priority admission) are stashed until their request asks. *)
+
+module Json = Rtfmt.Json
+
+type t = {
+  fd : Unix.file_descr;
+  lr : Line_reader.t;
+  mutable next_id : int;
+  mutable stash : string list;  (* out-of-order raw reply lines *)
+  mutable closed : bool;
+}
+
+let sleep_s s = ignore (Unix.select [] [] [] s)
+
+let connect_sockaddr ?(retry_for = 0.0) addr =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec go () =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      when Unix.gettimeofday () < deadline ->
+        (* the daemon may still be binding its listeners *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        sleep_s 0.005;
+        go ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let fd = go () in
+  (match addr with
+  | Unix.ADDR_INET _ -> (
+      try Unix.setsockopt fd Unix.TCP_NODELAY true
+      with Unix.Unix_error _ -> ())
+  | Unix.ADDR_UNIX _ -> ());
+  { fd; lr = Line_reader.create fd; next_id = 0; stash = []; closed = false }
+
+let connect_unix ?retry_for path =
+  connect_sockaddr ?retry_for (Unix.ADDR_UNIX path)
+
+let connect_tcp ?retry_for ~host ~port () =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | h when Array.length h.Unix.h_addr_list > 0 -> h.Unix.h_addr_list.(0)
+        | _ | (exception Not_found) ->
+            invalid_arg (Printf.sprintf "Client: cannot resolve host %S" host))
+  in
+  connect_sockaddr ?retry_for (Unix.ADDR_INET (addr, port))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all t s =
+  let payload = Bytes.of_string s in
+  let len = Bytes.length payload in
+  let rec push off =
+    if off < len then
+      match Unix.write t.fd payload off (len - off) with
+      | n -> push (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (match Unix.select [] [ t.fd ] [] 0.2 with
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          push off
+  in
+  push 0
+
+(* The daemon echoes the id as the reply's FIRST field and renders
+   compactly, so a reply for id X begins with exactly this prefix —
+   replies can be routed without parsing them (compare [Line_reader]'s
+   cap on the other side: both ends stay O(bytes) per frame). *)
+let id_prefix want = "{\"id\": " ^ Protocol.to_line want ^ ","
+
+let has_prefix ~prefix line =
+  String.length line >= String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+let take_stashed t ~prefix =
+  let rec go acc = function
+    | [] -> None
+    | line :: rest when has_prefix ~prefix line ->
+        t.stash <- List.rev_append acc rest;
+        Some line
+    | line :: rest -> go (line :: acc) rest
+  in
+  go [] t.stash
+
+let rec recv_line t ~prefix =
+  match take_stashed t ~prefix with
+  | Some line -> Ok line
+  | None -> (
+      match Line_reader.read t.lr ~stop:(fun () -> t.closed) with
+      | Line_reader.Eof -> Error "connection closed by server"
+      | Line_reader.Overflow -> Error "oversized reply frame"
+      | Line_reader.Line line ->
+          if has_prefix ~prefix line then Ok line
+          else begin
+            t.stash <- line :: t.stash;
+            recv_line t ~prefix
+          end)
+
+let recv_raw t want = recv_line t ~prefix:(id_prefix want)
+
+let recv t want =
+  match recv_raw t want with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Json.parse line with
+      | reply -> Ok reply
+      | exception Json.Parse_error m ->
+          Error ("unparseable reply frame: " ^ m))
+
+(* Ensure the frame carries an id we can match the reply by; generate a
+   fresh one when the caller did not pick their own. *)
+let with_id t frame =
+  match frame with
+  | Json.Obj fields -> (
+      match List.assoc_opt "id" fields with
+      | Some id -> Ok (id, frame)
+      | None ->
+          let id = Json.Int t.next_id in
+          t.next_id <- t.next_id + 1;
+          Ok (id, Json.Obj (("id", id) :: fields)))
+  | _ -> Error "request frame must be a JSON object"
+
+let send t frame =
+  match with_id t frame with
+  | Error _ as e -> e
+  | Ok (id, frame) -> (
+      match write_all t (Protocol.to_line frame ^ "\n") with
+      | () -> Ok id
+      | exception Unix.Unix_error (e, _, _) ->
+          Error ("send failed: " ^ Unix.error_message e))
+
+let call t frame =
+  match send t frame with Error _ as e -> e | Ok id -> recv t id
+
+let send_batch t frames =
+  (* one write for the whole burst: the daemon's reader drains it in a
+     few large chunks instead of one wakeup per frame *)
+  let ids = List.map (with_id t) frames in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (function
+      | Error _ -> ()
+      | Ok (_, frame) ->
+          Buffer.add_string buf (Protocol.to_line frame);
+          Buffer.add_char buf '\n')
+    ids;
+  match
+    if Buffer.length buf > 0 then write_all t (Buffer.contents buf) else ()
+  with
+  | () -> List.map (Result.map fst) ids
+  | exception Unix.Unix_error (e, _, _) ->
+      let msg = "send failed: " ^ Unix.error_message e in
+      List.map (fun _ -> Error msg) ids
+
+let pipeline t frames =
+  (* Write every frame before reading any reply: queued together, the
+     daemon can classify and coalesce them as one burst. *)
+  let ids = List.map (send t) frames in
+  List.map (function Error _ as e -> e | Ok id -> recv t id) ids
+
+let ping t =
+  match call t (Json.Obj [ ("op", Json.Str "ping") ]) with
+  | Ok (Json.Obj fields) -> List.assoc_opt "ok" fields = Some (Json.Bool true)
+  | _ -> false

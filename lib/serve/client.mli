@@ -1,0 +1,61 @@
+(** Minimal JSON-lines client for the bound-query daemon ({!Server}).
+
+    Single-threaded per connection: one {!call} writes a frame (looping
+    on short writes) and blocks until the reply whose echoed ["id"]
+    matches arrives; {!pipeline} writes a whole burst first so the
+    daemon can classify and coalesce it, then collects the replies,
+    tolerating out-of-order arrival (priority admission may answer a
+    later request first).  Used by the multi-process bench load
+    generator (bench e15) and the serve tests. *)
+
+type t
+
+val connect_unix : ?retry_for:float -> string -> t
+(** Connect to a Unix-domain socket.  [retry_for] (seconds, default 0)
+    keeps retrying [ECONNREFUSED]/[ENOENT] — for clients racing the
+    daemon's startup.
+    @raise Unix.Unix_error when the connection (still) fails. *)
+
+val connect_tcp : ?retry_for:float -> host:string -> port:int -> unit -> t
+(** @raise Invalid_argument on an unresolvable host. *)
+
+val connect_sockaddr : ?retry_for:float -> Unix.sockaddr -> t
+(** Connect to an address as reported by {!Server.serve}'s [on_ready]
+    (ephemeral TCP ports resolved). *)
+
+val close : t -> unit
+
+val call : t -> Rtfmt.Json.t -> (Rtfmt.Json.t, string) result
+(** Send one request object and wait for its reply.  A missing ["id"]
+    field is filled in with a fresh integer.  [Error] means transport
+    failure (connection closed, oversized or unparseable reply) —
+    daemon-level failures are [Ok] replies with ["ok": false]. *)
+
+val pipeline : t -> Rtfmt.Json.t list -> (Rtfmt.Json.t, string) result list
+(** Send every frame before reading any reply; result order matches
+    request order even when replies arrive out of order. *)
+
+val send : t -> Rtfmt.Json.t -> (Rtfmt.Json.t, string) result
+(** Write one frame without waiting; [Ok id] is the handle for
+    {!recv}.  The building block for hand-rolled pipelining (the bench
+    load generator times each reply individually). *)
+
+val send_batch : t -> Rtfmt.Json.t list -> (Rtfmt.Json.t, string) result list
+(** Like many {!send}s but rendered into a single write, so the whole
+    burst reaches the daemon's admission queue in one read — what
+    gives its coalescer and priority classifier a full batch to work
+    with.  Returns one id (or error) per frame, in order. *)
+
+val recv : t -> Rtfmt.Json.t -> (Rtfmt.Json.t, string) result
+(** Wait for the reply whose ["id"] equals the given one; replies for
+    other outstanding ids arriving first are stashed (unparsed) for
+    their own {!recv}. *)
+
+val recv_raw : t -> Rtfmt.Json.t -> (string, string) result
+(** {!recv} without the JSON parse: the raw single-line reply.  Routing
+    relies on the daemon echoing the id as the first field of a
+    compactly rendered reply, so matching is a string-prefix check —
+    the zero-copy path for throughput-sensitive consumers. *)
+
+val ping : t -> bool
+(** [true] iff the daemon answers the [ping] op with ["ok": true]. *)

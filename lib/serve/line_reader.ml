@@ -1,0 +1,83 @@
+(* Incremental line reader over a raw fd, so accept/stdio loops can
+   poll a stop flag between reads without losing buffered bytes (mixing
+   select(2) with OCaml's buffered channels would).
+
+   The frame-size cap is enforced on the *buffered* bytes, not only on
+   extracted lines: a client streaming an endless frame with no '\n'
+   used to grow the buffer without bound until the heap gave out.  Now,
+   as soon as the pending (newline-free) bytes exceed [max_bytes], the
+   reader reports [Overflow] and stops consuming — the caller replies
+   S300 and drops the connection.  Buffered memory is bounded by
+   [max_bytes] plus one read chunk. *)
+
+let chunk_bytes = 65536
+
+type t = {
+  fd : Unix.file_descr;
+  max_bytes : int;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+  mutable overflowed : bool;
+}
+
+type event = Line of string | Eof | Overflow
+
+let create ?max_bytes fd =
+  let max_bytes =
+    match max_bytes with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Line_reader.create: max_bytes must be positive"
+    | None -> 8 * 1024 * 1024
+  in
+  {
+    fd;
+    max_bytes;
+    buf = Buffer.create 4096;
+    chunk = Bytes.create chunk_bytes;
+    eof = false;
+    overflowed = false;
+  }
+
+let buffered t = Buffer.length t.buf
+
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  | None ->
+      if t.eof && s <> "" then (
+        Buffer.clear t.buf;
+        Some s)
+      else None
+
+let rec read t ~stop =
+  if t.overflowed then Overflow
+  else
+    match take_line t with
+    | Some line -> Line line
+    | None ->
+        (* No complete line buffered: everything pending belongs to one
+           unterminated frame.  Past the cap it can only be rejected, so
+           stop accumulating now. *)
+        if Buffer.length t.buf > t.max_bytes then begin
+          t.overflowed <- true;
+          Buffer.clear t.buf;
+          Overflow
+        end
+        else if t.eof || stop () then Eof
+        else begin
+          (match Unix.select [ t.fd ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+              | 0 -> t.eof <- true
+              | n -> Buffer.add_subbytes t.buf t.chunk 0 n
+              | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+                  ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          read t ~stop
+        end

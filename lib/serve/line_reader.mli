@@ -1,0 +1,34 @@
+(** Incremental, select-friendly line reader over a raw file
+    descriptor, with the daemon's frame-size cap enforced on {e
+    buffered} bytes.
+
+    The serve front ends read request frames through this so they can
+    poll a stop flag between chunks; {!Client} reads replies through it
+    too.  A peer that streams more than [max_bytes] without a newline
+    is reported as {!Overflow} after buffering at most
+    [max_bytes + 64 KiB] — it can never balloon the daemon's heap
+    (the regression that motivated this module: the cap used to be
+    checked only after a complete line was extracted). *)
+
+type t
+
+type event =
+  | Line of string  (** One frame, newline stripped. *)
+  | Eof  (** Peer closed (or the stop flag turned true). *)
+  | Overflow
+      (** More than [max_bytes] buffered with no newline.  The reader
+          is poisoned: every later {!read} returns [Overflow] and the
+          buffer has been released — reply [S300] and drop the
+          connection. *)
+
+val create : ?max_bytes:int -> Unix.file_descr -> t
+(** [max_bytes] defaults to the daemon's 8 MiB frame cap.
+    @raise Invalid_argument when [max_bytes <= 0]. *)
+
+val read : t -> stop:(unit -> bool) -> event
+(** Blocks (polling [stop] at least every 200 ms) until a full line,
+    EOF, or overflow. *)
+
+val buffered : t -> int
+(** Bytes currently buffered — bounded by [max_bytes] + one 64 KiB read
+    chunk; the flood regression asserts this while streaming. *)

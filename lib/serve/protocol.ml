@@ -35,6 +35,7 @@ type code =
   | Deadline_expired
   | Internal
   | Draining
+  | Quota_exceeded
 
 let code_id = function
   | Bad_frame -> "S300"
@@ -44,6 +45,7 @@ let code_id = function
   | Deadline_expired -> "S304"
   | Internal -> "S305"
   | Draining -> "S306"
+  | Quota_exceeded -> "S307"
 
 let code_name = function
   | Bad_frame -> "bad_frame"
@@ -53,8 +55,13 @@ let code_name = function
   | Deadline_expired -> "deadline_expired"
   | Internal -> "internal"
   | Draining -> "draining"
+  | Quota_exceeded -> "quota_exceeded"
 
 exception Reject of code * string
+
+type priority = High | Low
+
+let priority_name = function High -> "high" | Low -> "low"
 
 type request = {
   id : Json.t;  (** Echoed verbatim in the reply; [Null] when absent. *)
@@ -62,6 +69,8 @@ type request = {
   app : string;  (** Application file text (the {!Rtfmt.Appfile} format). *)
   engine : [ `Record | `Soa ];
   deadline_ms : int option;
+  tenant : string option;  (** Quota key; anonymous when absent. *)
+  priority : priority option;  (** [None]: the server decides. *)
   edits : Rtlb.Incremental.edit list;  (** [whatif] only. *)
   factors : float list;  (** [sensitivity] only. *)
 }
@@ -133,8 +142,8 @@ let request_of_json j =
     List.iter
       (fun (k, _) ->
         match k with
-        | "id" | "op" | "app" | "engine" | "deadline_ms" | "edits" | "factors"
-          ->
+        | "id" | "op" | "app" | "engine" | "deadline_ms" | "tenant"
+        | "priority" | "edits" | "factors" ->
             ()
         | other -> fail "unknown request field %S" other)
       fields;
@@ -170,6 +179,22 @@ let request_of_json j =
       | Some _ -> fail "\"deadline_ms\" must be a non-negative integer"
       | None -> None
     in
+    let tenant =
+      match List.assoc_opt "tenant" fields with
+      | Some (Json.Str "") -> fail "\"tenant\" must not be empty"
+      | Some (Json.Str name) -> Some name
+      | Some _ -> fail "\"tenant\" must be a string"
+      | None -> None
+    in
+    let priority =
+      match List.assoc_opt "priority" fields with
+      | Some (Json.Str "high") -> Some High
+      | Some (Json.Str "low") -> Some Low
+      | Some (Json.Str other) ->
+          fail "unknown priority %S (expected \"high\" or \"low\")" other
+      | Some _ -> fail "\"priority\" must be a string"
+      | None -> None
+    in
     let edits =
       match (op, List.assoc_opt "edits" fields) with
       | Whatif, Some (Json.List l) when l <> [] ->
@@ -190,7 +215,7 @@ let request_of_json j =
       | _, Some _ -> fail "op %S takes no \"factors\"" (op_name op)
       | _, None -> []
     in
-    Ok { id; op; app; engine; deadline_ms; edits; factors }
+    Ok { id; op; app; engine; deadline_ms; tenant; priority; edits; factors }
   with Reject (_, msg) -> Error msg
 
 (* ---- replies ----------------------------------------------------- *)

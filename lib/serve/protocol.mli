@@ -31,7 +31,9 @@ val op_of_name : string -> op option
     [retry_after_ms]), [S304] deadline_expired (reserved — an expired
     [deadline_ms] budget returns a partial {e result}, not an error),
     [S305] internal (request crashed even after supervised retries),
-    [S306] draining (daemon is shutting down). *)
+    [S306] draining (daemon is shutting down), [S307] quota_exceeded
+    (the tenant's token bucket is empty; reply carries
+    [retry_after_ms]). *)
 type code =
   | Bad_frame
   | Bad_request
@@ -40,15 +42,25 @@ type code =
   | Deadline_expired
   | Internal
   | Draining
+  | Quota_exceeded
 
 val code_id : code -> string
-(** ["S300"] .. ["S306"]. *)
+(** ["S300"] .. ["S307"]. *)
 
 val code_name : code -> string
 
 exception Reject of code * string
 (** Raised by request executors to fail with a specific code; never
     escapes {!Server} (it becomes the structured error reply). *)
+
+(** Two-level admission priority.  Explicit ["priority"] wins; without
+    it the server classifies: [check] requests and requests whose
+    instance is already warm in the handle cache go [High], cold
+    analyses go [Low] — so cheap warm-cache queries are never stuck
+    behind a cold million-task analysis. *)
+type priority = High | Low
+
+val priority_name : priority -> string
 
 type request = {
   id : Rtfmt.Json.t;  (** Echoed verbatim in the reply; [Null] when absent. *)
@@ -58,6 +70,10 @@ type request = {
   deadline_ms : int option;
       (** Per-request budget, measured from admission; an expired budget
           yields a reply flagged [partial], never an empty one. *)
+  tenant : string option;
+      (** Token-bucket quota key; requests without it share the
+          anonymous bucket (when a quota is configured at all). *)
+  priority : priority option;
   edits : Rtlb.Incremental.edit list;  (** [whatif] only. *)
   factors : float list;  (** [sensitivity] only. *)
 }

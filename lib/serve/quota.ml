@@ -1,0 +1,92 @@
+(* Per-tenant token-bucket quotas for the serve daemon.
+
+   One bucket per tenant key (the optional "tenant" request field;
+   anonymous requests share the "" bucket).  Buckets are lazily
+   created full and refill continuously at [rate_per_s], capped at
+   [burst]; each admitted frame spends one token.  An empty bucket
+   rejects with a retry hint: the time until one whole token has
+   dripped back, clamped to [1, max_retry_ms] so the hint can never be
+   zero, negative, or absurd (the same clamp discipline as the
+   admission queue's S303 hint).
+
+   Time is injectable ([?now], nanoseconds, monotonic) so the
+   exhaustion/refill schedule is testable against a fake clock. *)
+
+type bucket = { mutable tokens : float; mutable last_ns : int64 }
+
+type t = {
+  rate_per_s : float;
+  burst : float;
+  now : unit -> int64;
+  mutex : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+type verdict = Admit | Reject of { retry_after_ms : int }
+
+let max_retry_ms = 60_000
+
+let create ?now ~rate_per_s ~burst () =
+  if not (Float.is_finite rate_per_s && rate_per_s > 0.0) then
+    invalid_arg "Quota.create: rate_per_s must be a positive finite number";
+  if not (Float.is_finite burst && burst >= 1.0) then
+    invalid_arg "Quota.create: burst must be at least 1";
+  let now =
+    match now with
+    | Some f -> f
+    | None -> fun () -> Rtlb_obs.Clock.now_ns Rtlb_obs.Clock.monotonic
+  in
+  {
+    rate_per_s;
+    burst;
+    now;
+    mutex = Mutex.create ();
+    buckets = Hashtbl.create 16;
+  }
+
+let rate_per_s t = t.rate_per_s
+let burst t = t.burst
+
+let clamp_retry_ms ms =
+  if ms < 1 then 1 else if ms > max_retry_ms then max_retry_ms else ms
+
+let refill t bucket now_ns =
+  let dt_ns = Int64.sub now_ns bucket.last_ns in
+  (* A fake clock can hand the same (or, across threads, an earlier)
+     timestamp to two observations; never drain tokens on a negative
+     interval. *)
+  if Int64.compare dt_ns 0L > 0 then begin
+    let dt_s = Int64.to_float dt_ns /. 1e9 in
+    bucket.tokens <- Float.min t.burst (bucket.tokens +. (dt_s *. t.rate_per_s))
+  end;
+  bucket.last_ns <- Int64.max bucket.last_ns now_ns
+
+let take t tenant =
+  Mutex.lock t.mutex;
+  let bucket =
+    match Hashtbl.find_opt t.buckets tenant with
+    | Some b -> b
+    | None ->
+        let b = { tokens = t.burst; last_ns = t.now () } in
+        Hashtbl.add t.buckets tenant b;
+        b
+  in
+  refill t bucket (t.now ());
+  let verdict =
+    if bucket.tokens >= 1.0 then begin
+      bucket.tokens <- bucket.tokens -. 1.0;
+      Admit
+    end
+    else
+      let deficit = 1.0 -. bucket.tokens in
+      let wait_ms = Float.ceil (deficit /. t.rate_per_s *. 1e3) in
+      Reject { retry_after_ms = clamp_retry_ms (int_of_float wait_ms) }
+  in
+  Mutex.unlock t.mutex;
+  verdict
+
+let tenants t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.buckets in
+  Mutex.unlock t.mutex;
+  n

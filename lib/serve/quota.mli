@@ -1,0 +1,40 @@
+(** Per-tenant token-bucket quotas for {!Server}.
+
+    Each tenant key (the optional ["tenant"] request field; anonymous
+    requests share one bucket) gets a bucket created full at [burst]
+    tokens, refilled continuously at [rate_per_s] and capped at
+    [burst].  Every metered frame spends one token; an empty bucket is
+    a {!Reject} carrying the milliseconds until a whole token has
+    dripped back — clamped to [\[1, 60_000\]], so the hint is never
+    zero or negative even when the bucket is about to refill.
+
+    Thread-safety: one mutex over the bucket table; admission threads
+    of every connection share the instance. *)
+
+type t
+
+type verdict =
+  | Admit
+  | Reject of { retry_after_ms : int }
+      (** Becomes the [S307 quota_exceeded] reply. *)
+
+val create :
+  ?now:(unit -> int64) -> rate_per_s:float -> burst:float -> unit -> t
+(** [now] (nanoseconds, monotonic) defaults to the real monotonic
+    clock; tests inject a fake to pin the exhaustion/refill schedule.
+    Negative clock intervals (possible across threads of a fake clock)
+    never drain tokens.
+    @raise Invalid_argument when [rate_per_s <= 0] or [burst < 1]. *)
+
+val take : t -> string -> verdict
+(** Spend one token from [tenant]'s bucket (lazily created full). *)
+
+val rate_per_s : t -> float
+
+val burst : t -> float
+
+val tenants : t -> int
+(** Buckets currently tracked. *)
+
+val max_retry_ms : int
+(** Upper clamp on the retry hint (60 s). *)

@@ -1,11 +1,16 @@
-(* The bound-query daemon: admission control, worker threads, warm
+(* The bound-query daemon: admission control, per-tenant quotas,
+   two-level priority queues, what-if coalescing, worker threads, warm
    handle cache, supervised execution, graceful drain.
 
    Life of a request (docs/ROBUSTNESS.md, "The serve daemon"):
 
      frame -> parse (S300/S301, inline)
-           -> admission (draining -> S306; queue full -> S303+retry hint)
-           -> worker thread: prepare (app parse; S302)
+           -> quota (tenant bucket empty -> S307 + retry_after_ms)
+           -> admission (draining -> S306; queue full -> S303+retry
+              hint; warm/cheap -> high queue, cold -> low queue)
+           -> worker thread: compatible queued what-ifs are batched
+              onto one pass over the shared warm handle (coalescing);
+              prepare (app parse; S302)
            -> Supervisor.supervise over the request body (retry with
               backoff; worker death heals through the full -> reduced ->
               sequential ladder; survivors are bit-identical answers,
@@ -16,13 +21,22 @@
    structured error reply on its own connection — it never unwinds a
    worker thread (run_job catches everything) and never leaves a
    half-mutated handle in the cache (checkout/checkin discipline,
-   lib/serve/cache.ml). *)
+   lib/serve/cache.ml).  Coalesced jobs keep exactly the solo execution
+   path (same checkout/checkin, same supervision) — they only share the
+   parsed application and run back-to-back on one worker, so their
+   replies are byte-identical to sequential one-shot execution. *)
 
 module Json = Rtfmt.Json
 module Tracer = Rtlb_obs.Tracer
 module Pool = Rtlb_par.Pool
 module Supervisor = Rtlb_par.Supervisor
 module Chaos = Rtlb_par.Chaos
+
+(* A frame larger than this is rejected as S300 before parsing — a
+   runaway client must not balloon the daemon's heap.  Enforced both on
+   complete lines (submit) and on buffered newline-free bytes
+   (Line_reader). *)
+let max_frame_bytes = 8 * 1024 * 1024
 
 type config = {
   cache_capacity : int;
@@ -31,6 +45,9 @@ type config = {
   jobs : int;
   policy : Supervisor.policy;
   tracer : Tracer.t;
+  quota : Quota.t option;
+  coalesce : bool;
+  max_frame_bytes : int;
 }
 
 let default_config =
@@ -41,29 +58,48 @@ let default_config =
     jobs = 2;
     policy = Supervisor.default_policy;
     tracer = Tracer.null;
+    quota = None;
+    coalesce = true;
+    max_frame_bytes;
   }
-
-(* A frame larger than this is rejected as S300 before parsing — a
-   runaway client must not balloon the daemon's heap. *)
-let max_frame_bytes = 8 * 1024 * 1024
 
 type job = {
   j_req : Protocol.request;
   j_deadline_ns : int64 option;  (* absolute; fixed at admission *)
   j_seq : int;  (* admitted-request sequence number (chaos replay key) *)
+  j_digest : string;  (* engine + app text digest (coalescing/warmth key) *)
+  j_high : bool;  (* which queue admitted it (stats bookkeeping) *)
+  mutable j_taken : bool;
+      (* claimed into an earlier batch; still physically queued (a
+         tombstone — pops skip it), so extraction never rebuilds the
+         queues: O(1) amortized however deep the pipeline *)
   j_reply : string -> unit;
 }
 
 type t = {
   cfg : config;
   cache : Cache.t;
-  queue : job Queue.t;
+  q_high : job Queue.t;
+  q_low : job Queue.t;
+  by_key : (string, job list ref) Hashtbl.t;
+      (* op+digest -> queued jobs (reverse push order), the coalescing
+         index; entries leave wholesale when a batch claims the key *)
+  mutable n_high : int;  (* live (untaken) jobs per queue *)
+  mutable n_low : int;
   mutex : Mutex.t;
   cond : Condition.t;
+  warm : (string, unit) Hashtbl.t;
+      (* digests whose handle was warm at least once — the cheap
+         admission-side stand-in for a fingerprint cache probe *)
   mutable draining : bool;
   mutable seq : int;
   mutable threads : Thread.t list;
 }
+
+let job_digest (req : Protocol.request) =
+  Digest.string
+    ((match req.Protocol.engine with `Record -> "record\x00" | `Soa -> "soa\x00")
+    ^ req.Protocol.app)
 
 (* ---- request execution (worker side) ----------------------------- *)
 
@@ -180,11 +216,22 @@ let exec_prepared t ?pool job prepared =
             ]
       | Protocol.Check | Protocol.Ping | Protocol.Stats -> assert false)
 
-let run_job t ?pool job =
+(* Bounded memory of instances that were warm at least once — stale
+   entries merely misfile one request into the high queue. *)
+let mark_warm t digest =
+  Mutex.lock t.mutex;
+  if Hashtbl.length t.warm > 4096 then Hashtbl.reset t.warm;
+  Hashtbl.replace t.warm digest ();
+  Mutex.unlock t.mutex
+
+let run_job t ?pool ?prepared job =
   let id = job.j_req.Protocol.id in
   let reply json = job.j_reply (Protocol.to_line json) in
   let outcome_reply () =
-    match prepare job.j_req with
+    let prepared =
+      match prepared with Some p -> p | None -> prepare job.j_req
+    in
+    match prepared with
     | Error (code, msg) -> Protocol.error_reply ~id code msg
     | Ok prepared -> (
         (* The supervised body returns request-level faults as values so
@@ -207,6 +254,9 @@ let run_job t ?pool job =
               || outcome.Supervisor.o_level <> Supervisor.Full
             in
             if degraded then Tracer.add t.cfg.tracer Tracer.Degraded_replies 1;
+            (match job.j_req.Protocol.op with
+            | Protocol.Analyze | Protocol.Whatif -> mark_warm t job.j_digest
+            | _ -> ());
             Protocol.ok_reply ~id ~op:job.j_req.Protocol.op ~degraded result
         | Some (Error (code, msg)) -> Protocol.error_reply ~id code msg
         | None ->
@@ -228,23 +278,88 @@ let run_job t ?pool job =
   try reply json
   with _ -> () (* client hung up; the reply has nowhere to go *)
 
+(* A coalesced batch shares one parse of the common application text;
+   each job then runs the unchanged solo path (own supervision, own
+   checkout/checkin), back-to-back on this worker — so the second and
+   later jobs find the handle the first one warmed instead of racing
+   other workers into redundant cold builds, and every reply is
+   byte-identical to sequential one-shot execution. *)
+let run_batch t ?pool = function
+  | [] -> ()
+  | [ job ] -> run_job t ?pool job
+  | first :: _ as jobs ->
+      Tracer.add t.cfg.tracer Tracer.Coalesced_queries (List.length jobs - 1);
+      let prepared = prepare first.j_req in
+      List.iter (fun job -> run_job t ?pool ~prepared job) jobs
+
 (* ---- worker threads ---------------------------------------------- *)
+
+let coalescible op =
+  match op with
+  | Protocol.Whatif | Protocol.Analyze -> true
+  | Protocol.Sensitivity | Protocol.Check | Protocol.Ping | Protocol.Stats ->
+      false
+
+let batch_key (req : Protocol.request) digest =
+  Protocol.op_name req.Protocol.op ^ ":" ^ digest
+
+let note_taken t job =
+  if job.j_high then t.n_high <- t.n_high - 1 else t.n_low <- t.n_low - 1
+
+(* Callers hold [t.mutex].  High-priority first; a dequeued what-if (or
+   analyze) pulls every compatible (same op, same engine+text digest)
+   queued request into its batch, from both queues, via the [by_key]
+   index — mates become tombstones where they sit. *)
+let pop_batch t =
+  let rec pop_skip q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some j when j.j_taken -> pop_skip q
+    | Some j -> Some j
+  in
+  let job =
+    match pop_skip t.q_high with Some j -> Some j | None -> pop_skip t.q_low
+  in
+  match job with
+  | None -> None
+  | Some job ->
+      job.j_taken <- true;
+      note_taken t job;
+      let key = batch_key job.j_req job.j_digest in
+      let mates =
+        match Hashtbl.find_opt t.by_key key with
+        | None -> []
+        | Some l ->
+            Hashtbl.remove t.by_key key;
+            let mates =
+              List.rev (List.filter (fun j -> not j.j_taken) !l)
+            in
+            List.iter
+              (fun j ->
+                j.j_taken <- true;
+                note_taken t j)
+              mates;
+            mates
+      in
+      Some (job :: mates)
 
 let rec worker_loop t ?pool () =
   Mutex.lock t.mutex;
   let rec next () =
-    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
-    else if t.draining then None
-    else (
-      Condition.wait t.cond t.mutex;
-      next ())
+    match pop_batch t with
+    | Some batch -> Some batch
+    | None ->
+        if t.draining then None
+        else (
+          Condition.wait t.cond t.mutex;
+          next ())
   in
-  let job = next () in
+  let batch = next () in
   Mutex.unlock t.mutex;
-  match job with
+  match batch with
   | None -> ()
-  | Some job ->
-      run_job t ?pool job;
+  | Some batch ->
+      run_batch t ?pool batch;
       worker_loop t ?pool ()
 
 let worker t () =
@@ -258,21 +373,41 @@ let create ?(config = default_config) () =
       cfg = config;
       cache =
         Cache.create ~tracer:config.tracer ~capacity:config.cache_capacity ();
-      queue = Queue.create ();
+      q_high = Queue.create ();
+      q_low = Queue.create ();
+      by_key = Hashtbl.create 64;
+      n_high = 0;
+      n_low = 0;
       mutex = Mutex.create ();
       cond = Condition.create ();
+      warm = Hashtbl.create 64;
       draining = false;
       seq = 0;
       threads = [];
     }
   in
   t.threads <-
-    List.init (max 1 config.workers) (fun _ -> Thread.create (worker t) ());
+    List.init (max 0 config.workers) (fun _ -> Thread.create (worker t) ());
   t
 
 let cache t = t.cache
 
+let run_pending t =
+  let rec go () =
+    Mutex.lock t.mutex;
+    let batch = pop_batch t in
+    Mutex.unlock t.mutex;
+    match batch with
+    | None -> ()
+    | Some batch ->
+        run_batch t batch;
+        go ()
+  in
+  go ()
+
 (* ---- admission (connection side) --------------------------------- *)
+
+let queue_depth t = t.n_high + t.n_low
 
 let stats_snapshot t =
   Json.Obj
@@ -282,13 +417,25 @@ let stats_snapshot t =
        Tracer.all_counters
     @ [
         ("cache_entries", Json.Int (Cache.length t.cache));
-        ("queue_depth", Json.Int (Queue.length t.queue));
+        ("queue_depth", Json.Int (queue_depth t));
+        ("queue_high", Json.Int t.n_high);
+        ("queue_low", Json.Int t.n_low);
+        ( "quota_tenants",
+          match t.cfg.quota with
+          | Some q -> Json.Int (Quota.tenants q)
+          | None -> Json.Null );
         ("draining", Json.Bool t.draining);
       ])
 
 (* Hint for S303: clients should back off for roughly the time the
-   standing queue needs to drain one slot per worker. *)
-let retry_hint t = 25 * (1 + (t.cfg.queue_capacity / max 1 t.cfg.workers))
+   standing (not the worst-case) queue needs to drain one slot per
+   worker.  Clamped so a drained queue still hints at least 1 ms and a
+   pathological configuration never hints more than 30 s. *)
+let retry_hint_ms ~workers ~depth =
+  let ms = 25 * (1 + (max 0 depth / max 1 workers)) in
+  if ms < 1 then 1 else if ms > 30_000 then 30_000 else ms
+
+let retry_hint t = retry_hint_ms ~workers:t.cfg.workers ~depth:(queue_depth t)
 
 let submit t line reply_line =
   let tracer = t.cfg.tracer in
@@ -296,9 +443,9 @@ let submit t line reply_line =
     Tracer.add tracer Tracer.Requests_rejected 1;
     reply_line (Protocol.to_line (Protocol.error_reply ~id code ?retry_after_ms msg))
   in
-  if String.length line > max_frame_bytes then
+  if String.length line > t.cfg.max_frame_bytes then
     reject ~id:Json.Null Protocol.Bad_frame
-      (Printf.sprintf "frame exceeds %d bytes" max_frame_bytes)
+      (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame_bytes)
   else
     match Json.parse line with
     | exception Json.Parse_error m ->
@@ -324,33 +471,81 @@ let submit t line reply_line =
                   (Protocol.to_line
                      (Protocol.ok_reply ~id ~op:Protocol.Stats
                         (stats_snapshot t)))
-            | _ ->
-                let j_deadline_ns =
-                  Option.map
-                    (fun ms ->
-                      Int64.add (Pool.now_ns ())
-                        (Int64.mul (Int64.of_int ms) 1_000_000L))
-                    req.Protocol.deadline_ms
-                in
-                Mutex.lock t.mutex;
-                if t.draining then (
-                  Mutex.unlock t.mutex;
-                  reject ~id Protocol.Draining
-                    "daemon is draining; retry against a fresh instance")
-                else if Queue.length t.queue >= t.cfg.queue_capacity then (
-                  Mutex.unlock t.mutex;
-                  reject ~id Protocol.Overloaded
-                    ~retry_after_ms:(retry_hint t) "request queue is full")
-                else begin
-                  let j_seq = t.seq in
-                  t.seq <- j_seq + 1;
-                  Queue.push
-                    { j_req = req; j_deadline_ns; j_seq; j_reply = reply_line }
-                    t.queue;
-                  Tracer.add tracer Tracer.Requests_admitted 1;
-                  Condition.signal t.cond;
-                  Mutex.unlock t.mutex
-                end))
+            | _ -> (
+                let tenant = Option.value ~default:"" req.Protocol.tenant in
+                match
+                  match t.cfg.quota with
+                  | None -> Quota.Admit
+                  | Some q -> Quota.take q tenant
+                with
+                | Quota.Reject { retry_after_ms } ->
+                    Tracer.add tracer Tracer.Quota_rejections 1;
+                    reject ~id Protocol.Quota_exceeded ~retry_after_ms
+                      (if tenant = "" then "anonymous tenant is over quota"
+                       else Printf.sprintf "tenant %S is over quota" tenant)
+                | Quota.Admit ->
+                    let j_deadline_ns =
+                      Option.map
+                        (fun ms ->
+                          Int64.add (Pool.now_ns ())
+                            (Int64.mul (Int64.of_int ms) 1_000_000L))
+                        req.Protocol.deadline_ms
+                    in
+                    let j_digest = job_digest req in
+                    Mutex.lock t.mutex;
+                    if t.draining then (
+                      Mutex.unlock t.mutex;
+                      reject ~id Protocol.Draining
+                        "daemon is draining; retry against a fresh instance")
+                    else if queue_depth t >= t.cfg.queue_capacity then begin
+                      let hint = retry_hint t in
+                      Mutex.unlock t.mutex;
+                      reject ~id Protocol.Overloaded ~retry_after_ms:hint
+                        "request queue is full"
+                    end
+                    else begin
+                      let j_seq = t.seq in
+                      t.seq <- j_seq + 1;
+                      let high =
+                        match req.Protocol.priority with
+                        | Some Protocol.High -> true
+                        | Some Protocol.Low -> false
+                        | None ->
+                            (* cheap or warm goes first: check never
+                               analyzes, and a digest seen warm means the
+                               handle cache probably still has it *)
+                            req.Protocol.op = Protocol.Check
+                            || Hashtbl.mem t.warm j_digest
+                      in
+                      let job =
+                        {
+                          j_req = req;
+                          j_deadline_ns;
+                          j_seq;
+                          j_digest;
+                          j_high = high;
+                          j_taken = false;
+                          j_reply = reply_line;
+                        }
+                      in
+                      if high then begin
+                        Queue.push job t.q_high;
+                        t.n_high <- t.n_high + 1
+                      end
+                      else begin
+                        Queue.push job t.q_low;
+                        t.n_low <- t.n_low + 1
+                      end;
+                      if t.cfg.coalesce && coalescible req.Protocol.op then begin
+                        let key = batch_key req j_digest in
+                        match Hashtbl.find_opt t.by_key key with
+                        | Some l -> l := job :: !l
+                        | None -> Hashtbl.replace t.by_key key (ref [ job ])
+                      end;
+                      Tracer.add tracer Tracer.Requests_admitted 1;
+                      Condition.signal t.cond;
+                      Mutex.unlock t.mutex
+                    end)))
 
 (* ---- drain -------------------------------------------------------- *)
 
@@ -371,49 +566,6 @@ let shutdown t =
 
 (* ---- front ends --------------------------------------------------- *)
 
-(* Incremental line reader over a raw fd, so the accept/stdio loops can
-   poll a stop flag between reads without losing buffered bytes (mixing
-   select(2) with OCaml's buffered channels would).  [read_line] returns
-   [None] on EOF or when [stop] turns true between chunks. *)
-type line_reader = {
-  lr_fd : Unix.file_descr;
-  lr_buf : Buffer.t;
-  lr_chunk : bytes;
-  mutable lr_eof : bool;
-}
-
-let line_reader fd =
-  { lr_fd = fd; lr_buf = Buffer.create 4096; lr_chunk = Bytes.create 65536; lr_eof = false }
-
-let take_line lr =
-  let s = Buffer.contents lr.lr_buf in
-  match String.index_opt s '\n' with
-  | Some i ->
-      Buffer.clear lr.lr_buf;
-      Buffer.add_substring lr.lr_buf s (i + 1) (String.length s - i - 1);
-      Some (String.sub s 0 i)
-  | None ->
-      if lr.lr_eof && s <> "" then (
-        Buffer.clear lr.lr_buf;
-        Some s)
-      else None
-
-let rec read_line lr ~stop =
-  match take_line lr with
-  | Some line -> Some line
-  | None ->
-      if lr.lr_eof || stop () then None
-      else (
-        (match Unix.select [ lr.lr_fd ] [] [] 0.2 with
-        | [], _, _ -> ()
-        | _ -> (
-            match Unix.read lr.lr_fd lr.lr_chunk 0 (Bytes.length lr.lr_chunk) with
-            | 0 -> lr.lr_eof <- true
-            | n -> Buffer.add_subbytes lr.lr_buf lr.lr_chunk 0 n
-            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-        read_line lr ~stop)
-
 let locked_writer fd =
   let m = Mutex.create () in
   fun line ->
@@ -422,62 +574,149 @@ let locked_writer fd =
       ~finally:(fun () -> Mutex.unlock m)
       (fun () ->
         let payload = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length payload in
         let rec push off =
-          if off < Bytes.length payload then
-            match Unix.write fd payload off (Bytes.length payload - off) with
+          if off < len then
+            match Unix.write fd payload off (len - off) with
             | n -> push (off + n)
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                (* Non-blocking or slow peer: wait for writability and
+                   resume at the same offset — a short write must never
+                   truncate a frame or tear it across another thread's
+                   write. *)
+                (match Unix.select [] [ fd ] [] 0.2 with
+                | _ -> ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                push off
         in
         try push 0 with Unix.Unix_error _ -> ())
 
+let overflow_line t =
+  Protocol.to_line
+    (Protocol.error_reply ~id:Json.Null Protocol.Bad_frame
+       (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame_bytes))
+
 let serve_stdio t ~stop =
   let reply = locked_writer Unix.stdout in
-  let lr = line_reader Unix.stdin in
+  let lr = Line_reader.create ~max_bytes:t.cfg.max_frame_bytes Unix.stdin in
   let rec loop () =
-    match read_line lr ~stop with
-    | Some line ->
+    match Line_reader.read lr ~stop with
+    | Line_reader.Line line ->
         if String.trim line <> "" then submit t line reply;
         loop ()
-    | None -> ()
+    | Line_reader.Eof -> ()
+    | Line_reader.Overflow ->
+        Tracer.add t.cfg.tracer Tracer.Requests_rejected 1;
+        reply (overflow_line t)
   in
   loop ();
   shutdown t
 
 let handle_connection t fd () =
+  (* a deep outbound kernel buffer keeps slow reply consumers from
+     stalling the worker threads mid-pipeline (best effort) *)
+  (try Unix.setsockopt_int fd Unix.SO_SNDBUF (4 * 1024 * 1024)
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   let reply = locked_writer fd in
-  let lr = line_reader fd in
+  let lr = Line_reader.create ~max_bytes:t.cfg.max_frame_bytes fd in
   let rec loop () =
-    match read_line lr ~stop:(fun () -> false) with
-    | Some line ->
+    match Line_reader.read lr ~stop:(fun () -> false) with
+    | Line_reader.Line line ->
         if String.trim line <> "" then submit t line reply;
         loop ()
-    | None -> ()
+    | Line_reader.Eof -> ()
+    | Line_reader.Overflow ->
+        (* runaway frame: structured refusal, then drop the connection —
+           the peer is either broken or hostile *)
+        Tracer.add t.cfg.tracer Tracer.Requests_rejected 1;
+        reply (overflow_line t)
   in
   (try loop () with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve_socket t ~path ~stop =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+type endpoint = Unix_path of string | Tcp of string * int
+
+let bind_endpoint = function
+  | Unix_path path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind sock (Unix.ADDR_UNIX path);
+         Unix.listen sock 64
+       with e ->
+         (try Unix.close sock with Unix.Unix_error _ -> ());
+         raise e);
+      (sock, Some path)
+  | Tcp (host, port) ->
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | h when Array.length h.Unix.h_addr_list > 0 ->
+                h.Unix.h_addr_list.(0)
+            | _ | (exception Not_found) ->
+                invalid_arg
+                  (Printf.sprintf "serve: cannot resolve host %S" host))
+      in
+      let sockaddr = Unix.ADDR_INET (addr, port) in
+      let sock = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt sock Unix.SO_REUSEADDR true;
+         Unix.bind sock sockaddr;
+         Unix.listen sock 64
+       with e ->
+         (try Unix.close sock with Unix.Unix_error _ -> ());
+         raise e);
+      (sock, None)
+
+let accept_loop t sock ~stop =
+  let rec go () =
+    if not (stop ()) then (
+      (match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept sock with
+          | fd, _ -> ignore (Thread.create (handle_connection t fd) ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ())
+  in
+  go ()
+
+let serve t ?on_ready ~endpoints ~stop () =
+  if endpoints = [] then invalid_arg "serve: no endpoints";
+  let bound = List.map bind_endpoint endpoints in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
+      List.iter
+        (fun (sock, path) ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          match path with
+          | Some path -> (
+              try Unix.unlink path with Unix.Unix_error _ -> ())
+          | None -> ())
+        bound)
     (fun () ->
-      Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 64;
-      let rec accept_loop () =
-        if not (stop ()) then (
-          (match Unix.select [ sock ] [] [] 0.2 with
-          | [], _, _ -> ()
-          | _ -> (
-              match Unix.accept sock with
-              | fd, _ -> ignore (Thread.create (handle_connection t fd) ())
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-          accept_loop ())
+      (match on_ready with
+      | Some f ->
+          f
+            (List.map
+               (fun (sock, _) ->
+                 try Unix.getsockname sock
+                 with Unix.Unix_error _ -> Unix.ADDR_UNIX "?")
+               bound)
+      | None -> ());
+      let acceptors =
+        List.map
+          (fun (sock, _) -> Thread.create (fun () -> accept_loop t sock ~stop) ())
+          bound
       in
-      accept_loop ();
+      List.iter Thread.join acceptors;
       (* stop requested: connections still open keep their replies, new
          frames are refused with S306 while the queue drains *)
       shutdown t)
+
+let serve_socket t ~path ~stop = serve t ~endpoints:[ Unix_path path ] ~stop ()

@@ -373,6 +373,548 @@ let storm_with ~seed ~kills ~delays () =
           check_bool "every corrupted frame was rejected" true
             (counter "requests_rejected" >= Atomic.get sent_garbage)))
 
+(* ------------------------------------------------------------------ *)
+(* Line reader: the frame cap binds buffered bytes, not only lines     *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression for the unbounded-buffer bug: a client streaming an
+   endless frame with no '\n' used to grow the reader's buffer without
+   bound (the cap was only checked on complete lines, which never
+   arrived).  Now the reader must report Overflow as soon as the
+   buffered newline-free bytes exceed the cap — long before the flood
+   ends — with memory bounded by cap + one read chunk. *)
+let flood_capped () =
+  let module Lr = Rtlb_serve.Line_reader in
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let max_bytes = 4096 in
+  let lr = Lr.create ~max_bytes r in
+  let chunk = Bytes.make 1024 'x' in
+  let writer =
+    Thread.create
+      (fun () ->
+        (* 16 KiB of newline-free garbage — and the pipe stays OPEN:
+           overflow must fire from buffered bytes alone, not from EOF *)
+        for _ = 1 to 16 do
+          ignore (Unix.write w chunk 0 (Bytes.length chunk))
+        done)
+      ()
+  in
+  let event = Lr.read lr ~stop:(fun () -> false) in
+  Thread.join writer;
+  (match event with
+  | Lr.Overflow -> ()
+  | Lr.Line _ -> Alcotest.fail "no-newline flood produced a line"
+  | Lr.Eof -> Alcotest.fail "no-newline flood reported EOF");
+  check_bool "buffered memory stays bounded" true
+    (Lr.buffered lr <= max_bytes + 65536);
+  (* the reader is poisoned: it keeps refusing, it does not resync *)
+  check_bool "overflow is sticky" true
+    (Lr.read lr ~stop:(fun () -> false) = Lr.Overflow);
+  (* a sane frame on a fresh reader still parses *)
+  let lr2 = Lr.create ~max_bytes r in
+  ignore (Unix.write_substring w "{\"op\": \"ping\"}\n" 0 15);
+  match Lr.read lr2 ~stop:(fun () -> false) with
+  | Lr.Line _ -> ()
+  | _ -> Alcotest.fail "fresh reader failed on a normal line"
+
+(* The daemon front end answers the flood with S300 and drops the
+   connection instead of ballooning. *)
+let flood_rejected_end_to_end () =
+  let config = { (quick_config ()) with Server.max_frame_bytes = 2048 } in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rtlb-flood-%d.sock" (Unix.getpid ()))
+  in
+  let t = Server.create ~config () in
+  let stop = Atomic.make false in
+  let ready = ref false in
+  let m = Mutex.create () and c = Condition.create () in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Server.serve t
+          ~on_ready:(fun _ ->
+            Mutex.lock m;
+            ready := true;
+            Condition.signal c;
+            Mutex.unlock m)
+          ~endpoints:[ Server.Unix_path path ]
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join server_thread)
+  @@ fun () ->
+  Mutex.lock m;
+  while not !ready do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let flood = Bytes.make 4096 'y' in
+  ignore (Unix.write fd flood 0 (Bytes.length flood));
+  let lr = Rtlb_serve.Line_reader.create fd in
+  (match Rtlb_serve.Line_reader.read lr ~stop:(fun () -> false) with
+  | Rtlb_serve.Line_reader.Line reply ->
+      check_string "flood refused with S300" "S300"
+        (error_code (Json.parse reply))
+  | _ -> Alcotest.fail "no reply to the oversized frame");
+  (* the daemon closed its end: the next read hits EOF *)
+  match Rtlb_serve.Line_reader.read lr ~stop:(fun () -> false) with
+  | Rtlb_serve.Line_reader.Eof -> ()
+  | _ -> Alcotest.fail "connection was not dropped after overflow"
+
+(* ------------------------------------------------------------------ *)
+(* locked_writer: short writes and EAGAIN never truncate or tear       *)
+(* ------------------------------------------------------------------ *)
+
+let writer_no_tearing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* non-blocking writer end with a tiny send buffer: big frames MUST
+     hit partial writes and EAGAIN (the old writer silently dropped the
+     rest of the frame on EAGAIN — truncating or tearing it) *)
+  Unix.set_nonblock a;
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let write = Server.locked_writer a in
+  let frames_per_thread = 40 and writers = 2 in
+  let payload tid k =
+    (* ~8 KiB, bigger than the send buffer, tagged per frame *)
+    Printf.sprintf "%d:%d:%s" tid k (String.make 8192 (Char.chr (65 + tid)))
+  in
+  let senders =
+    List.init writers (fun tid ->
+        Thread.create
+          (fun () ->
+            for k = 0 to frames_per_thread - 1 do
+              write (payload tid k)
+            done)
+          ())
+  in
+  (* deliberately slow reader: drain in small sips so the writer keeps
+     running into a full buffer *)
+  let lr = Rtlb_serve.Line_reader.create b in
+  let got = ref [] in
+  let expected = writers * frames_per_thread in
+  while List.length !got < expected do
+    match Rtlb_serve.Line_reader.read lr ~stop:(fun () -> false) with
+    | Rtlb_serve.Line_reader.Line l -> got := l :: !got
+    | _ -> Alcotest.fail "reader lost the stream"
+  done;
+  List.iter Thread.join senders;
+  let seen = List.sort compare !got in
+  let want =
+    List.sort compare
+      (List.concat_map
+         (fun tid -> List.init frames_per_thread (payload tid))
+         (List.init writers Fun.id))
+  in
+  check_int "every frame arrived exactly once" (List.length want)
+    (List.length seen);
+  List.iter2 (fun w s -> check_string "frame intact (not torn/truncated)" w s)
+    want seen
+
+(* ------------------------------------------------------------------ *)
+(* retry hints: clamped, depth-aware, never zero or negative           *)
+(* ------------------------------------------------------------------ *)
+
+let retry_hint_bounds () =
+  check_int "drained queue still hints 25ms" 25
+    (Server.retry_hint_ms ~workers:2 ~depth:0);
+  check_int "scales with standing depth per worker" 825
+    (Server.retry_hint_ms ~workers:2 ~depth:64);
+  check_int "upper clamp at 30s" 30_000
+    (Server.retry_hint_ms ~workers:1 ~depth:10_000_000);
+  check_bool "workers=0 does not divide by zero" true
+    (Server.retry_hint_ms ~workers:0 ~depth:0 >= 1);
+  check_bool "negative depth cannot go below the floor" true
+    (Server.retry_hint_ms ~workers:2 ~depth:(-5) >= 1);
+  (* and the S303 reply really carries it *)
+  let config = { (quick_config ()) with Server.queue_capacity = 0 } in
+  with_server ~config (fun t ->
+      let reply =
+        request t (frame [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+      in
+      check_string "queue full -> S303" "S303" (error_code reply);
+      match Json.member "retry_after_ms" (Json.member "error" reply) with
+      | Json.Int ms -> check_bool "hint positive" true (ms >= 1)
+      | _ -> Alcotest.fail "S303 without retry_after_ms")
+
+(* ------------------------------------------------------------------ *)
+(* Quota: exhaustion and refill against a fake clock                   *)
+(* ------------------------------------------------------------------ *)
+
+let quota_schedule () =
+  let module Quota = Rtlb_serve.Quota in
+  let t_ns = ref 0L in
+  let q = Quota.create ~now:(fun () -> !t_ns) ~rate_per_s:2.0 ~burst:2.0 () in
+  check_bool "burst admits" true (Quota.take q "alice" = Quota.Admit);
+  check_bool "burst admits again" true (Quota.take q "alice" = Quota.Admit);
+  (match Quota.take q "alice" with
+  | Quota.Admit -> Alcotest.fail "empty bucket admitted"
+  | Quota.Reject { retry_after_ms } ->
+      (* one token at 2/s = 500ms away, exactly *)
+      check_int "hint is the token drip time" 500 retry_after_ms);
+  (* other tenants are isolated *)
+  check_bool "bob unaffected" true (Quota.take q "bob" = Quota.Admit);
+  (* half a second later alice has exactly one token back *)
+  t_ns := Int64.add !t_ns 500_000_000L;
+  check_bool "refilled token admits" true (Quota.take q "alice" = Quota.Admit);
+  (match Quota.take q "alice" with
+  | Quota.Admit -> Alcotest.fail "token refilled twice"
+  | Quota.Reject { retry_after_ms } ->
+      check_int "drained again" 500 retry_after_ms);
+  (* a clock that jumps backwards must never drain tokens or crash,
+     and the hint stays in [1, 60000] *)
+  t_ns := Int64.sub !t_ns 2_000_000_000L;
+  (match Quota.take q "alice" with
+  | Quota.Admit -> Alcotest.fail "backwards clock minted a token"
+  | Quota.Reject { retry_after_ms } ->
+      check_bool "hint clamped positive" true
+        (retry_after_ms >= 1 && retry_after_ms <= Quota.max_retry_ms));
+  (* sub-millisecond deficits round up to 1, never 0 *)
+  let fast = Quota.create ~now:(fun () -> 0L) ~rate_per_s:1e6 ~burst:1.0 () in
+  ignore (Quota.take fast "x");
+  (match Quota.take fast "x" with
+  | Quota.Reject { retry_after_ms } -> check_int "floor clamp" 1 retry_after_ms
+  | Quota.Admit -> Alcotest.fail "empty fast bucket admitted");
+  (* a glacial rate clamps at the 60s ceiling *)
+  let slow = Quota.create ~now:(fun () -> 0L) ~rate_per_s:1e-6 ~burst:1.0 () in
+  ignore (Quota.take slow "y");
+  (match Quota.take slow "y" with
+  | Quota.Reject { retry_after_ms } ->
+      check_int "ceiling clamp" Quota.max_retry_ms retry_after_ms
+  | Quota.Admit -> Alcotest.fail "empty slow bucket admitted");
+  check_int "tracked tenants" 2 (Quota.tenants q)
+
+(* end-to-end: over-quota frames get S307 with a hint; other tenants
+   keep flowing; the counters record it *)
+let quota_s307 () =
+  let tracer = Tracer.make () in
+  let quota = Rtlb_serve.Quota.create ~rate_per_s:0.001 ~burst:2.0 () in
+  let config =
+    {
+      (quick_config ()) with
+      Server.workers = 0;
+      jobs = 1;
+      tracer;
+      quota = Some quota;
+    }
+  in
+  with_server ~config (fun t ->
+      let send tenant =
+        let replies = ref [] in
+        Server.submit t
+          (frame
+             [
+               ("op", Json.Str "analyze");
+               ("app", Json.Str paper_text);
+               ("tenant", Json.Str tenant);
+             ])
+          (fun r -> replies := r :: !replies);
+        !replies
+      in
+      ignore (send "alice");
+      ignore (send "alice");
+      (match send "alice" with
+      | [ reply ] ->
+          let reply = Json.parse reply in
+          check_string "third alice frame -> S307" "S307" (error_code reply);
+          (match Json.member "name" (Json.member "error" reply) with
+          | Json.Str n -> check_string "stable name" "quota_exceeded" n
+          | _ -> Alcotest.fail "S307 without a name");
+          (match Json.member "retry_after_ms" (Json.member "error" reply) with
+          | Json.Int ms -> check_bool "hint positive" true (ms >= 1)
+          | _ -> Alcotest.fail "S307 without retry_after_ms")
+      | _ -> Alcotest.fail "over-quota frame was not rejected synchronously");
+      check_bool "bob still admitted" true (send "bob" = []);
+      (* ping/stats are not metered *)
+      check_bool "ping unmetered" true
+        (is_ok (request t (frame [ ("op", Json.Str "ping") ])));
+      check_int "quota_rejections counted" 1
+        (Tracer.counter tracer Tracer.Quota_rejections);
+      check_int "also counted as a rejection" 1
+        (Tracer.counter tracer Tracer.Requests_rejected);
+      (* the queued work still runs to completion *)
+      Server.run_pending t;
+      check_int "admitted jobs all ran" 3
+        (Tracer.counter tracer Tracer.Requests_admitted))
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing: batched what-ifs are bit-identical to sequential        *)
+(* ------------------------------------------------------------------ *)
+
+(* workers = 0 + run_pending makes the batching deterministic: all N
+   compatible what-ifs are queued when the (synchronous) worker pass
+   starts, so they form one batch — and every reply must be
+   byte-identical to the same frames run under coalesce = false. *)
+let coalesce_identity =
+  qtest ~count:25 "coalescing: batched replies == sequential replies"
+    (arb_instance ~max_tasks:10 ())
+    (fun i ->
+      let text = Rtfmt.Appfile.to_string i.Helpers.app in
+      let d0 = (Rtlb.App.task i.Helpers.app 0).Rtlb.Task.deadline in
+      let n = 5 in
+      let frames =
+        List.init n (fun k ->
+            frame
+              [
+                ("id", Json.Int k);
+                ("op", Json.Str "whatif");
+                ("app", Json.Str text);
+                ( "edits",
+                  Json.List
+                    [
+                      Json.Obj
+                        [
+                          ("task", Json.Int 0);
+                          (* different edits per request: compatibility is
+                             per instance, not per edit *)
+                          ("deadline", Json.Int (d0 + 1 + k));
+                        ];
+                    ] );
+              ])
+      in
+      let run ~coalesce =
+        let tracer = Tracer.make () in
+        let config =
+          {
+            (quick_config ()) with
+            Server.workers = 0;
+            jobs = 1;
+            tracer;
+            coalesce;
+          }
+        in
+        let t = Server.create ~config () in
+        Fun.protect ~finally:(fun () -> Server.shutdown t) @@ fun () ->
+        let replies = Array.make n "" in
+        List.iteri
+          (fun k f -> Server.submit t f (fun r -> replies.(k) <- r))
+          frames;
+        Server.run_pending t;
+        Array.iteri
+          (fun k r -> if r = "" then Alcotest.failf "reply %d missing" k)
+          replies;
+        (replies, Tracer.counter tracer Tracer.Coalesced_queries)
+      in
+      let batched, coalesced = run ~coalesce:true in
+      let sequential, uncoalesced = run ~coalesce:false in
+      check_int "all n what-ifs shared one batch" (n - 1) coalesced;
+      check_int "coalesce=false batches nothing" 0 uncoalesced;
+      Array.iteri
+        (fun k b ->
+          if b <> sequential.(k) then
+            Alcotest.failf "reply %d diverged under coalescing:\n%s\nvs\n%s" k
+              b sequential.(k))
+        batched;
+      true)
+
+(* priority admission: an explicit low-priority cold analysis queued
+   first must not delay a warm what-if queued after it *)
+let priority_orders_queue () =
+  let tracer = Tracer.make () in
+  let config =
+    { (quick_config ()) with Server.workers = 0; jobs = 1; tracer }
+  in
+  with_server ~config (fun t ->
+      let order = ref [] in
+      let submit label fields =
+        Server.submit t (frame fields) (fun _ -> order := label :: !order)
+      in
+      submit "cold-low"
+        [
+          ("op", Json.Str "analyze");
+          ("app", Json.Str paper_text);
+          ("priority", Json.Str "low");
+        ];
+      submit "check-auto-high"
+        [ ("op", Json.Str "check"); ("app", Json.Str paper_text) ];
+      submit "explicit-high"
+        [
+          ("op", Json.Str "analyze");
+          ("app", Json.Str paper_text);
+          ("priority", Json.Str "high");
+        ];
+      Server.run_pending t;
+      check_bool "high-priority work ran before the cold analysis" true
+        (!order = [ "cold-low"; "explicit-high"; "check-auto-high" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Transports: Unix socket and TCP served simultaneously               *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_and_unix () =
+  let module Client = Rtlb_serve.Client in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rtlb-test-%d.sock" (Unix.getpid ()))
+  in
+  let t = Server.create ~config:(quick_config ()) () in
+  let stop = Atomic.make false in
+  let ready = ref [] in
+  let m = Mutex.create () and c = Condition.create () in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Server.serve t
+          ~on_ready:(fun addrs ->
+            Mutex.lock m;
+            ready := addrs;
+            Condition.signal c;
+            Mutex.unlock m)
+          ~endpoints:[ Server.Unix_path path; Server.Tcp ("127.0.0.1", 0) ]
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join server_thread)
+  @@ fun () ->
+  Mutex.lock m;
+  while !ready = [] do
+    Condition.wait c m
+  done;
+  let addrs = !ready in
+  Mutex.unlock m;
+  (match addrs with
+  | [ Unix.ADDR_UNIX p; Unix.ADDR_INET (_, port) ] ->
+      check_string "unix endpoint reported" path p;
+      check_bool "ephemeral TCP port resolved" true (port > 0)
+  | _ -> Alcotest.fail "on_ready did not report both endpoints");
+  let over_unix = Client.connect_unix ~retry_for:5.0 path in
+  let over_tcp =
+    match List.nth addrs 1 with
+    | addr -> Client.connect_sockaddr ~retry_for:5.0 addr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close over_unix;
+      Client.close over_tcp)
+  @@ fun () ->
+  check_bool "ping over unix" true (Client.ping over_unix);
+  check_bool "ping over tcp" true (Client.ping over_tcp);
+  let analyze client =
+    match
+      Client.call client
+        (Json.Obj [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])
+    with
+    | Ok reply when is_ok reply -> result_line reply
+    | Ok reply -> Alcotest.failf "analyze failed: %s" (error_code reply)
+    | Error e -> Alcotest.failf "transport failure: %s" e
+  in
+  check_string "both transports serve identical answers" (analyze over_unix)
+    (analyze over_tcp);
+  (* pipelining with out-of-order completion still matches ids *)
+  let replies =
+    Client.pipeline over_tcp
+      [
+        Json.Obj [ ("op", Json.Str "ping") ];
+        Json.Obj [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ];
+        Json.Obj [ ("op", Json.Str "ping") ];
+      ]
+  in
+  check_int "pipeline answers everything" 3
+    (List.length (List.filter Result.is_ok replies))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the tenantflood directive                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tenantflood_dsl () =
+  (match Chaos.parse "tenantflood@3:5" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan ->
+      with_chaos plan (fun () ->
+          check_int "other indices unaffected" 0 (Chaos.tenant_flood_burst 2);
+          check_int "burst delivered at its index" 5
+            (Chaos.tenant_flood_burst 3);
+          check_int "one-shot: second probe gets nothing" 0
+            (Chaos.tenant_flood_burst 3);
+          check_int "fired counter" 1 (Chaos.fired_tenant_floods ())));
+  (match Chaos.parse "tenantflood@1" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan ->
+      with_chaos plan (fun () ->
+          check_int "default burst" 8 (Chaos.tenant_flood_burst 1)));
+  (* round-trips through to_string, and bad specs are refused loudly *)
+  (match Chaos.parse "tenantflood@2:3" with
+  | Ok plan ->
+      check_bool "to_string round-trips" true
+        (string_contains ~needle:"tenantflood@2:3" (Chaos.to_string plan))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Chaos.parse "tenantflood@x" with
+  | Ok _ -> Alcotest.fail "malformed directive accepted"
+  | Error _ -> ()
+
+(* a flood burst from one tenant exhausts its bucket, collects S307s,
+   and never starves the well-behaved tenant *)
+let tenantflood_quota_storm () =
+  let plan =
+    match Chaos.parse "tenantflood@2:8" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  let tracer = Tracer.make () in
+  let quota = Rtlb_serve.Quota.create ~rate_per_s:0.001 ~burst:2.0 () in
+  let config = { (quick_config ()) with Server.tracer; quota = Some quota } in
+  with_chaos plan (fun () ->
+      with_server ~config (fun t ->
+          let analyze tenant =
+            request t
+              (frame
+                 [
+                   ("op", Json.Str "analyze");
+                   ("app", Json.Str paper_text);
+                   ("tenant", Json.Str tenant);
+                 ])
+          in
+          check_bool "steady tenant flows before the flood" true
+            (is_ok (analyze "steady"));
+          let s307 = ref 0 in
+          for i = 0 to 4 do
+            (* the armed plan floods (burst 8) at request index 2 only *)
+            let burst = Chaos.tenant_flood_burst i in
+            for _ = 1 to burst do
+              let reply = analyze "flood" in
+              if is_ok reply then ()
+              else begin
+                check_string "flood failures are structured S307" "S307"
+                  (error_code reply);
+                incr s307
+              end
+            done
+          done;
+          check_int "the flood fired" 1 (Chaos.fired_tenant_floods ());
+          (* burst 2.0, no meaningful refill: 8 flood frames -> 2 admits *)
+          check_int "the flood tenant was throttled" 6 !s307;
+          check_bool "steady tenant still flows after the flood" true
+            (is_ok (analyze "steady"));
+          check_int "tracer agrees" !s307
+            (Tracer.counter tracer Tracer.Quota_rejections);
+          (* quota pressure never poisons the daemon *)
+          check_bool "daemon alive" true
+            (is_ok (request t (frame [ ("op", Json.Str "ping") ])))))
+
 let suite =
   [
     ( "serve",
@@ -395,5 +937,27 @@ let suite =
         Alcotest.test_case "storm: 8 clients, slow clients + kill + bad frame"
           `Quick
           (storm_with ~seed:1 ~kills:1 ~delays:2);
+        Alcotest.test_case "line reader: no-newline flood caps buffered bytes"
+          `Quick flood_capped;
+        Alcotest.test_case "flood over a socket -> S300 + connection dropped"
+          `Quick flood_rejected_end_to_end;
+        Alcotest.test_case
+          "locked_writer: EAGAIN/short writes never tear frames" `Quick
+          writer_no_tearing;
+        Alcotest.test_case "retry_after_ms: clamped, depth-aware, never <= 0"
+          `Quick retry_hint_bounds;
+        Alcotest.test_case "quota: exhaustion and refill on a fake clock"
+          `Quick quota_schedule;
+        Alcotest.test_case "quota: over-quota tenant -> S307, others flow"
+          `Quick quota_s307;
+        coalesce_identity;
+        Alcotest.test_case "priority: warm/cheap never stuck behind cold"
+          `Quick priority_orders_queue;
+        Alcotest.test_case "transports: Unix socket and TCP simultaneously"
+          `Quick tcp_and_unix;
+        Alcotest.test_case "chaos: tenantflood directive parses and fires"
+          `Quick tenantflood_dsl;
+        Alcotest.test_case "chaos: tenant flood throttled without starvation"
+          `Quick tenantflood_quota_storm;
       ] );
   ]
