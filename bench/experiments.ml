@@ -1564,6 +1564,9 @@ let serve_throughput () =
         | _ -> acc + 1)
       0 pids
   in
+  (* the live daemon's own view, while still serving: the same shape
+     the protocol's stats op reports *)
+  let stats = Server.stats_snapshot server in
   Atomic.set stop true;
   Thread.join server_thread;
   let wall_ms = Int64.to_float (Int64.sub t1 !t0) /. 1e6 in
@@ -1648,6 +1651,11 @@ let serve_throughput () =
                 Rtfmt.Json.Int (c Rtlb_obs.Tracer.Degraded_replies) );
               ("cache_hits", Rtfmt.Json.Int (c Rtlb_obs.Tracer.Cache_hits));
             ] );
+        ( "stats",
+          Rtfmt.Json.Obj
+            (List.map
+               (fun field -> (field, Rtfmt.Json.member field stats))
+               [ "uptime_ms"; "cache_entries"; "journal_entries" ]) );
       ]
   in
   Rtfmt.write_atomic "BENCH_serve.json" (fun oc ->

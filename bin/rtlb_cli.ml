@@ -1142,6 +1142,54 @@ let serve_cmd =
     let doc = "Worker threads answering requests concurrently." in
     Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
   in
+  let supervised_arg =
+    let doc =
+      "Run under a watchdog: a tiny parent binds the listening socket(s), \
+       forks the server over the inherited fds and restarts it on abnormal \
+       exit with jittered exponential backoff — a crash never drops the \
+       endpoint.  A crash loop ($(b,--max-crashes) abnormal exits within \
+       $(b,--crash-window) seconds) exits non-zero with a diagnostic.  \
+       Requires $(b,--socket)/$(b,--tcp) (not $(b,--stdio))."
+    in
+    Arg.(value & flag & info [ "supervised" ] ~doc)
+  in
+  let health_arg =
+    let doc =
+      "Maintain a one-word health file at $(docv), atomically rewritten on \
+       every transition: $(b,ready) once listening, $(b,draining) during \
+       graceful drain, $(b,degraded) (written by the watchdog) while a \
+       crashed child is being replaced."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "health-file" ] ~docv:"PATH" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Keep an append-only warm-state journal at $(docv): successful \
+       analyze/what-if instances are logged (bounded, compacting, \
+       corruption-tolerant), and a (re)started daemon pre-warms its cache \
+       from it in the background at low priority instead of serving cold."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"PATH" ~doc)
+  in
+  let breaker_arg =
+    let doc =
+      "Per-instance circuit breaker, $(docv) as THRESHOLD[:COOLDOWN_MS] \
+       (default cooldown 5000).  An instance failing analysis THRESHOLD \
+       times in a row fast-fails with $(b,S308 circuit_open) and a \
+       retry-after hint until a half-open probe succeeds."
+    in
+    Arg.(value & opt (some string) None & info [ "breaker" ] ~docv:"SPEC" ~doc)
+  in
+  let max_crashes_arg =
+    let doc = "Crash-loop threshold for $(b,--supervised)." in
+    Arg.(value & opt int 5 & info [ "max-crashes" ] ~docv:"N" ~doc)
+  in
+  let crash_window_arg =
+    let doc = "Crash-loop sliding window (seconds) for $(b,--supervised)." in
+    Arg.(value & opt float 30.0 & info [ "crash-window" ] ~docv:"SEC" ~doc)
+  in
   let parse_tcp spec =
     match String.rindex_opt spec ':' with
     | None -> Error (Printf.sprintf "--tcp %S: expected HOST:PORT" spec)
@@ -1182,61 +1230,107 @@ let serve_cmd =
         | None -> bad ())
     | _ -> bad ()
   in
-  let run socket tcp quota stdio cache queue workers jobs =
+  let parse_breaker spec =
+    let bad () =
+      Error
+        (Printf.sprintf
+           "--breaker %S: expected THRESHOLD[:COOLDOWN_MS] with THRESHOLD \
+            >= 1, COOLDOWN_MS >= 1"
+           spec)
+    in
+    let threshold_s, cooldown_s =
+      match String.index_opt spec ':' with
+      | None -> (spec, None)
+      | Some i ->
+          ( String.sub spec 0 i,
+            Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    in
+    match int_of_string_opt threshold_s with
+    | Some threshold when threshold >= 1 -> (
+        match Option.map int_of_string_opt cooldown_s with
+        | None -> Ok (threshold, 5_000)
+        | Some (Some ms) when ms >= 1 -> Ok (threshold, ms)
+        | Some _ -> bad ())
+    | _ -> bad ()
+  in
+  let run socket tcp quota stdio cache queue workers jobs supervised health
+      journal_path breaker max_crashes crash_window =
     let tcp = Option.map parse_tcp tcp in
     let quota = Option.map parse_quota quota in
+    let breaker = Option.map parse_breaker breaker in
     match (socket, tcp, quota, stdio) with
     | None, None, _, false ->
         `Error (true, "one of --socket PATH, --tcp HOST:PORT or --stdio is required")
     | (Some _, _, _, true | _, Some _, _, true) ->
         `Error (true, "--stdio is exclusive with --socket and --tcp")
     | _, Some (Error e), _, _ | _, _, Some (Error e), _ -> `Error (true, e)
-    | socket, tcp, quota, _ ->
-        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-         with Invalid_argument _ | Sys_error _ -> ());
-        let stop = Atomic.make false in
-        let handle code _ =
-          if Atomic.get stop then exit code else Atomic.set stop true
-        in
-        List.iter
-          (fun (signal, code) ->
-            try Sys.set_signal signal (Sys.Signal_handle (handle code))
-            with Invalid_argument _ | Sys_error _ -> ())
-          [ (Sys.sigint, 130); (Sys.sigterm, 143) ];
-        let jobs =
-          match jobs with
-          | Some n -> max 1 n
-          | None -> (
-              match Sys.getenv_opt "RTLB_JOBS" with
-              | Some s -> (
-                  match int_of_string_opt (String.trim s) with
-                  | Some n when n >= 1 -> n
-                  | _ -> 2)
-              | None -> 2)
-        in
-        let config =
-          {
-            Rtlb_serve.Server.default_config with
-            cache_capacity = max 0 cache;
-            queue_capacity = max 1 queue;
-            workers = max 1 workers;
-            jobs;
-            tracer = Rtlb_obs.Tracer.make ();
-            quota =
-              (match quota with Some (Ok q) -> Some q | _ -> None);
-          }
-        in
-        let server = Rtlb_serve.Server.create ~config () in
-        let stop () = Atomic.get stop in
-        let endpoints =
-          (match socket with
-          | Some path -> [ Rtlb_serve.Server.Unix_path path ]
-          | None -> [])
-          @ (match tcp with Some (Ok ep) -> [ ep ] | _ -> [])
-        in
-        (match endpoints with
-        | [] -> Rtlb_serve.Server.serve_stdio server ~stop
-        | endpoints ->
+    | _, _, _, true when supervised ->
+        `Error (true, "--supervised requires --socket or --tcp, not --stdio")
+    | socket, tcp, quota, _ -> (
+        match breaker with
+        | Some (Error e) -> `Error (true, e)
+        | breaker ->
+            (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+             with Invalid_argument _ | Sys_error _ -> ());
+            let jobs =
+              match jobs with
+              | Some n -> max 1 n
+              | None -> (
+                  match Sys.getenv_opt "RTLB_JOBS" with
+                  | Some s -> (
+                      match int_of_string_opt (String.trim s) with
+                      | Some n when n >= 1 -> n
+                      | _ -> 2)
+                  | None -> 2)
+            in
+            (* First SIGINT/SIGTERM: graceful drain, exit 0; second:
+               exit 128+signum.  Installed per serving process — under
+               --supervised that is the forked child, while the parent
+               keeps the watchdog's forwarding handlers. *)
+            let install_drain_signals () =
+              let stop = Atomic.make false in
+              let handle code _ =
+                if Atomic.get stop then exit code else Atomic.set stop true
+              in
+              List.iter
+                (fun (signal, code) ->
+                  try Sys.set_signal signal (Sys.Signal_handle (handle code))
+                  with Invalid_argument _ | Sys_error _ -> ())
+                [ (Sys.sigint, 130); (Sys.sigterm, 143) ];
+              fun () -> Atomic.get stop
+            in
+            let make_config ~generation ~journal =
+              {
+                Rtlb_serve.Server.default_config with
+                cache_capacity = max 0 cache;
+                queue_capacity = max 1 queue;
+                workers = max 1 workers;
+                jobs;
+                tracer = Rtlb_obs.Tracer.make ();
+                quota = (match quota with Some (Ok q) -> Some q | _ -> None);
+                journal;
+                breaker =
+                  (match breaker with
+                  | Some (Ok (threshold, cooldown_ms)) ->
+                      Some
+                        (Rtlb_serve.Breaker.create ~threshold ~cooldown_ms ())
+                  | _ -> None);
+                health_file = health;
+                generation;
+              }
+            in
+            let open_journal () =
+              Option.map
+                (fun path ->
+                  Rtlb_serve.Journal.open_ ~capacity:(max 8 (2 * cache)) path)
+                journal_path
+            in
+            let endpoints =
+              (match socket with
+              | Some path -> [ Rtlb_serve.Server.Unix_path path ]
+              | None -> [])
+              @ (match tcp with Some (Ok ep) -> [ ep ] | _ -> [])
+            in
             let on_ready addrs =
               List.iter
                 (fun addr ->
@@ -1249,8 +1343,43 @@ let serve_cmd =
                       Printf.eprintf "rtlb serve: listening on %s\n%!" path)
                 addrs
             in
-            Rtlb_serve.Server.serve server ~on_ready ~endpoints ~stop ());
-        `Ok ()
+            if supervised then begin
+              let wd_config =
+                {
+                  Rtlb_serve.Watchdog.default_config with
+                  max_crashes = max 1 max_crashes;
+                  crash_window_s = Float.max 0.1 crash_window;
+                  health_file = health;
+                }
+              in
+              let child ~generation sockets =
+                let stop = install_drain_signals () in
+                let journal = open_journal () in
+                let config = make_config ~generation ~journal in
+                let server = Rtlb_serve.Server.create ~config () in
+                Rtlb_serve.Server.serve_bound server ~on_ready ~cleanup:false
+                  ~sockets ~stop ();
+                Option.iter Rtlb_serve.Journal.close journal
+              in
+              let code =
+                Rtlb_serve.Watchdog.run ~config:wd_config ~endpoints ~child ()
+              in
+              (* preserve the watchdog's exit code exactly (3 = crash
+                 loop; the child's own code when terminating) *)
+              if code = 0 then `Ok () else exit code
+            end
+            else begin
+              let stop = install_drain_signals () in
+              let journal = open_journal () in
+              let config = make_config ~generation:0 ~journal in
+              let server = Rtlb_serve.Server.create ~config () in
+              (match endpoints with
+              | [] -> Rtlb_serve.Server.serve_stdio server ~stop
+              | endpoints ->
+                  Rtlb_serve.Server.serve server ~on_ready ~endpoints ~stop ());
+              Option.iter Rtlb_serve.Journal.close journal;
+              `Ok ()
+            end)
   in
   let doc =
     "Run the long-lived bound-query daemon (JSON-lines over a Unix \
@@ -1261,7 +1390,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ socket_arg $ tcp_arg $ quota_arg $ stdio_arg $ cache_arg
-       $ queue_arg $ workers_arg $ jobs_arg))
+       $ queue_arg $ workers_arg $ jobs_arg $ supervised_arg $ health_arg
+       $ journal_arg $ breaker_arg $ max_crashes_arg $ crash_window_arg))
 
 (* ---- dot -------------------------------------------------------- *)
 

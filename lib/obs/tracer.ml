@@ -17,8 +17,14 @@ type counter =
   | Degraded_replies
   | Coalesced_queries
   | Quota_rejections
+  | Server_restarts
+  | Journal_replays
+  | Breaker_opens
+  | Breaker_probes
+  | Failovers
+  | Cold_builds
 
-let n_counters = 18
+let n_counters = 24
 
 let counter_index = function
   | Tasks_scanned -> 0
@@ -39,6 +45,12 @@ let counter_index = function
   | Degraded_replies -> 15
   | Coalesced_queries -> 16
   | Quota_rejections -> 17
+  | Server_restarts -> 18
+  | Journal_replays -> 19
+  | Breaker_opens -> 20
+  | Breaker_probes -> 21
+  | Failovers -> 22
+  | Cold_builds -> 23
 
 let counter_name = function
   | Tasks_scanned -> "tasks_scanned"
@@ -59,6 +71,12 @@ let counter_name = function
   | Degraded_replies -> "degraded_replies"
   | Coalesced_queries -> "coalesced_queries"
   | Quota_rejections -> "quota_rejections"
+  | Server_restarts -> "server_restarts"
+  | Journal_replays -> "journal_replays"
+  | Breaker_opens -> "breaker_opens"
+  | Breaker_probes -> "breaker_probes"
+  | Failovers -> "failovers"
+  | Cold_builds -> "cold_builds"
 
 let all_counters =
   [
@@ -66,7 +84,8 @@ let all_counters =
     Deadline_cancels; Cache_hits; Cone_tasks; Worker_errors; Retries;
     Worker_restarts; Checkpoints_written; Resumes; Requests_admitted;
     Requests_rejected; Evictions; Degraded_replies; Coalesced_queries;
-    Quota_rejections;
+    Quota_rejections; Server_restarts; Journal_replays; Breaker_opens;
+    Breaker_probes; Failovers; Cold_builds;
   ]
 
 type event = {

@@ -69,7 +69,25 @@
       by [n - 1].
     - [Quota_rejections]: serve-daemon frames refused with
       [S307 quota_exceeded] because the requesting tenant's token
-      bucket was empty (also counted in [Requests_rejected]). *)
+      bucket was empty (also counted in [Requests_rejected]).
+    - [Server_restarts]: serve-daemon child processes respawned by the
+      watchdog after an abnormal exit ([Rtlb_serve.Watchdog]); a
+      restarted child also reports its own generation number here.
+    - [Journal_replays]: warm handles rebuilt from the warm-state
+      journal after a (re)start ([Rtlb_serve.Journal]) — background
+      rehydration, not client traffic.
+    - [Breaker_opens]: circuit-breaker transitions to the open state
+      (an instance fingerprint repeatedly failing analysis;
+      [Rtlb_serve.Breaker]).
+    - [Breaker_probes]: half-open probe requests a breaker let through
+      to test whether the instance recovered.
+    - [Failovers]: client-side reconnects after a lost connection
+      ([Rtlb_serve.Client.Failover]) — each one resends only the
+      requests whose replies were never received.
+    - [Cold_builds]: serve-daemon requests that had to build a fresh
+      incremental handle because the warm cache had no entry for the
+      instance fingerprint (journal rehydration counts too — measure
+      warmth with deltas). *)
 type counter =
   | Tasks_scanned
   | Candidate_intervals
@@ -89,6 +107,12 @@ type counter =
   | Degraded_replies
   | Coalesced_queries
   | Quota_rejections
+  | Server_restarts
+  | Journal_replays
+  | Breaker_opens
+  | Breaker_probes
+  | Failovers
+  | Cold_builds
 
 val counter_name : counter -> string
 (** Stable snake_case name, used by stats tables and JSON output. *)

@@ -23,6 +23,8 @@ type fault =
   | Kill_request_at of { index : int }
   | Slow_client_at of { index : int; ms : int }
   | Tenant_flood_at of { index : int; burst : int }
+  | Kill_server_at of { index : int }
+  | Journal_corrupt_at of { index : int }
 
 type plan = { seed : int; faults : fault list }
 
@@ -37,6 +39,8 @@ let n_bad_frames = Atomic.make 0
 let n_request_kills = Atomic.make 0
 let n_client_delays = Atomic.make 0
 let n_tenant_floods = Atomic.make 0
+let n_server_kills = Atomic.make 0
+let n_journal_corrupts = Atomic.make 0
 
 (* Server-side directives are keyed by request (or frame) sequence
    number, not pool work-item index; the serve layer and chaos-aware
@@ -47,6 +51,8 @@ let bad_frames : (int * int Atomic.t) list ref = ref []
 let request_kills : (int * int Atomic.t) list ref = ref []
 let client_delays : (int * int * int Atomic.t) list ref = ref []
 let tenant_floods : (int * int * int Atomic.t) list ref = ref []
+let server_kills : (int * int Atomic.t) list ref = ref []
+let journal_corrupts : (int * int Atomic.t) list ref = ref []
 
 (* Claim one shot from a bounded budget; false once exhausted. *)
 let take budget =
@@ -68,10 +74,14 @@ let disarm () =
   Atomic.set n_request_kills 0;
   Atomic.set n_client_delays 0;
   Atomic.set n_tenant_floods 0;
+  Atomic.set n_server_kills 0;
+  Atomic.set n_journal_corrupts 0;
   bad_frames := [];
   request_kills := [];
   client_delays := [];
   tenant_floods := [];
+  server_kills := [];
+  journal_corrupts := [];
   Pool.For_testing.reset ()
 
 let arm plan =
@@ -97,6 +107,12 @@ let arm plan =
             None
         | Tenant_flood_at { index; burst } ->
             tenant_floods := (index, burst, Atomic.make 1) :: !tenant_floods;
+            None
+        | Kill_server_at { index } ->
+            server_kills := (index, Atomic.make 1) :: !server_kills;
+            None
+        | Journal_corrupt_at { index } ->
+            journal_corrupts := (index, Atomic.make 1) :: !journal_corrupts;
             None
         | Raise_at { index; times } ->
             let budget = Atomic.make times in
@@ -136,6 +152,8 @@ let fired_bad_frames () = Atomic.get n_bad_frames
 let fired_request_kills () = Atomic.get n_request_kills
 let fired_client_delays () = Atomic.get n_client_delays
 let fired_tenant_floods () = Atomic.get n_tenant_floods
+let fired_server_kills () = Atomic.get n_server_kills
+let fired_journal_corrupts () = Atomic.get n_journal_corrupts
 
 (* ---- server-side hooks -------------------------------------------- *)
 
@@ -166,6 +184,20 @@ let on_request index =
       Atomic.incr n_request_kills;
       raise Pool.Worker_abort
   | _ -> ()
+
+let server_kill index =
+  match List.find_opt (fun (i, _) -> i = index) !server_kills with
+  | Some (_, budget) when take budget ->
+      Atomic.incr n_server_kills;
+      true
+  | _ -> false
+
+let journal_corrupt index =
+  match List.find_opt (fun (i, _) -> i = index) !journal_corrupts with
+  | Some (_, budget) when take budget ->
+      Atomic.incr n_journal_corrupts;
+      true
+  | _ -> false
 
 let on_checkpoint () =
   let rec go () =
@@ -235,6 +267,8 @@ let fault_to_string = function
   | Slow_client_at { index; ms } -> Printf.sprintf "slowclient@%d:%d" index ms
   | Tenant_flood_at { index; burst } ->
       Printf.sprintf "tenantflood@%d:%d" index burst
+  | Kill_server_at { index } -> Printf.sprintf "killserver@%d" index
+  | Journal_corrupt_at { index } -> Printf.sprintf "journalcorrupt@%d" index
 
 let to_string plan =
   match plan.faults with
@@ -344,6 +378,14 @@ let parse s =
                         Result.map
                           (fun burst -> `Fault (Tenant_flood_at { index; burst }))
                           (parse_int "tenantflood burst" burst)))
+            | "killserver" ->
+                Result.map
+                  (fun index -> `Fault (Kill_server_at { index }))
+                  (parse_int "killserver" v)
+            | "journalcorrupt" ->
+                Result.map
+                  (fun index -> `Fault (Journal_corrupt_at { index }))
+                  (parse_int "journalcorrupt" v)
             | _ -> Error (Printf.sprintf "unknown chaos token %S" tok)))
   in
   let tokens =

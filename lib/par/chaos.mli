@@ -57,6 +57,18 @@ type fault =
           back-to-back requests under one tenant at frame [index]
           ({!tenant_flood_burst}), once — with a quota armed, the
           daemon must shed the excess with [S307], never crash. *)
+  | Kill_server_at of { index : int }
+      (** Server-side: the whole server process [_exit]s abruptly when
+          it is about to execute admitted request [index]
+          ({!server_kill}), once — a real crash, not an exception.  The
+          watchdog must restart it without dropping the endpoint, and
+          failover clients must complete the storm with every
+          acknowledged reply intact. *)
+  | Journal_corrupt_at of { index : int }
+      (** Server-side: the [index]-th warm-state journal append is
+          followed by garbage bytes without a newline
+          ({!journal_corrupt}), once — a torn tail the next journal
+          open must detect and drop, never trust. *)
 
 type plan = { seed : int; faults : fault list }
 
@@ -74,7 +86,8 @@ val parse : string -> (plan, string) result
 (** The [RTLB_CHAOS] mini-language: comma-separated
     [spawnfail=N | raise@I | raise@IxN | kill@I | slow@I | slow@I:S |
     killckpt@N | badframe@I | killreq@I | slowclient@I | slowclient@I:MS
-    | tenantflood@I | tenantflood@I:N | seed=N].  A lone [seed=N] expands via {!plan_of_seed}.  Integer
+    | tenantflood@I | tenantflood@I:N | killserver@I | journalcorrupt@N
+    | seed=N].  A lone [seed=N] expands via {!plan_of_seed}.  Integer
     payloads are strictly decimal; any other spelling — including OCaml
     literal forms like [0x3] or [1_0] — is rejected with an error
     naming the offending token, never silently reinterpreted. *)
@@ -132,6 +145,16 @@ val tenant_flood_burst : int -> int
 (** The number of extra same-tenant requests an armed [tenantflood@i:N]
     prescribes at frame [i] (once; [0] otherwise). *)
 
+val server_kill : int -> bool
+(** [true] exactly once for the admitted-request sequence number of an
+    armed [killserver@i] — the server should [_exit] abruptly (its
+    [die] hook), simulating a crash the watchdog must absorb. *)
+
+val journal_corrupt : int -> bool
+(** [true] exactly once for the append sequence number of an armed
+    [journalcorrupt@n] — the journal garbles its own tail right after
+    that append, exercising the corrupt-tail drop on the next open. *)
+
 val fired_bad_frames : unit -> int
 
 val fired_request_kills : unit -> int
@@ -139,3 +162,7 @@ val fired_request_kills : unit -> int
 val fired_client_delays : unit -> int
 
 val fired_tenant_floods : unit -> int
+
+val fired_server_kills : unit -> int
+
+val fired_journal_corrupts : unit -> int

@@ -19,25 +19,45 @@ type t = {
 
 let sleep_s s = ignore (Unix.select [] [] [] s)
 
+(* Connect backoff: exponential from 5 ms doubling to a 200 ms cap,
+   scaled by a per-attempt jitter factor in [0.5, 1.0) (golden-ratio
+   hash of the attempt number) — a fleet of clients racing the same
+   daemon's startup spreads out instead of retrying in lockstep. *)
+let backoff_s attempt =
+  let base = 0.005 *. float_of_int (1 lsl min attempt 6) in
+  let capped = Float.min base 0.2 in
+  let jitter =
+    float_of_int (((attempt + 1) * 0x9E3779B1) land 0xffff) /. 65536.0
+  in
+  capped *. (0.5 +. (0.5 *. jitter))
+
 let connect_sockaddr ?(retry_for = 0.0) addr =
   let deadline = Unix.gettimeofday () +. retry_for in
-  let rec go () =
+  let rec go attempt =
     let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () -> fd
     | exception
-        Unix.Unix_error
-          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
-      when Unix.gettimeofday () < deadline ->
+        (Unix.Unix_error
+           (((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN) as err), _, _) as
+         exn) ->
         (* the daemon may still be binding its listeners *)
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        sleep_s 0.005;
-        go ()
+        if Unix.gettimeofday () < deadline then begin
+          sleep_s (backoff_s attempt);
+          go (attempt + 1)
+        end
+        else if attempt > 0 then
+          failwith
+            (Printf.sprintf
+               "Client: connect failed after %d attempts over %.3fs: %s"
+               (attempt + 1) retry_for (Unix.error_message err))
+        else raise exn
     | exception e ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         raise e
   in
-  let fd = go () in
+  let fd = go 0 in
   (match addr with
   | Unix.ADDR_INET _ -> (
       try Unix.setsockopt fd Unix.TCP_NODELAY true
@@ -182,3 +202,219 @@ let ping t =
   match call t (Json.Obj [ ("op", Json.Str "ping") ]) with
   | Ok (Json.Obj fields) -> List.assoc_opt "ok" fields = Some (Json.Bool true)
   | _ -> false
+
+(* ---- typed error decode ------------------------------------------ *)
+
+(* Forward compatible: a newer daemon may reply with a stable code this
+   client build has never heard of (say S399).  That must decode as a
+   generic server error carrying the raw code string — raising (or
+   returning None) on unknown codes would turn every protocol addition
+   into a client-breaking change. *)
+type server_error = {
+  se_code : Protocol.code option;  (* None: a code newer than this client *)
+  se_code_id : string;  (* raw, e.g. "S308" or an unknown "S399" *)
+  se_message : string;
+  se_retry_after_ms : int option;
+}
+
+let decode_error reply =
+  match reply with
+  | Json.Obj fields when List.assoc_opt "ok" fields = Some (Json.Bool false)
+    -> (
+      match List.assoc_opt "error" fields with
+      | Some (Json.Obj err) ->
+          let str k =
+            match List.assoc_opt k err with Some (Json.Str s) -> s | _ -> ""
+          in
+          let se_code_id = str "code" in
+          Some
+            {
+              se_code = Protocol.code_of_id se_code_id;
+              se_code_id;
+              se_message = str "message";
+              se_retry_after_ms =
+                (match List.assoc_opt "retry_after_ms" err with
+                | Some (Json.Int ms) -> Some ms
+                | _ -> None);
+            }
+      | _ ->
+          (* ok:false with no error object: still a server error, just a
+             malformed one — don't raise on it either *)
+          Some
+            {
+              se_code = None;
+              se_code_id = "";
+              se_message = "missing error object";
+              se_retry_after_ms = None;
+            })
+  | _ -> None
+
+(* ---- failover ---------------------------------------------------- *)
+
+module Failover = struct
+  module Tracer = Rtlb_obs.Tracer
+
+  (* A client that survives the daemon it is talking to.  The pending
+     table maps each in-flight request id (as its reply-routing prefix)
+     to the rendered frame; when the transport dies (EOF, ECONNRESET,
+     EPIPE) the client rotates to the next endpoint, reconnects with
+     backoff, carries the previous connection's stash across (replies
+     that DID arrive are acknowledged — they must be delivered exactly
+     once, not re-requested), and resends only the pending frames with
+     no stashed reply.  Requests are idempotent (the daemon's analyses
+     are deterministic), so a resent request yields a byte-identical
+     reply and the caller cannot tell a crash happened. *)
+
+  type conn = {
+    eps : Unix.sockaddr array;
+    mutable cursor : int;  (* index of the endpoint [inner] points at *)
+    mutable inner : t;
+    mutable fo_next_id : int;  (* survives reconnects, unlike inner's *)
+    mutable pending : (string * string) list;  (* (prefix, frame line) *)
+    fo_retry_for : float;
+    max_failovers : int;
+    fo_tracer : Tracer.t option;
+    mutable fo_closed : bool;
+  }
+
+  let connect ?tracer ?(retry_for = 5.0) ?(max_failovers = 16) endpoints =
+    match endpoints with
+    | [] -> invalid_arg "Client.Failover.connect: no endpoints"
+    | first :: _ ->
+        {
+          eps = Array.of_list endpoints;
+          cursor = 0;
+          inner = connect_sockaddr ~retry_for first;
+          fo_next_id = 0;
+          pending = [];
+          fo_retry_for = retry_for;
+          max_failovers;
+          fo_tracer = tracer;
+          fo_closed = false;
+        }
+
+  (* the single-connection close, shadowed by [Failover.close] below *)
+  let close_inner = close
+
+  let close c =
+    if not c.fo_closed then begin
+      c.fo_closed <- true;
+      close_inner c.inner
+    end
+
+  let fo_with_id c frame =
+    match frame with
+    | Json.Obj fields -> (
+        match List.assoc_opt "id" fields with
+        | Some id -> Ok (id, frame)
+        | None ->
+            let id = Json.Int c.fo_next_id in
+            c.fo_next_id <- c.fo_next_id + 1;
+            Ok (id, Json.Obj (("id", id) :: fields)))
+    | _ -> Error "request frame must be a JSON object"
+
+  (* An acknowledgement is a COMPLETE reply: a stashed line that has
+     the right prefix but does not parse is debris from a server that
+     died mid-write — the request it answers is still unacknowledged
+     and must be resent. *)
+  let parses line =
+    match Json.parse line with
+    | _ -> true
+    | exception Json.Parse_error _ -> false
+
+  (* Rotate to the next endpoint and reconnect, carrying the stash of
+     already-received replies across and resending only the pending
+     frames that have no stashed reply. *)
+  let rec reconnect c failovers =
+    if c.fo_closed then Error "client closed"
+    else if failovers > c.max_failovers then
+      Error
+        (Printf.sprintf "failover gave up after %d reconnect attempts"
+           c.max_failovers)
+    else begin
+      c.cursor <- (c.cursor + 1) mod Array.length c.eps;
+      match connect_sockaddr ~retry_for:c.fo_retry_for c.eps.(c.cursor) with
+      | exception (Unix.Unix_error _ | Failure _) -> reconnect c (failovers + 1)
+      | fresh -> (
+          fresh.stash <- c.inner.stash;
+          close_inner c.inner;
+          c.inner <- fresh;
+          Option.iter (fun tr -> Tracer.add tr Tracer.Failovers 1) c.fo_tracer;
+          let unacked =
+            List.filter
+              (fun (prefix, _) ->
+                not
+                  (List.exists
+                     (fun line -> has_prefix ~prefix line && parses line)
+                     fresh.stash))
+              c.pending
+          in
+          match
+            List.iter (fun (_, line) -> write_all fresh (line ^ "\n")) unacked
+          with
+          | () -> Ok ()
+          | exception Unix.Unix_error _ -> reconnect c (failovers + 1))
+    end
+
+  let send c frame =
+    match fo_with_id c frame with
+    | Error _ as e -> e
+    | Ok (id, frame) -> (
+        let line = Protocol.to_line frame in
+        c.pending <- c.pending @ [ (id_prefix id, line) ];
+        (* A failed write is not an error for the caller: the frame is
+           pending, and the recv path reconnects and resends it. *)
+        match write_all c.inner (line ^ "\n") with
+        | () -> Ok id
+        | exception Unix.Unix_error _ -> Ok id)
+
+  let recv c id =
+    let prefix = id_prefix id in
+    let rec await failovers =
+      let next =
+        match take_stashed c.inner ~prefix with
+        | Some line -> `Line line
+        | None -> (
+            match Line_reader.read c.inner.lr ~stop:(fun () -> c.fo_closed) with
+            | Line_reader.Eof -> `Lost
+            | Line_reader.Overflow -> `Fatal "oversized reply frame"
+            | Line_reader.Line line ->
+                if has_prefix ~prefix line then `Line line
+                else begin
+                  c.inner.stash <- line :: c.inner.stash;
+                  `Again
+                end
+            | exception
+                Unix.Unix_error
+                  ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+                `Lost)
+      in
+      match next with
+      | `Again -> await failovers
+      | `Line line -> (
+          match Json.parse line with
+          | reply ->
+              c.pending <- List.filter (fun (p, _) -> p <> prefix) c.pending;
+              Ok reply
+          | exception Json.Parse_error _ ->
+              (* torn reply: the server died mid-write.  Not an
+                 acknowledgement — the request stays pending and the
+                 reconnect path resends it. *)
+              await failovers)
+      | `Fatal msg -> Error msg
+      | `Lost ->
+          if c.fo_closed then Error "client closed"
+          else (
+            match reconnect c failovers with
+            | Ok () -> await (failovers + 1)
+            | Error msg -> Error msg)
+    in
+    await 0
+
+  let call c frame =
+    match send c frame with Error _ as e -> e | Ok id -> recv c id
+
+  let pipeline c frames =
+    let ids = List.map (send c) frames in
+    List.map (function Error _ as e -> e | Ok id -> recv c id) ids
+end

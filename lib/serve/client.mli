@@ -12,9 +12,13 @@ type t
 
 val connect_unix : ?retry_for:float -> string -> t
 (** Connect to a Unix-domain socket.  [retry_for] (seconds, default 0)
-    keeps retrying [ECONNREFUSED]/[ENOENT] — for clients racing the
-    daemon's startup.
-    @raise Unix.Unix_error when the connection (still) fails. *)
+    keeps retrying [ECONNREFUSED]/[ENOENT] with jittered exponential
+    backoff (5 ms doubling to a 200 ms cap, jitter spreading a fleet of
+    racing clients) — for clients racing the daemon's startup.
+    @raise Failure naming the attempt count when the retry budget is
+    exhausted.
+    @raise Unix.Unix_error when the first (and only, [retry_for = 0])
+    attempt fails. *)
 
 val connect_tcp : ?retry_for:float -> host:string -> port:int -> unit -> t
 (** @raise Invalid_argument on an unresolvable host. *)
@@ -59,3 +63,58 @@ val recv_raw : t -> Rtfmt.Json.t -> (string, string) result
 
 val ping : t -> bool
 (** [true] iff the daemon answers the [ping] op with ["ok": true]. *)
+
+(** A decoded daemon error reply.  [se_code] is [None] when the code is
+    one this client build does not know (a newer daemon's addition) —
+    the raw [se_code_id] (e.g. ["S399"]) is still carried, so callers
+    degrade gracefully instead of raising on protocol growth. *)
+type server_error = {
+  se_code : Protocol.code option;
+  se_code_id : string;
+  se_message : string;
+  se_retry_after_ms : int option;
+}
+
+val decode_error : Rtfmt.Json.t -> server_error option
+(** [Some] iff the reply is a daemon error (["ok": false]).  Total:
+    never raises, whatever the reply's shape. *)
+
+(** A client that survives the daemon: give it every endpoint the
+    (supervised) daemon listens on, and a transport failure — EOF,
+    [ECONNRESET], [EPIPE], a watchdog-restarted child — rotates to the
+    next endpoint, reconnects with backoff and resends {e only} the
+    requests whose replies were never received (matched by request id).
+    Replies that did arrive before the crash are carried across the
+    reconnect and delivered exactly once; since the daemon's analyses
+    are deterministic, a resent request's reply is byte-identical to
+    the crash-free run's. *)
+module Failover : sig
+  type conn
+
+  val connect :
+    ?tracer:Rtlb_obs.Tracer.t ->
+    ?retry_for:float ->
+    ?max_failovers:int ->
+    Unix.sockaddr list ->
+    conn
+  (** [retry_for] (default 5 s) bounds each reconnect attempt;
+      [max_failovers] (default 16) bounds reconnects per logical
+      receive before giving up with [Error].  [tracer] counts each
+      successful reconnect as [failovers].
+      @raise Invalid_argument on an empty endpoint list. *)
+
+  val call : conn -> Rtfmt.Json.t -> (Rtfmt.Json.t, string) result
+  (** {!Client.call} through crashes: blocks until the reply arrives on
+      whatever connection ends up delivering it. *)
+
+  val send : conn -> Rtfmt.Json.t -> (Rtfmt.Json.t, string) result
+  (** Queue + write one frame; a torn write is {e not} an error (the
+      frame is pending and will be resent on reconnect).  [Ok id] is
+      the handle for {!recv}. *)
+
+  val recv : conn -> Rtfmt.Json.t -> (Rtfmt.Json.t, string) result
+
+  val pipeline : conn -> Rtfmt.Json.t list -> (Rtfmt.Json.t, string) result list
+
+  val close : conn -> unit
+end

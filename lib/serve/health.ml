@@ -1,0 +1,35 @@
+(* Health-file protocol for external orchestrators.
+
+   One word per state, one line, rewritten atomically (temp + rename)
+   on every transition — a probe reading the file can never observe a
+   torn write, only the previous or the next state.  The server writes
+   "ready" once its listeners are up and "draining" when a drain
+   starts; the watchdog writes "degraded" between a child crash and
+   the replacement child's own "ready". *)
+
+type state = Ready | Draining | Degraded
+
+let state_name = function
+  | Ready -> "ready"
+  | Draining -> "draining"
+  | Degraded -> "degraded"
+
+let state_of_name = function
+  | "ready" -> Some Ready
+  | "draining" -> Some Draining
+  | "degraded" -> Some Degraded
+  | _ -> None
+
+let write ~path state =
+  try Rtfmt.Atomic_io.write_string_atomic path (state_name state ^ "\n")
+  with Sys_error _ | Unix.Unix_error _ -> ()
+(* health reporting is best-effort: an unwritable path must never take
+   the daemon down with it *)
+
+let read ~path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      close_in_noerr ic;
+      state_of_name (String.trim line)

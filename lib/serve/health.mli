@@ -1,0 +1,19 @@
+(** Atomic health-file reporting for external orchestrators
+    ([rtlb serve --health-file PATH]).
+
+    The file holds one word — [ready], [draining] or [degraded] — and
+    is rewritten atomically on every transition, so a probe never sees
+    a torn state.  The serving process writes [Ready]/[Draining]; the
+    watchdog writes [Degraded] while a crashed child is being
+    replaced. *)
+
+type state = Ready | Draining | Degraded
+
+val state_name : state -> string
+val state_of_name : string -> state option
+
+val write : path:string -> state -> unit
+(** Atomic rewrite; write errors are swallowed (best-effort). *)
+
+val read : path:string -> state option
+(** [None] when the file is missing or holds an unknown word. *)

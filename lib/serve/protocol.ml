@@ -8,7 +8,7 @@
 
 module Json = Rtfmt.Json
 
-type op = Analyze | Whatif | Sensitivity | Check | Ping | Stats
+type op = Analyze | Whatif | Sensitivity | Check | Ping | Stats | Health
 
 let op_name = function
   | Analyze -> "analyze"
@@ -17,6 +17,7 @@ let op_name = function
   | Check -> "check"
   | Ping -> "ping"
   | Stats -> "stats"
+  | Health -> "health"
 
 let op_of_name = function
   | "analyze" -> Some Analyze
@@ -25,6 +26,7 @@ let op_of_name = function
   | "check" -> Some Check
   | "ping" -> Some Ping
   | "stats" -> Some Stats
+  | "health" -> Some Health
   | _ -> None
 
 type code =
@@ -36,6 +38,7 @@ type code =
   | Internal
   | Draining
   | Quota_exceeded
+  | Circuit_open
 
 let code_id = function
   | Bad_frame -> "S300"
@@ -46,6 +49,7 @@ let code_id = function
   | Internal -> "S305"
   | Draining -> "S306"
   | Quota_exceeded -> "S307"
+  | Circuit_open -> "S308"
 
 let code_name = function
   | Bad_frame -> "bad_frame"
@@ -56,6 +60,15 @@ let code_name = function
   | Internal -> "internal"
   | Draining -> "draining"
   | Quota_exceeded -> "quota_exceeded"
+  | Circuit_open -> "circuit_open"
+
+let all_codes =
+  [
+    Bad_frame; Bad_request; Invalid_app; Overloaded; Deadline_expired;
+    Internal; Draining; Quota_exceeded; Circuit_open;
+  ]
+
+let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
 
 exception Reject of code * string
 
@@ -159,8 +172,9 @@ let request_of_json j =
     in
     let app =
       match (op, List.assoc_opt "app" fields) with
-      | (Ping | Stats), None -> ""
-      | (Ping | Stats), Some _ -> fail "op %S takes no \"app\"" (op_name op)
+      | (Ping | Stats | Health), None -> ""
+      | (Ping | Stats | Health), Some _ ->
+          fail "op %S takes no \"app\"" (op_name op)
       | _, Some (Json.Str text) -> text
       | _, Some _ -> fail "\"app\" must be a string (application file text)"
       | _, None -> fail "op %S requires field \"app\"" (op_name op)

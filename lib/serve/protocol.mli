@@ -12,6 +12,7 @@
     {"id": 9, "op": "sensitivity", "app": "...", "factors": ["0.5", 1, "1.5"]}
     {"id": 10, "op": "check", "app": "..."}
     {"id": 11, "op": "ping"}
+    {"id": 12, "op": "health"}
     v}
 
     Unknown fields, unknown ops and malformed payloads are rejected —
@@ -19,7 +20,7 @@
     keeps).  Every failure carries a stable [S3xx] code alongside the
     validation codes E100–E106; see docs/ROBUSTNESS.md for the table. *)
 
-type op = Analyze | Whatif | Sensitivity | Check | Ping | Stats
+type op = Analyze | Whatif | Sensitivity | Check | Ping | Stats | Health
 
 val op_name : op -> string
 val op_of_name : string -> op option
@@ -33,7 +34,9 @@ val op_of_name : string -> op option
     [S305] internal (request crashed even after supervised retries),
     [S306] draining (daemon is shutting down), [S307] quota_exceeded
     (the tenant's token bucket is empty; reply carries
-    [retry_after_ms]). *)
+    [retry_after_ms]), [S308] circuit_open (the instance fingerprint's
+    circuit breaker is open after repeated analysis failures; reply
+    carries [retry_after_ms] — retry later or fix the application). *)
 type code =
   | Bad_frame
   | Bad_request
@@ -43,11 +46,20 @@ type code =
   | Internal
   | Draining
   | Quota_exceeded
+  | Circuit_open
 
 val code_id : code -> string
-(** ["S300"] .. ["S307"]. *)
+(** ["S300"] .. ["S308"]. *)
 
 val code_name : code -> string
+
+val code_of_id : string -> code option
+(** Inverse of {!code_id}; [None] for codes this build does not know —
+    forward-compatible clients must treat those as generic server
+    errors, never crash on them ({!Client.decode_reply}). *)
+
+val all_codes : code list
+(** Every code, in [S300..] order. *)
 
 exception Reject of code * string
 (** Raised by request executors to fail with a specific code; never

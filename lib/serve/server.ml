@@ -48,6 +48,11 @@ type config = {
   quota : Quota.t option;
   coalesce : bool;
   max_frame_bytes : int;
+  journal : Journal.t option;
+  breaker : Breaker.t option;
+  health_file : string option;
+  generation : int;
+  die : unit -> unit;
 }
 
 let default_config =
@@ -61,6 +66,11 @@ let default_config =
     quota = None;
     coalesce = true;
     max_frame_bytes;
+    journal = None;
+    breaker = None;
+    health_file = None;
+    generation = 0;
+    die = (fun () -> Unix._exit 70);
   }
 
 type job = {
@@ -73,6 +83,9 @@ type job = {
       (* claimed into an earlier batch; still physically queued (a
          tombstone — pops skip it), so extraction never rebuilds the
          queues: O(1) amortized however deep the pipeline *)
+  j_replay : bool;
+      (* journal rehydration, not client traffic: counted as a replay,
+         never re-journaled, reply discarded *)
   j_reply : string -> unit;
 }
 
@@ -94,6 +107,7 @@ type t = {
   mutable draining : bool;
   mutable seq : int;
   mutable threads : Thread.t list;
+  started_ns : int64;
 }
 
 let job_digest (req : Protocol.request) =
@@ -138,7 +152,7 @@ let prepare (req : Protocol.request) =
         Error
           ( Protocol.Invalid_app,
             if l > 0 then Printf.sprintf "line %d: %s" l m else m ))
-  | Protocol.Ping | Protocol.Stats ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Health ->
       (* answered inline at admission, never queued *)
       assert false
 
@@ -157,6 +171,7 @@ let with_handle t ?pool ?deadline_ns ~engine system app use =
           Cache.discard t.cache;
           raise e)
   | None -> (
+      Tracer.add t.cfg.tracer Tracer.Cold_builds 1;
       let handle =
         Rtlb.Incremental.create ~engine ?pool ?deadline_ns
           ~tracer:t.cfg.tracer system app
@@ -214,7 +229,8 @@ let exec_prepared t ?pool job prepared =
                      (fun s -> s.Rtlb.Sensitivity.s_partial)
                      samples) );
             ]
-      | Protocol.Check | Protocol.Ping | Protocol.Stats -> assert false)
+      | Protocol.Check | Protocol.Ping | Protocol.Stats | Protocol.Health ->
+          assert false)
 
 (* Bounded memory of instances that were warm at least once — stale
    entries merely misfile one request into the high queue. *)
@@ -224,7 +240,30 @@ let mark_warm t digest =
   Hashtbl.replace t.warm digest ();
   Mutex.unlock t.mutex
 
+let breaker_applies op =
+  match op with
+  | Protocol.Analyze | Protocol.Whatif | Protocol.Sensitivity -> true
+  | Protocol.Check | Protocol.Ping | Protocol.Stats | Protocol.Health -> false
+
+(* Report the job's fate to its fingerprint's circuit breaker.  Only
+   instance-level failures (S302 invalid_app, S305 internal) extend a
+   streak: a bad edit (S301) blames the request, not the instance. *)
+let note_breaker t job verdict =
+  match t.cfg.breaker with
+  | Some b when breaker_applies job.j_req.Protocol.op -> (
+      match verdict with
+      | `Success -> Breaker.success b job.j_digest
+      | `Failure (Protocol.Invalid_app | Protocol.Internal) ->
+          Breaker.failure b job.j_digest
+      | `Failure _ -> ())
+  | _ -> ()
+
 let run_job t ?pool ?prepared job =
+  (* killserver@I: an armed crash directive takes the whole process
+     down right here — abruptly, like the SIGKILL it stands in for.
+     The watchdog (holding the listening sockets) restarts a fresh
+     child; failover clients resend whatever was never answered. *)
+  if Chaos.server_kill job.j_seq then t.cfg.die ();
   let id = job.j_req.Protocol.id in
   let reply json = job.j_reply (Protocol.to_line json) in
   let outcome_reply () =
@@ -232,7 +271,9 @@ let run_job t ?pool ?prepared job =
       match prepared with Some p -> p | None -> prepare job.j_req
     in
     match prepared with
-    | Error (code, msg) -> Protocol.error_reply ~id code msg
+    | Error (code, msg) ->
+        note_breaker t job (`Failure code);
+        Protocol.error_reply ~id code msg
     | Ok prepared -> (
         (* The supervised body returns request-level faults as values so
            the supervisor only retries genuine crashes (and worker
@@ -255,16 +296,29 @@ let run_job t ?pool ?prepared job =
             in
             if degraded then Tracer.add t.cfg.tracer Tracer.Degraded_replies 1;
             (match job.j_req.Protocol.op with
-            | Protocol.Analyze | Protocol.Whatif -> mark_warm t job.j_digest
+            | Protocol.Analyze | Protocol.Whatif ->
+                mark_warm t job.j_digest;
+                if job.j_replay then
+                  Tracer.add t.cfg.tracer Tracer.Journal_replays 1
+                else
+                  Option.iter
+                    (fun journal ->
+                      Journal.record journal job.j_req.Protocol.engine
+                        ~app:job.j_req.Protocol.app)
+                    t.cfg.journal
             | _ -> ());
+            note_breaker t job `Success;
             Protocol.ok_reply ~id ~op:job.j_req.Protocol.op ~degraded result
-        | Some (Error (code, msg)) -> Protocol.error_reply ~id code msg
+        | Some (Error (code, msg)) ->
+            note_breaker t job (`Failure code);
+            Protocol.error_reply ~id code msg
         | None ->
             let detail =
               match outcome.Supervisor.o_errors with
               | (_, m) :: _ -> m
               | [] -> "request dropped"
             in
+            note_breaker t job (`Failure Protocol.Internal);
             Protocol.error_reply ~id Protocol.Internal
               ("request failed after supervised retries: " ^ detail))
   in
@@ -297,7 +351,8 @@ let run_batch t ?pool = function
 let coalescible op =
   match op with
   | Protocol.Whatif | Protocol.Analyze -> true
-  | Protocol.Sensitivity | Protocol.Check | Protocol.Ping | Protocol.Stats ->
+  | Protocol.Sensitivity | Protocol.Check | Protocol.Ping | Protocol.Stats
+  | Protocol.Health ->
       false
 
 let batch_key (req : Protocol.request) digest =
@@ -367,6 +422,66 @@ let worker t () =
     Pool.with_pool ~jobs:t.cfg.jobs (fun pool -> worker_loop t ~pool ())
   else worker_loop t ()
 
+(* Queue every journaled instance as a low-priority internal analyze:
+   rehydration rides the normal worker machinery, so client traffic
+   (high queue, or simply ahead in line) naturally outranks it, and a
+   concurrent real query for the same instance coalesces with its
+   replay instead of double-building.  Replies go nowhere; successful
+   replays count as [journal_replays]. *)
+let rehydrate t =
+  match t.cfg.journal with
+  | None -> ()
+  | Some journal ->
+      let rec keep n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | e :: rest -> e :: keep (n - 1) rest
+      in
+      let entries =
+        keep (max 0 t.cfg.cache_capacity) (Journal.entries journal)
+      in
+      Mutex.lock t.mutex;
+      List.iter
+        (fun (e : Journal.entry) ->
+          let req =
+            {
+              Protocol.id = Json.Null;
+              op = Protocol.Analyze;
+              app = e.Journal.je_app;
+              engine = e.Journal.je_engine;
+              deadline_ms = None;
+              tenant = None;
+              priority = Some Protocol.Low;
+              edits = [];
+              factors = [];
+            }
+          in
+          let j_seq = t.seq in
+          t.seq <- j_seq + 1;
+          let job =
+            {
+              j_req = req;
+              j_deadline_ns = None;
+              j_seq;
+              j_digest = job_digest req;
+              j_high = false;
+              j_taken = false;
+              j_replay = true;
+              j_reply = ignore;
+            }
+          in
+          Queue.push job t.q_low;
+          t.n_low <- t.n_low + 1;
+          if t.cfg.coalesce then begin
+            let key = batch_key req job.j_digest in
+            match Hashtbl.find_opt t.by_key key with
+            | Some l -> l := job :: !l
+            | None -> Hashtbl.replace t.by_key key (ref [ job ])
+          end)
+        entries;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+
 let create ?(config = default_config) () =
   let t =
     {
@@ -384,8 +499,13 @@ let create ?(config = default_config) () =
       draining = false;
       seq = 0;
       threads = [];
+      started_ns = Pool.now_ns ();
     }
   in
+  (* a watchdog-restarted child reports its own generation, so [stats]
+     reflects restarts even though the watchdog is another process *)
+  Tracer.add config.tracer Tracer.Server_restarts (max 0 config.generation);
+  rehydrate t;
   t.threads <-
     List.init (max 0 config.workers) (fun _ -> Thread.create (worker t) ());
   t
@@ -409,6 +529,16 @@ let run_pending t =
 
 let queue_depth t = t.n_high + t.n_low
 
+let uptime_ms t =
+  Int64.to_int (Int64.div (Int64.sub (Pool.now_ns ()) t.started_ns) 1_000_000L)
+
+let health_status t =
+  if t.draining then Health.Draining
+  else if
+    match t.cfg.breaker with Some b -> Breaker.open_count b > 0 | None -> false
+  then Health.Degraded
+  else Health.Ready
+
 let stats_snapshot t =
   Json.Obj
     (List.map
@@ -416,7 +546,16 @@ let stats_snapshot t =
          (Tracer.counter_name c, Json.Int (Tracer.counter t.cfg.tracer c)))
        Tracer.all_counters
     @ [
+        ("uptime_ms", Json.Int (uptime_ms t));
         ("cache_entries", Json.Int (Cache.length t.cache));
+        ( "journal_entries",
+          match t.cfg.journal with
+          | Some j -> Json.Int (Journal.length j)
+          | None -> Json.Null );
+        ( "breaker_open",
+          match t.cfg.breaker with
+          | Some b -> Json.Int (Breaker.open_count b)
+          | None -> Json.Null );
         ("queue_depth", Json.Int (queue_depth t));
         ("queue_high", Json.Int t.n_high);
         ("queue_low", Json.Int t.n_low);
@@ -426,6 +565,22 @@ let stats_snapshot t =
           | None -> Json.Null );
         ("draining", Json.Bool t.draining);
       ])
+
+let health_snapshot t =
+  Json.Obj
+    [
+      ("status", Json.Str (Health.state_name (health_status t)));
+      ("uptime_ms", Json.Int (uptime_ms t));
+      ("generation", Json.Int t.cfg.generation);
+      ( "journal_entries",
+        match t.cfg.journal with
+        | Some j -> Json.Int (Journal.length j)
+        | None -> Json.Null );
+      ( "breaker_open",
+        match t.cfg.breaker with
+        | Some b -> Json.Int (Breaker.open_count b)
+        | None -> Json.Null );
+    ]
 
 (* Hint for S303: clients should back off for roughly the time the
    standing (not the worst-case) queue needs to drain one slot per
@@ -471,6 +626,11 @@ let submit t line reply_line =
                   (Protocol.to_line
                      (Protocol.ok_reply ~id ~op:Protocol.Stats
                         (stats_snapshot t)))
+            | Protocol.Health ->
+                reply_line
+                  (Protocol.to_line
+                     (Protocol.ok_reply ~id ~op:Protocol.Health
+                        (health_snapshot t)))
             | _ -> (
                 let tenant = Option.value ~default:"" req.Protocol.tenant in
                 match
@@ -483,7 +643,7 @@ let submit t line reply_line =
                     reject ~id Protocol.Quota_exceeded ~retry_after_ms
                       (if tenant = "" then "anonymous tenant is over quota"
                        else Printf.sprintf "tenant %S is over quota" tenant)
-                | Quota.Admit ->
+                | Quota.Admit -> (
                     let j_deadline_ns =
                       Option.map
                         (fun ms ->
@@ -492,6 +652,19 @@ let submit t line reply_line =
                         req.Protocol.deadline_ms
                     in
                     let j_digest = job_digest req in
+                    (* fast-fail a tripped instance before it costs a
+                       queue slot or a worker pass *)
+                    match
+                      match t.cfg.breaker with
+                      | Some b when breaker_applies req.Protocol.op ->
+                          Breaker.check b j_digest
+                      | _ -> Breaker.Proceed
+                    with
+                    | Breaker.Fast_fail { retry_after_ms } ->
+                        reject ~id Protocol.Circuit_open ~retry_after_ms
+                          "instance circuit breaker is open after repeated \
+                           analysis failures"
+                    | Breaker.Proceed | Breaker.Probe ->
                     Mutex.lock t.mutex;
                     if t.draining then (
                       Mutex.unlock t.mutex;
@@ -525,6 +698,7 @@ let submit t line reply_line =
                           j_digest;
                           j_high = high;
                           j_taken = false;
+                          j_replay = false;
                           j_reply = reply_line;
                         }
                       in
@@ -545,7 +719,7 @@ let submit t line reply_line =
                       Tracer.add tracer Tracer.Requests_admitted 1;
                       Condition.signal t.cond;
                       Mutex.unlock t.mutex
-                    end)))
+                    end))))
 
 (* ---- drain -------------------------------------------------------- *)
 
@@ -553,7 +727,10 @@ let drain t =
   Mutex.lock t.mutex;
   t.draining <- true;
   Condition.broadcast t.cond;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  Option.iter
+    (fun path -> Health.write ~path Health.Draining)
+    t.cfg.health_file
 
 let join t =
   let threads = t.threads in
@@ -598,7 +775,13 @@ let overflow_line t =
     (Protocol.error_reply ~id:Json.Null Protocol.Bad_frame
        (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame_bytes))
 
+let note_ready t =
+  Option.iter
+    (fun path -> Health.write ~path Health.Ready)
+    t.cfg.health_file
+
 let serve_stdio t ~stop =
+  note_ready t;
   let reply = locked_writer Unix.stdout in
   let lr = Line_reader.create ~max_bytes:t.cfg.max_frame_bytes Unix.stdin in
   let rec loop () =
@@ -686,37 +869,53 @@ let accept_loop t sock ~stop =
   in
   go ()
 
-let serve t ?on_ready ~endpoints ~stop () =
+let bind_endpoints endpoints =
   if endpoints = [] then invalid_arg "serve: no endpoints";
-  let bound = List.map bind_endpoint endpoints in
-  Fun.protect
-    ~finally:(fun () ->
-      List.iter
-        (fun (sock, path) ->
-          (try Unix.close sock with Unix.Unix_error _ -> ());
-          match path with
-          | Some path -> (
-              try Unix.unlink path with Unix.Unix_error _ -> ())
-          | None -> ())
-        bound)
-    (fun () ->
-      (match on_ready with
-      | Some f ->
-          f
-            (List.map
-               (fun (sock, _) ->
-                 try Unix.getsockname sock
-                 with Unix.Unix_error _ -> Unix.ADDR_UNIX "?")
-               bound)
-      | None -> ());
-      let acceptors =
-        List.map
-          (fun (sock, _) -> Thread.create (fun () -> accept_loop t sock ~stop) ())
-          bound
-      in
-      List.iter Thread.join acceptors;
-      (* stop requested: connections still open keep their replies, new
-         frames are refused with S306 while the queue drains *)
-      shutdown t)
+  List.map bind_endpoint endpoints
+
+(* Serve on sockets that are already bound and listening.  [cleanup]
+   false leaves closing and unlinking to the true owner — the watchdog
+   parent, which holds the same descriptors across child restarts so
+   the endpoint never disappears. *)
+let serve_bound t ?on_ready ?(cleanup = true) ~sockets ~stop () =
+  if sockets = [] then invalid_arg "serve: no endpoints";
+  let body () =
+    (match on_ready with
+    | Some f ->
+        f
+          (List.map
+             (fun (sock, _) ->
+               try Unix.getsockname sock
+               with Unix.Unix_error _ -> Unix.ADDR_UNIX "?")
+             sockets)
+    | None -> ());
+    note_ready t;
+    let acceptors =
+      List.map
+        (fun (sock, _) -> Thread.create (fun () -> accept_loop t sock ~stop) ())
+        sockets
+    in
+    List.iter Thread.join acceptors;
+    (* stop requested: connections still open keep their replies, new
+       frames are refused with S306 while the queue drains *)
+    shutdown t
+  in
+  if cleanup then
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (sock, path) ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            match path with
+            | Some path -> (
+                try Unix.unlink path with Unix.Unix_error _ -> ())
+            | None -> ())
+          sockets)
+      body
+  else body ()
+
+let serve t ?on_ready ~endpoints ~stop () =
+  serve_bound t ?on_ready ~cleanup:true ~sockets:(bind_endpoints endpoints)
+    ~stop ()
 
 let serve_socket t ~path ~stop = serve t ~endpoints:[ Unix_path path ] ~stop ()

@@ -64,6 +64,25 @@ type config = {
   quota : Quota.t option;  (** [None] (default): no rate limiting. *)
   coalesce : bool;  (** What-if coalescing (default [true]). *)
   max_frame_bytes : int;  (** Frame/buffer cap (default 8 MiB). *)
+  journal : Journal.t option;
+      (** Warm-state journal: successful analyze/what-if instances are
+          logged, and {!create} pre-warms the cache from it in the
+          background (low priority).  [None] (default): no journal —
+          a restart serves cold. *)
+  breaker : Breaker.t option;
+      (** Per-fingerprint circuit breakers: repeated S302/S305 failures
+          fast-fail with [S308 circuit_open] at admission.  [None]
+          (default): never fast-fail. *)
+  health_file : string option;
+      (** Atomically rewritten [ready]/[draining] on transitions
+          ({!Health}); [None] (default): no file. *)
+  generation : int;
+      (** Watchdog restart generation (0 for the first child or an
+          unsupervised daemon); reported as the [server_restarts]
+          counter so [stats] shows restarts across process boundaries. *)
+  die : unit -> unit;
+      (** How a [killserver@I] chaos directive terminates the process
+          (default [Unix._exit 70]); tests substitute a marker. *)
 }
 
 val default_config : config
@@ -75,9 +94,22 @@ val max_frame_bytes : int
 type t
 
 val create : ?config:config -> unit -> t
-(** Starts the worker threads immediately. *)
+(** Starts the worker threads immediately.  With a journal configured,
+    also queues one low-priority internal analyze per journaled
+    instance (newest first, capped at the cache capacity) — background
+    rehydration that client traffic naturally outranks. *)
 
 val cache : t -> Cache.t
+
+val stats_snapshot : t -> Rtfmt.Json.t
+(** The [stats] op's payload: every tracer counter plus [uptime_ms],
+    [cache_entries], [journal_entries], [breaker_open], queue depths,
+    quota tenant count and the draining flag. *)
+
+val health_snapshot : t -> Rtfmt.Json.t
+(** The [health] op's payload: [status] ([ready]/[draining]/[degraded]
+    — degraded when any breaker is open), [uptime_ms], [generation],
+    [journal_entries], [breaker_open]. *)
 
 val submit : t -> string -> (string -> unit) -> unit
 (** [submit t line reply] processes one request frame.  Parse errors,
@@ -139,6 +171,27 @@ val serve :
     [endpoints] order — ephemeral TCP ports resolved).
     @raise Invalid_argument on an empty [endpoints] list or an
     unresolvable TCP host. *)
+
+val bind_endpoints : endpoint list -> (Unix.file_descr * string option) list
+(** Bind and listen on every endpoint, returning the listening sockets
+    paired with the Unix socket path to unlink at cleanup (if any).
+    Used by the watchdog ({!Watchdog}) to hold the endpoints itself
+    and hand them to each forked child.
+    @raise Invalid_argument on an empty list or unresolvable host. *)
+
+val serve_bound :
+  t ->
+  ?on_ready:(Unix.sockaddr list -> unit) ->
+  ?cleanup:bool ->
+  sockets:(Unix.file_descr * string option) list ->
+  stop:(unit -> bool) ->
+  unit ->
+  unit
+(** {!serve} over sockets already bound with {!bind_endpoints}.
+    [cleanup] (default [true]) closes the sockets and unlinks the paths
+    on return; a watchdog child passes [false] — the parent owns the
+    descriptors, which is exactly why a child crash never drops the
+    endpoint. *)
 
 val serve_socket : t -> path:string -> stop:(unit -> bool) -> unit
 (** [serve t ~endpoints:[Unix_path path]] — the single-socket case. *)

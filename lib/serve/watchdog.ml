@@ -1,0 +1,171 @@
+(* Process-level supervision for the daemon: the Supervisor's
+   retry/heal philosophy lifted one level, from worker domains to the
+   serving process itself.
+
+   The watchdog — a deliberately tiny parent process — binds the
+   listening sockets ITSELF and passes the inherited fds to each forked
+   child.  That ordering is the whole trick: a child crash never closes
+   the listening socket, so clients see a connection reset (which
+   Client.Failover absorbs), never a vanished endpoint or an
+   address-in-use race while the replacement binds.
+
+   Restart policy mirrors Supervisor.backoff_ms: jittered exponential
+   backoff between restarts, and a sliding crash window so a child that
+   dies on arrival (crash loop — bad flags, corrupt state, a chaos plan
+   with an unconditional kill) is detected and reported with a non-zero
+   exit instead of flapping forever.  A child that exits 0 (graceful
+   drain) ends supervision: exit-0 semantics are identical with and
+   without --supervised. *)
+
+type config = {
+  max_crashes : int;  (* crash-loop threshold within the window *)
+  crash_window_s : float;
+  backoff_initial_ms : int;
+  backoff_max_ms : int;
+  health_file : string option;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    max_crashes = 5;
+    crash_window_s = 30.0;
+    backoff_initial_ms = 100;
+    backoff_max_ms = 5_000;
+    health_file = None;
+    log = (fun line -> Printf.eprintf "rtlb-watchdog: %s\n%!" line);
+  }
+
+let crash_loop_exit = 3
+
+(* Deterministic jitter in [0.5, 1.0) of the exponential backoff —
+   same golden-ratio hash as the client's connect backoff. *)
+let backoff_s cfg restart =
+  let base =
+    Float.min
+      (float_of_int cfg.backoff_initial_ms *. float_of_int (1 lsl min restart 8))
+      (float_of_int cfg.backoff_max_ms)
+    /. 1000.0
+  in
+  let jitter =
+    float_of_int (((restart + 1) * 0x9E3779B1) land 0xffff) /. 65536.0
+  in
+  base *. (0.5 +. (0.5 *. jitter))
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+(* OCaml signal numbers are negative internals; map the ones we forward
+   to the conventional 128+N shell exit codes. *)
+let signal_exit_code s =
+  if s = Sys.sigterm then 143
+  else if s = Sys.sigint then 130
+  else if s = Sys.sigkill then 137
+  else 128 + 15
+
+let run ?(config = default_config) ~endpoints ~child () =
+  let sockets = Server.bind_endpoints endpoints in
+  let child_pid = ref 0 in
+  let terminating = ref false in
+  let forward signal _ =
+    terminating := true;
+    if !child_pid > 0 then
+      try Unix.kill !child_pid signal with Unix.Unix_error _ -> ()
+  in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle (forward Sys.sigterm)) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle (forward Sys.sigint)) in
+  let cleanup () =
+    (try Sys.set_signal Sys.sigterm prev_term with Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint prev_int with Sys_error _ -> ());
+    List.iter
+      (fun (fd, path) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match path with
+        | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+        | None -> ())
+      sockets
+  in
+  (* interruptible backoff: SIGTERM mid-backoff must not be slept away *)
+  let sleep_interruptible seconds =
+    let deadline = Unix.gettimeofday () +. seconds in
+    let rec nap () =
+      if (not !terminating) && Unix.gettimeofday () < deadline then begin
+        (try ignore (Unix.select [] [] [] 0.05)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        nap ()
+      end
+    in
+    nap ()
+  in
+  let rec wait pid =
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait pid
+  in
+  let spawn generation =
+    (* flush before fork so buffered diagnostics are not emitted twice *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (* the CLI child installs its own drain discipline; until then,
+           default dispositions — not the watchdog's forwarders *)
+        Sys.set_signal Sys.sigterm Sys.Signal_default;
+        Sys.set_signal Sys.sigint Sys.Signal_default;
+        (try child ~generation sockets
+         with e ->
+           Printf.eprintf "rtlb-serve[%d]: %s\n%!" generation
+             (Printexc.to_string e));
+        flush stdout;
+        flush stderr;
+        Unix._exit 0
+    | pid -> pid
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let crash_times = ref [] in
+  let rec supervise generation =
+    let pid = spawn generation in
+    child_pid := pid;
+    config.log (Printf.sprintf "generation %d: child pid %d" generation pid);
+    let status = wait pid in
+    child_pid := 0;
+    match status with
+    | Unix.WEXITED 0 ->
+        config.log (Printf.sprintf "generation %d: graceful exit" generation);
+        0
+    | Unix.WEXITED code when !terminating ->
+        config.log
+          (Printf.sprintf "generation %d: exited %d while terminating"
+             generation code);
+        code
+    | Unix.WSIGNALED s when !terminating -> signal_exit_code s
+    | status ->
+        let now = Unix.gettimeofday () in
+        crash_times :=
+          now
+          :: List.filter
+               (fun t -> now -. t <= config.crash_window_s)
+               !crash_times;
+        Option.iter
+          (fun path -> Health.write ~path Health.Degraded)
+          config.health_file;
+        if List.length !crash_times >= config.max_crashes then begin
+          config.log
+            (Printf.sprintf
+               "crash loop: %d crashes within %.0fs (last: %s) — giving up"
+               (List.length !crash_times)
+               config.crash_window_s (status_string status));
+          crash_loop_exit
+        end
+        else begin
+          let pause = backoff_s config generation in
+          config.log
+            (Printf.sprintf "generation %d: %s; restarting in %.2fs"
+               generation (status_string status) pause);
+          sleep_interruptible pause;
+          if !terminating then 143 else supervise (generation + 1)
+        end
+  in
+  supervise 0

@@ -1,0 +1,50 @@
+(** Process-level supervision for [rtlb serve --supervised]: a tiny
+    parent that binds the listening sockets {e itself}, forks the
+    serving child over the inherited fds, and restarts it on abnormal
+    exit — so a child crash never drops the endpoint or races the bind.
+
+    Restart policy (mirroring {!Rtlb_par.Supervisor}): jittered
+    exponential backoff between restarts, plus a sliding crash window —
+    [max_crashes] abnormal exits within [crash_window_s] is a crash
+    loop, reported with exit code {!crash_loop_exit} and a diagnostic
+    instead of flapping forever.
+
+    Signals: SIGTERM/SIGINT to the watchdog are forwarded to the child;
+    a child that then exits 0 (its graceful drain) ends supervision
+    with 0 — identical drain semantics with and without [--supervised].
+    While a crashed child is being replaced, [health_file] (if any)
+    reads [degraded]; the replacement child overwrites it with [ready]
+    once it listens. *)
+
+type config = {
+  max_crashes : int;  (** Crash-loop threshold (default 5). *)
+  crash_window_s : float;  (** Sliding window (default 30 s). *)
+  backoff_initial_ms : int;  (** First restart delay (default 100). *)
+  backoff_max_ms : int;  (** Backoff cap (default 5000). *)
+  health_file : string option;
+      (** Written [degraded] between a crash and the restart. *)
+  log : string -> unit;  (** Diagnostics (default: stderr). *)
+}
+
+val default_config : config
+
+val crash_loop_exit : int
+(** Exit code ([3]) returned when the crash-loop detector trips. *)
+
+val run :
+  ?config:config ->
+  endpoints:Server.endpoint list ->
+  child:(generation:int -> (Unix.file_descr * string option) list -> unit) ->
+  unit ->
+  int
+(** Bind the endpoints, then fork-and-supervise: [child ~generation
+    sockets] runs in the forked process (generation 0, 1, ... across
+    restarts) and should serve over the inherited sockets with
+    {!Server.serve_bound}[ ~cleanup:false] until its own stop
+    condition, then return — the child process exits 0.  An exception
+    out of [child] is logged and still exits 0 (a {e refusing} child
+    must not masquerade as a crash).  Returns the process exit code:
+    the child's on graceful/terminating exit, {!crash_loop_exit} on a
+    crash loop.  The watchdog closes the sockets and unlinks Unix
+    socket paths when supervision ends.
+    @raise Invalid_argument on an empty endpoint list. *)

@@ -915,6 +915,467 @@ let tenantflood_quota_storm () =
           check_bool "daemon alive" true
             (is_ok (request t (frame [ ("op", Json.Str "ping") ])))))
 
+(* ---- resilience layer ------------------------------------------- *)
+
+module Client = Rtlb_serve.Client
+module Breaker = Rtlb_serve.Breaker
+module Journal = Rtlb_serve.Journal
+module Health = Rtlb_serve.Health
+
+let temp_path suffix =
+  let path = Filename.temp_file "rtlb_serve_test" suffix in
+  Sys.remove path;
+  path
+
+(* satellite: the connect retry loop is jittered exponential backoff
+   (was a fixed 5 ms sleep) and an exhausted budget surfaces the
+   attempt count instead of the last bare Unix_error *)
+let connect_backoff () =
+  let path = temp_path ".sock" in
+  (* nothing ever listens at [path] *)
+  (match Client.connect_unix ~retry_for:0.25 path with
+  | _ -> Alcotest.fail "connected to nothing"
+  | exception Failure msg ->
+      check_bool "attempt count surfaced" true
+        (string_contains ~needle:"attempts" msg)
+  | exception Unix.Unix_error _ ->
+      Alcotest.fail "expected Failure naming the attempt count");
+  (* [retry_for = 0] keeps the original contract: immediate raise *)
+  match Client.connect_unix path with
+  | _ -> Alcotest.fail "connected to nothing"
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* satellite: an error code this client build has never heard of (a
+   newer daemon) decodes as a generic server error carrying the raw
+   code — never a raise, never a client-breaking protocol addition *)
+let decode_forward_compat () =
+  let err_reply code =
+    Json.Obj
+      [
+        ("id", Json.Int 1);
+        ("ok", Json.Bool false);
+        ( "error",
+          Json.Obj
+            [
+              ("code", Json.Str code);
+              ("name", Json.Str "mystery");
+              ("message", Json.Str "from the future");
+              ("retry_after_ms", Json.Int 7);
+            ] );
+      ]
+  in
+  (match Client.decode_error (err_reply "S303") with
+  | Some e ->
+      check_bool "known code decodes typed" true
+        (e.Client.se_code = Some Protocol.Overloaded);
+      check_bool "retry hint carried" true (e.Client.se_retry_after_ms = Some 7)
+  | None -> Alcotest.fail "S303 reply not recognised as an error");
+  (match Client.decode_error (err_reply "S399") with
+  | Some e ->
+      check_bool "unknown code -> generic variant" true (e.Client.se_code = None);
+      check_string "raw code carried" "S399" e.Client.se_code_id;
+      check_string "message carried" "from the future" e.Client.se_message
+  | None -> Alcotest.fail "synthetic S399 reply not recognised as an error");
+  check_bool "ok replies are not errors" true
+    (Client.decode_error (Json.Obj [ ("ok", Json.Bool true) ]) = None);
+  check_bool "total on junk" true (Client.decode_error Json.Null = None);
+  (* ok:false with a malformed error object must still not raise *)
+  check_bool "total on malformed errors" true
+    (Client.decode_error (Json.Obj [ ("ok", Json.Bool false) ]) <> None)
+
+(* the breaker state machine on a fake clock: closed -> open at the
+   threshold -> half-open single probe after the cooldown -> closed on
+   probe success / re-open on probe failure *)
+let breaker_machine () =
+  let now = ref 0L in
+  let tracer = Tracer.make () in
+  let b =
+    Breaker.create
+      ~now:(fun () -> !now)
+      ~tracer ~threshold:2 ~cooldown_ms:100 ()
+  in
+  let at_ms ms = Int64.mul (Int64.of_int ms) 1_000_000L in
+  check_bool "closed: proceed" true (Breaker.check b "k" = Breaker.Proceed);
+  Breaker.failure b "k";
+  check_bool "below threshold: still closed" true
+    (Breaker.check b "k" = Breaker.Proceed);
+  Breaker.failure b "k";
+  check_int "trip counted" 1 (Tracer.counter tracer Tracer.Breaker_opens);
+  (match Breaker.check b "k" with
+  | Breaker.Fast_fail { retry_after_ms } ->
+      check_bool "hint within the cooldown" true
+        (retry_after_ms >= 1 && retry_after_ms <= 100)
+  | _ -> Alcotest.fail "open breaker must fast-fail");
+  check_int "open_count sees it" 1 (Breaker.open_count b);
+  check_bool "other fingerprints unaffected" true
+    (Breaker.check b "other" = Breaker.Proceed);
+  now := at_ms 101;
+  check_bool "cooldown elapsed: single probe" true
+    (Breaker.check b "k" = Breaker.Probe);
+  check_int "probe counted" 1 (Tracer.counter tracer Tracer.Breaker_probes);
+  (match Breaker.check b "k" with
+  | Breaker.Fast_fail _ -> ()
+  | _ -> Alcotest.fail "probe in flight: everyone else fast-fails");
+  Breaker.failure b "k";
+  (match Breaker.check b "k" with
+  | Breaker.Fast_fail _ -> ()
+  | _ -> Alcotest.fail "failed probe re-opens");
+  check_int "re-open counted" 2 (Tracer.counter tracer Tracer.Breaker_opens);
+  now := at_ms 300;
+  check_bool "second probe window" true (Breaker.check b "k" = Breaker.Probe);
+  Breaker.success b "k";
+  check_bool "probe success closes" true (Breaker.check b "k" = Breaker.Proceed);
+  check_int "nothing open" 0 (Breaker.open_count b)
+
+(* S308 end to end: an instance that keeps failing analysis trips its
+   breaker at admission; unrelated requests and the ping/stats ops
+   never consult it *)
+let breaker_s308 () =
+  let tracer = Tracer.make () in
+  let breaker = Breaker.create ~tracer ~threshold:2 ~cooldown_ms:60 () in
+  let config =
+    { (quick_config ()) with Server.tracer; breaker = Some breaker }
+  in
+  with_server ~config (fun t ->
+      let bad () =
+        request t
+          (frame [ ("op", Json.Str "analyze"); ("app", Json.Str "garbage") ])
+      in
+      check_string "first failure: S302" "S302" (error_code (bad ()));
+      check_string "second failure: S302" "S302" (error_code (bad ()));
+      let tripped = bad () in
+      check_string "third request fast-fails" "S308" (error_code tripped);
+      (match Client.decode_error tripped with
+      | Some e ->
+          check_bool "S308 carries a retry hint" true
+            (e.Client.se_retry_after_ms <> None);
+          check_bool "decodes as Circuit_open" true
+            (e.Client.se_code = Some Protocol.Circuit_open)
+      | None -> Alcotest.fail "S308 reply did not decode");
+      check_bool "healthy instances flow" true
+        (is_ok
+           (request t
+              (frame
+                 [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])));
+      check_bool "ping never consults the breaker" true
+        (is_ok (request t (frame [ ("op", Json.Str "ping") ])));
+      (* cooldown over: exactly one probe goes through (and fails
+         again, re-opening) *)
+      ignore (Unix.select [] [] [] 0.08);
+      check_string "probe re-runs the analysis" "S302" (error_code (bad ()));
+      check_string "failed probe re-opens" "S308" (error_code (bad ()));
+      check_bool "breaker trips counted" true
+        (Tracer.counter tracer Tracer.Breaker_opens >= 2))
+
+(* journal: record/reopen round-trip, recency order, dedup,
+   capacity trim, compaction *)
+let journal_roundtrip () =
+  let path = temp_path ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let j = Journal.open_ ~capacity:3 path in
+  Journal.record j `Record ~app:"a";
+  Journal.record j `Soa ~app:"a";
+  (* same text, different engine: distinct instances *)
+  Journal.record j `Record ~app:"b";
+  Journal.record j `Record ~app:"a";
+  (* refresh: moves to front *)
+  Journal.record j `Record ~app:"a";
+  (* duplicate head: no-op *)
+  check_int "recency-deduped length" 3 (Journal.length j);
+  (match Journal.entries j with
+  | [ e1; e2; e3 ] ->
+      check_string "most recent first" "a" e1.Journal.je_app;
+      check_bool "engine preserved" true (e1.Journal.je_engine = `Record);
+      check_string "then b" "b" e2.Journal.je_app;
+      check_bool "then the soa one" true (e3.Journal.je_engine = `Soa)
+  | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es));
+  Journal.close j;
+  let j2 = Journal.open_ ~capacity:3 path in
+  check_int "reopen preserves the live set" 3 (Journal.length j2);
+  check_int "clean file: nothing dropped" 0 (Journal.dropped_tail j2);
+  (* capacity trim on reopen *)
+  Journal.close j2;
+  let j3 = Journal.open_ ~capacity:1 path in
+  check_int "tighter capacity trims to most recent" 1 (Journal.length j3);
+  (match Journal.entries j3 with
+  | [ e ] -> check_string "the survivor is the most recent" "a" e.Journal.je_app
+  | _ -> Alcotest.fail "expected 1 entry");
+  (* compaction: enough distinct appends to pass max(2*cap, 8) *)
+  for i = 0 to 11 do
+    Journal.record j3 `Record ~app:(Printf.sprintf "app%d" i)
+  done;
+  Journal.close j3;
+  let stat = Unix.stat path in
+  check_bool "log-structured file stays bounded" true
+    (stat.Unix.st_size < 4096);
+  let j4 = Journal.open_ ~capacity:8 path in
+  check_bool "compacted journal reopens clean" true
+    (Journal.length j4 >= 1 && Journal.dropped_tail j4 = 0);
+  Journal.close j4
+
+(* corrupt tails: garbage lines, checksum mismatches and torn appends
+   are dropped together with everything after them, and the clean
+   prefix is repaired in place *)
+let journal_corrupt_tail () =
+  let path = temp_path ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let j = Journal.open_ ~capacity:4 path in
+  Journal.record j `Record ~app:"keep1";
+  Journal.record j `Record ~app:"keep2";
+  Journal.close j;
+  (* a torn append: valid-looking JSON with no trailing newline *)
+  let append s =
+    let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+    output_string oc s;
+    close_out oc
+  in
+  append "{\"sum\": \"deadbeef\"";
+  let j2 = Journal.open_ ~capacity:4 path in
+  check_int "torn tail dropped" 1 (Journal.dropped_tail j2);
+  check_int "clean prefix kept" 2 (Journal.length j2);
+  Journal.close j2;
+  (* the repair rewrote the file: reopening is clean again *)
+  let j3 = Journal.open_ ~capacity:4 path in
+  check_int "repaired file reopens clean" 0 (Journal.dropped_tail j3);
+  Journal.close j3;
+  (* a checksum mismatch mid-file poisons everything after it *)
+  append
+    "{\"sum\": \"00000000000000000000000000000000\",\"engine\": \
+     \"record\",\"app\": \"evil\"}\n";
+  append
+    (Rtfmt.Json.to_string ~indent:false
+       (Json.Obj
+          [
+            ("sum", Json.Str (Digest.to_hex (Digest.string "record\x00late")));
+            ("engine", Json.Str "record");
+            ("app", Json.Str "late");
+          ])
+    ^ "\n");
+  let j4 = Journal.open_ ~capacity:4 path in
+  check_int "bad checksum drops itself and the rest" 2
+    (Journal.dropped_tail j4);
+  check_int "only the trusted prefix survives" 2 (Journal.length j4);
+  Journal.close j4;
+  (* a corrupt header distrusts the whole file *)
+  let oc = open_out_bin path in
+  output_string oc "not a journal\n{\"sum\": \"x\"}\n";
+  close_out oc;
+  let j5 = Journal.open_ ~capacity:4 path in
+  check_int "corrupt header: nothing trusted" 0 (Journal.length j5);
+  check_bool "everything counted as dropped" true (Journal.dropped_tail j5 >= 2);
+  Journal.close j5
+
+(* chaos: the journalcorrupt directive garbles the tail exactly once,
+   and the next open drops it — never trusts it *)
+let journal_chaos_corrupt () =
+  let path = temp_path ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let plan =
+    match Chaos.parse "journalcorrupt@1" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  with_chaos plan (fun () ->
+      let j = Journal.open_ ~capacity:4 path in
+      Journal.record j `Record ~app:"first";
+      Journal.record j `Record ~app:"second";
+      (* append #1: garbled after the record *)
+      Journal.record j `Record ~app:"third";
+      Journal.close j;
+      check_int "the corruption fired once" 1 (Chaos.fired_journal_corrupts ()));
+  let j2 = Journal.open_ ~capacity:4 path in
+  check_bool "the garbled tail was dropped, not trusted" true
+    (Journal.dropped_tail j2 >= 1);
+  (* "second"'s record line itself is intact (the garbage follows its
+     newline), so only the debris and anything after it are lost *)
+  check_bool "the trusted prefix survives" true (Journal.length j2 >= 2);
+  Journal.close j2
+
+let resilience_dsl () =
+  (match Chaos.parse "killserver@3,journalcorrupt@2" with
+  | Ok plan ->
+      check_bool "killserver round-trips" true
+        (string_contains ~needle:"killserver@3" (Chaos.to_string plan));
+      check_bool "journalcorrupt round-trips" true
+        (string_contains ~needle:"journalcorrupt@2" (Chaos.to_string plan));
+      with_chaos plan (fun () ->
+          check_bool "wrong index: no fire" true (not (Chaos.server_kill 2));
+          check_bool "right index fires" true (Chaos.server_kill 3);
+          check_bool "budget is one-shot" true (not (Chaos.server_kill 3));
+          check_int "fired counter" 1 (Chaos.fired_server_kills ()))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Chaos.parse "killserver@x" with
+  | Ok _ -> Alcotest.fail "malformed killserver accepted"
+  | Error _ -> ());
+  match Chaos.parse "journalcorrupt@0x3" with
+  | Ok _ -> Alcotest.fail "non-decimal payload accepted"
+  | Error _ -> ()
+
+(* the health op, the health file protocol, and the extended stats
+   fields (uptime_ms / cache_entries / journal_entries) *)
+let health_and_stats () =
+  let health_path = temp_path ".health" in
+  let journal_path = temp_path ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ health_path; journal_path ])
+  @@ fun () ->
+  Health.write ~path:health_path Health.Ready;
+  check_bool "health file round-trips" true
+    (Health.read ~path:health_path = Some Health.Ready);
+  Health.write ~path:health_path Health.Degraded;
+  check_bool "degraded round-trips" true
+    (Health.read ~path:health_path = Some Health.Degraded);
+  check_bool "unknown words are not a state" true
+    (Health.state_of_name "sideways" = None);
+  let journal = Journal.open_ ~capacity:4 journal_path in
+  let config =
+    {
+      (quick_config ()) with
+      Server.journal = Some journal;
+      health_file = Some health_path;
+      generation = 2;
+    }
+  in
+  let t = Server.create ~config () in
+  Fun.protect ~finally:(fun () ->
+      Server.shutdown t;
+      Journal.close journal)
+  @@ fun () ->
+  let reply = request t (frame [ ("op", Json.Str "health") ]) in
+  check_bool "health op answers ok" true (is_ok reply);
+  let result = Json.member "result" reply in
+  check_bool "status is ready" true
+    (Json.member "status" result = Json.Str "ready");
+  check_bool "generation reported" true
+    (Json.member "generation" result = Json.Int 2);
+  (match Json.member "uptime_ms" result with
+  | Json.Int ms -> check_bool "uptime sane" true (ms >= 0)
+  | _ -> Alcotest.fail "uptime_ms missing from health");
+  check_bool "an analyze lands in the journal" true
+    (is_ok
+       (request t
+          (frame [ ("op", Json.Str "analyze"); ("app", Json.Str paper_text) ])));
+  let stats = request t (frame [ ("op", Json.Str "stats") ]) in
+  let sresult = Json.member "result" stats in
+  (match Json.member "uptime_ms" sresult with
+  | Json.Int ms -> check_bool "stats uptime sane" true (ms >= 0)
+  | _ -> Alcotest.fail "uptime_ms missing from stats");
+  check_bool "cache_entries pinned" true
+    (Json.member "cache_entries" sresult = Json.Int 1);
+  check_bool "journal_entries pinned" true
+    (Json.member "journal_entries" sresult = Json.Int 1);
+  (* server restarts surface as the generation-seeded counter *)
+  (match Json.member "server_restarts" sresult with
+  | Json.Int n -> check_int "generation seeds server_restarts" 2 n
+  | _ -> Alcotest.fail "server_restarts missing from stats");
+  Server.drain t;
+  check_bool "drain writes the health file" true
+    (Health.read ~path:health_path = Some Health.Draining)
+
+(* satellite: qcheck the cache's checkout/checkin discipline against a
+   reference LRU model — eviction racing a checked-out handle must
+   never hand out a discarded handle, and the eviction counter must
+   stay consistent *)
+let cache_race_ops =
+  let tiny =
+    Rtfmt.Appfile.parse
+      "task A compute=1 release=0 deadline=4 proc=P1\n\
+       task B compute=1 release=0 deadline=4 proc=P1\n"
+  in
+  let tiny_app = tiny.Rtfmt.Appfile.app in
+  let tiny_sys =
+    match tiny.Rtfmt.Appfile.system with
+    | Some s -> s
+    | None -> uniform tiny_app
+  in
+  let keys = [| "k0"; "k1"; "k2"; "k3" |] in
+  let interp ops =
+    let tracer = Tracer.make () in
+    let cache = Cache.create ~tracer ~capacity:2 () in
+    (* model state: LRU order (most recent first) and checked-out
+       handles, both tagged with physical identity *)
+    let resident = ref [] (* (key, handle) *) in
+    let out = ref [] in
+    let discarded = ref [] in
+    let evictions = ref 0 in
+    let ok = ref true in
+    let assert_ cond = if not cond then ok := false in
+    List.iter
+      (fun (op, ki) ->
+        let k = keys.(ki mod Array.length keys) in
+        match op mod 3 with
+        | 0 -> (
+            (* acquire: checkout, cold-build on miss *)
+            if not (List.mem_assoc k !out) then
+              match Cache.checkout cache k with
+              | Some h ->
+                  assert_ (List.mem_assoc k !resident);
+                  assert_ (not (List.exists (fun d -> d == h) !discarded));
+                  assert_ (
+                    match List.assoc_opt k !resident with
+                    | Some m -> m == h
+                    | None -> false);
+                  resident := List.remove_assoc k !resident;
+                  out := (k, h) :: !out
+              | None ->
+                  assert_ (not (List.mem_assoc k !resident));
+                  let h = Rtlb.Incremental.create tiny_sys tiny_app in
+                  out := (k, h) :: !out)
+        | 1 -> (
+            (* release: checkin; model the capacity eviction *)
+            match List.assoc_opt k !out with
+            | Some h ->
+                out := List.remove_assoc k !out;
+                Cache.checkin cache k h;
+                resident := (k, h) :: List.remove_assoc k !resident;
+                let rec split n = function
+                  | [] -> ([], [])
+                  | l when n = 0 -> ([], l)
+                  | x :: rest ->
+                      let keep, drop = split (n - 1) rest in
+                      (x :: keep, drop)
+                in
+                let keep, drop = split 2 !resident in
+                resident := keep;
+                List.iter
+                  (fun (_, h) ->
+                    discarded := h :: !discarded;
+                    incr evictions)
+                  drop
+            | None -> ())
+        | _ -> (
+            (* crash: a checked-out handle is never checked back in *)
+            match List.assoc_opt k !out with
+            | Some h ->
+                out := List.remove_assoc k !out;
+                Cache.discard cache;
+                discarded := h :: !discarded;
+                incr evictions
+            | None -> ()))
+      ops;
+    assert_ (Cache.length cache = List.length !resident);
+    assert_ (Tracer.counter tracer Tracer.Evictions = !evictions);
+    (* every still-resident key must hand back exactly the modelled
+       handle, never a discarded one *)
+    List.iter
+      (fun (k, h) ->
+        match Cache.checkout cache k with
+        | Some got -> assert_ (got == h)
+        | None -> assert_ false)
+      !resident;
+    !ok
+  in
+  qtest ~count:60 "cache: eviction vs checkout discipline (model-based)"
+    QCheck.(
+      list_of_size Gen.(int_range 1 40) (pair (int_bound 2) (int_bound 3)))
+    interp
+
 let suite =
   [
     ( "serve",
@@ -959,5 +1420,24 @@ let suite =
           `Quick tenantflood_dsl;
         Alcotest.test_case "chaos: tenant flood throttled without starvation"
           `Quick tenantflood_quota_storm;
+        Alcotest.test_case "client: connect backoff surfaces attempt count"
+          `Quick connect_backoff;
+        Alcotest.test_case "client: unknown S3xx decodes forward-compatibly"
+          `Quick decode_forward_compat;
+        Alcotest.test_case "breaker: state machine on a fake clock" `Quick
+          breaker_machine;
+        Alcotest.test_case "breaker: S308 fast-fail end to end" `Quick
+          breaker_s308;
+        Alcotest.test_case "journal: round-trip, recency, compaction" `Quick
+          journal_roundtrip;
+        Alcotest.test_case "journal: corrupt tails dropped, never trusted"
+          `Quick journal_corrupt_tail;
+        Alcotest.test_case "chaos: journalcorrupt garbles exactly once" `Quick
+          journal_chaos_corrupt;
+        Alcotest.test_case "chaos: killserver/journalcorrupt DSL" `Quick
+          resilience_dsl;
+        Alcotest.test_case "health: op, file protocol, extended stats" `Quick
+          health_and_stats;
+        cache_race_ops;
       ] );
   ]
